@@ -1,0 +1,58 @@
+//! Wall-time scaling of the matching pipeline (experiment families
+//! E3/E4/E6/E9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmvc_core::matching::{
+    central, central_rand, integral_matching, mpc_simulation, one_plus_eps_matching,
+    weighted_matching, AugmentConfig, IntegralMatchingConfig, MpcMatchingConfig,
+    WeightedMatchingConfig,
+};
+use mmvc_core::Epsilon;
+use mmvc_graph::generators;
+use mmvc_graph::weighted::WeightedGraph;
+
+fn bench_matching(c: &mut Criterion) {
+    let eps = Epsilon::new(0.1).expect("valid eps");
+
+    let mut group = c.benchmark_group("fractional");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [10usize, 12] {
+        let n = 1 << k;
+        let g = generators::gnp(n, 32.0 / n as f64, k as u64).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("central", n), &g, |b, g| {
+            b.iter(|| central(g, eps))
+        });
+        group.bench_with_input(BenchmarkId::new("central_rand", n), &g, |b, g| {
+            b.iter(|| central_rand(g, eps, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("mpc_simulation", n), &g, |b, g| {
+            b.iter(|| mpc_simulation(g, &MpcMatchingConfig::new(eps, 1)).expect("fits"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("integral");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+        for k in [10usize, 11] {
+        let n = 1 << k;
+        let g = generators::gnp(n, 16.0 / n as f64, k as u64).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("theorem_1_2", n), &g, |b, g| {
+            b.iter(|| integral_matching(g, &IntegralMatchingConfig::new(eps, 1)).expect("fits"))
+        });
+        group.bench_with_input(BenchmarkId::new("corollary_1_3", n), &g, |b, g| {
+            b.iter(|| one_plus_eps_matching(g, &AugmentConfig::new(eps, 1)).expect("fits"))
+        });
+        let wg = WeightedGraph::with_random_weights(g.clone(), 1.0, 100.0, 1).expect("valid range");
+        group.bench_with_input(BenchmarkId::new("corollary_1_4", n), &wg, |b, wg| {
+            b.iter(|| weighted_matching(wg, &WeightedMatchingConfig::new(eps, 1)).expect("runs"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

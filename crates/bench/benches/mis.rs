@@ -1,0 +1,43 @@
+//! Wall-time scaling of the MIS algorithms (experiment families E1/E7/E10).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmvc_core::baselines::luby_mis;
+use mmvc_core::mis::{clique_mis, greedy_mpc_mis, CliqueMisConfig, GreedyMisConfig};
+use mmvc_graph::{generators, mis};
+
+fn bench_mis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [10usize, 12] {
+        let n = 1 << k;
+        let g = generators::gnp(n, 64.0 / n as f64, k as u64).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("greedy_mpc", n), &g, |b, g| {
+            b.iter(|| greedy_mpc_mis(g, &GreedyMisConfig::new(1)).expect("fits"))
+        });
+        group.bench_with_input(BenchmarkId::new("luby", n), &g, |b, g| {
+            b.iter(|| luby_mis(g, 1))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_greedy", n), &g, |b, g| {
+            b.iter(|| mis::randomized_greedy_mis(g, 1))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mis_clique");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [9usize, 11] {
+        let n = 1 << k;
+        let g = generators::gnp(n, 64.0 / n as f64, k as u64).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("clique", n), &g, |b, g| {
+            b.iter(|| clique_mis(g, &CliqueMisConfig::new(1)).expect("feasible"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mis);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Wall-time of the Lemma 5.1 rounding and the exact reference solvers
+//! (experiment family E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmvc_core::matching::{mpc_simulation, round_fractional, MpcMatchingConfig};
+use mmvc_core::Epsilon;
+use mmvc_graph::{generators, matching};
+
+fn bench_rounding(c: &mut Criterion) {
+    let eps = Epsilon::new(0.1).expect("valid eps");
+
+    let mut group = c.benchmark_group("rounding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [11usize, 13] {
+        let n = 1 << k;
+        let g = generators::gnp(n, 32.0 / n as f64, k as u64).expect("valid p");
+        let out = mpc_simulation(&g, &MpcMatchingConfig::new(eps, 1)).expect("fits");
+        let candidates = out.heavy_certificate.clone();
+        group.bench_with_input(
+            BenchmarkId::new("lemma_5_1", n),
+            &(&g, &out.fractional, &candidates),
+            |b, (g, x, cands)| b.iter(|| round_fractional(g, x, cands, 7).expect("valid")),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("exact_reference");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+        for n in [256usize, 1024] {
+        let g = generators::gnp(n, 16.0 / n as f64, 3).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("blossom", n), &g, |b, g| {
+            b.iter(|| matching::blossom(g))
+        });
+        let bip = generators::bipartite_gnp(n, n, 16.0 / n as f64, 3).expect("valid p");
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &bip, |b, g| {
+            b.iter(|| matching::hopcroft_karp(g).expect("bipartite"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounding);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Wall-time of the substrate primitives: graph generation, vertex
+//! partitioning, MPC round metering, and clique routing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmvc_clique::CliqueNetwork;
+use mmvc_graph::generators;
+use mmvc_mpc::{random_vertex_partition, Cluster, MpcConfig};
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for k in [12usize, 14] {
+        let n = 1 << k;
+        group.bench_with_input(BenchmarkId::new("gnp_deg64", n), &n, |b, &n| {
+            b.iter(|| generators::gnp(n, 64.0 / n as f64, 1).expect("valid p"))
+        });
+        group.bench_with_input(BenchmarkId::new("power_law", n), &n, |b, &n| {
+            b.iter(|| generators::power_law(n, 2.5, 16.0, 1).expect("valid params"))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("mpc_substrate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    let vertices: Vec<u32> = (0..1u32 << 16).collect();
+    group.bench_function("partition_64k_into_256", |b| {
+        b.iter(|| random_vertex_partition(&vertices, 256, 7))
+    });
+    group.bench_function("cluster_1000_rounds", |b| {
+        b.iter(|| {
+            let mut cl = Cluster::new(MpcConfig::new(64, 1 << 20).expect("valid"));
+            for _ in 0..1000 {
+                cl.round(|r| r.broadcast(100)).expect("within budget");
+            }
+            cl.trace().rounds()
+        })
+    });
+    group.bench_function("mpc_sort_100k", |b| {
+        let items: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9E3779B9))
+            .collect();
+        b.iter(|| {
+            let mut cl = Cluster::new(MpcConfig::new(32, 1 << 20).expect("valid"));
+            mmvc_mpc::mpc_sort(&mut cl, &items).expect("fits")
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("clique_substrate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("lenzen_route_4096_msgs", |b| {
+        let msgs: Vec<(usize, usize, usize)> =
+            (0..4096).map(|i| (i % 512, (i * 7 + 1) % 512, 1)).collect();
+        b.iter(|| {
+            let mut net = CliqueNetwork::new(512).expect("valid");
+            net.lenzen_route(&msgs).expect("feasible")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! E6 — Corollary 1.3: `(1+ε)`-approximate maximum matching.
+//!
+//! Sweeps `ε` on bipartite and general graphs, reporting the measured
+//! ratio against the exact optimum (Hopcroft–Karp / blossom) and the
+//! augmentation effort.
+
+use mmvc_bench::{approx_ratio, header, row};
+use mmvc_core::matching::{one_plus_eps_matching, AugmentConfig};
+use mmvc_core::Epsilon;
+use mmvc_graph::{generators, matching};
+
+fn main() {
+    println!("# E6: Corollary 1.3 — (1+eps) matching vs exact optimum");
+    header(&[
+        "graph",
+        "n",
+        "eps",
+        "path_limit",
+        "matched",
+        "optimum",
+        "ratio",
+        "claimed",
+        "passes",
+    ]);
+    for (i, eps_v) in [0.1, 0.05, 0.02].into_iter().enumerate() {
+        let eps = Epsilon::new(eps_v).expect("valid eps");
+        let seed = 60 + i as u64;
+
+        let bip = generators::bipartite_gnp(1024, 1024, 12.0 / 1024.0, seed).expect("valid p");
+        let out = one_plus_eps_matching(&bip, &AugmentConfig::new(eps, seed)).expect("runs");
+        let opt = matching::hopcroft_karp(&bip).expect("bipartite").len() as f64;
+        row(&[
+            "bipartite".into(),
+            bip.num_vertices().to_string(),
+            format!("{eps_v}"),
+            out.path_limit.to_string(),
+            out.matching.len().to_string(),
+            format!("{opt:.0}"),
+            format!("{:.4}", approx_ratio(opt, out.matching.len() as f64)),
+            format!("{:.2}", 1.0 + eps_v),
+            out.passes.to_string(),
+        ]);
+
+        let gen = generators::gnp(1500, 14.0 / 1500.0, seed ^ 0xF00).expect("valid p");
+        let out = one_plus_eps_matching(&gen, &AugmentConfig::new(eps, seed)).expect("runs");
+        let opt = matching::blossom(&gen).len() as f64;
+        row(&[
+            "general".into(),
+            gen.num_vertices().to_string(),
+            format!("{eps_v}"),
+            out.path_limit.to_string(),
+            out.matching.len().to_string(),
+            format!("{opt:.0}"),
+            format!("{:.4}", approx_ratio(opt, out.matching.len() as f64)),
+            format!("{:.2}", 1.0 + eps_v),
+            out.passes.to_string(),
+        ]);
+    }
+}

@@ -1,0 +1,75 @@
+//! E7 — Baseline comparison (paper §1.2): the paper's `O(log log)`
+//! algorithms against the classical `O(log n)` baselines on shared
+//! graphs.
+//!
+//! MIS: Theorem 1.1 simulation vs Luby. Matching: `MPC-Simulation` +
+//! rounding rounds vs LMSV filtering rounds vs `Central`'s iteration
+//! count (each `Central` iteration is at best one MPC round).
+
+use mmvc_bench::{ascii_chart, header, row};
+use mmvc_core::baselines::luby_mis;
+use mmvc_core::filtering::{filtering_maximal_matching, FilteringConfig};
+use mmvc_core::matching::{central, integral_matching, IntegralMatchingConfig};
+use mmvc_core::mis::{greedy_mpc_mis, GreedyMisConfig};
+use mmvc_core::Epsilon;
+use mmvc_graph::generators;
+
+fn main() {
+    let eps = Epsilon::new(0.1).expect("valid eps");
+
+    println!("# E7a: MIS rounds — Theorem 1.1 vs Luby [Lub86]");
+    header(&["n", "maxdeg", "ours_rounds", "luby_rounds"]);
+    let mut labels = Vec::new();
+    let mut ours_series = Vec::new();
+    let mut luby_series = Vec::new();
+    for k in 10..=15 {
+        let n = 1usize << k;
+        let g = generators::gnp(n, 0.125, k as u64).expect("valid p");
+        let ours = greedy_mpc_mis(&g, &GreedyMisConfig::new(k as u64)).expect("fits");
+        let luby = luby_mis(&g, k as u64);
+        row(&[
+            n.to_string(),
+            g.max_degree().to_string(),
+            ours.trace.rounds().to_string(),
+            luby.rounds.to_string(),
+        ]);
+        labels.push(format!("2^{k}"));
+        ours_series.push(ours.trace.rounds() as f64);
+        luby_series.push(luby.rounds as f64);
+    }
+    println!();
+    println!("## Figure E7a: rounds vs n");
+    print!(
+        "{}",
+        ascii_chart(
+            &labels,
+            &[("thm1.1", ours_series), ("luby", luby_series)],
+            10,
+        )
+    );
+
+    println!();
+    println!("# E7b: matching rounds — Theorem 1.2 vs LMSV filtering vs Central iterations");
+    header(&[
+        "n",
+        "edges",
+        "thm12_rounds",
+        "filtering_rounds",
+        "central_iterations",
+    ]);
+    for k in 10..=13 {
+        let n = 1usize << k;
+        let g = generators::gnp(n, 0.125, 70 + k as u64).expect("valid p");
+        let ours = integral_matching(&g, &IntegralMatchingConfig::new(eps, k as u64))
+            .expect("fits budget");
+        let filt = filtering_maximal_matching(&g, &FilteringConfig::new(k as u64)).expect("fits");
+        let cen = central(&g, eps);
+        row(&[
+            n.to_string(),
+            g.num_edges().to_string(),
+            ours.total_rounds.to_string(),
+            filt.trace.rounds().to_string(),
+            cen.iterations.to_string(),
+        ]);
+    }
+}

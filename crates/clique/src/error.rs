@@ -1,0 +1,141 @@
+//! Errors reported by the CONGESTED-CLIQUE simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Which direction of a routing capacity was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingRole {
+    /// The player sent too many words.
+    Sender,
+    /// The player was addressed by too many words.
+    Receiver,
+}
+
+impl fmt::Display for RoutingRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingRole::Sender => write!(f, "sender"),
+            RoutingRole::Receiver => write!(f, "receiver"),
+        }
+    }
+}
+
+/// Errors arising while simulating a CONGESTED-CLIQUE computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CliqueError {
+    /// A player tried to push more words over a link than the per-round,
+    /// per-pair bandwidth allows.
+    BandwidthExceeded {
+        /// Sending player.
+        from: usize,
+        /// Receiving player.
+        to: usize,
+        /// Round of the violation (1-based).
+        round: usize,
+        /// Words attempted over this link this round.
+        attempted_words: usize,
+        /// Per-pair budget in words.
+        budget_words: usize,
+    },
+    /// An operation referenced a player id `>= n`.
+    NoSuchPlayer {
+        /// The offending player id.
+        player: usize,
+        /// Number of players.
+        n: usize,
+    },
+    /// Lenzen's routing scheme was invoked with a load exceeding its
+    /// precondition (each player sends and receives at most `n` words).
+    RoutingOverload {
+        /// The overloaded player.
+        player: usize,
+        /// Whether it was overloaded as sender or receiver.
+        role: RoutingRole,
+        /// Words attempted.
+        attempted_words: usize,
+        /// The `n`-word capacity.
+        capacity_words: usize,
+    },
+    /// A round-protocol misuse (round opened twice, send outside a round…).
+    RoundProtocol {
+        /// Description of the misuse.
+        message: &'static str,
+    },
+    /// Invalid configuration.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for CliqueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliqueError::BandwidthExceeded {
+                from,
+                to,
+                round,
+                attempted_words,
+                budget_words,
+            } => {
+                write!(
+                    f,
+                    "link {from}->{to} exceeded bandwidth in round {round}: \
+                     {attempted_words} words > budget {budget_words}"
+                )
+            }
+            CliqueError::NoSuchPlayer { player, n } => {
+                write!(f, "player {player} does not exist (clique has {n} players)")
+            }
+            CliqueError::RoutingOverload {
+                player,
+                role,
+                attempted_words,
+                capacity_words,
+            } => {
+                write!(
+                    f,
+                    "Lenzen routing precondition violated: player {player} as {role} \
+                     has {attempted_words} words > capacity {capacity_words}"
+                )
+            }
+            CliqueError::RoundProtocol { message } => {
+                write!(f, "round protocol violation: {message}")
+            }
+            CliqueError::InvalidConfig { message } => {
+                write!(f, "invalid clique configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for CliqueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CliqueError::BandwidthExceeded {
+            from: 1,
+            to: 2,
+            round: 3,
+            attempted_words: 4,
+            budget_words: 1,
+        };
+        assert!(e.to_string().contains("1->2"));
+        let e = CliqueError::RoutingOverload {
+            player: 5,
+            role: RoutingRole::Receiver,
+            attempted_words: 100,
+            capacity_words: 10,
+        };
+        assert!(e.to_string().contains("receiver"));
+        assert!(CliqueError::NoSuchPlayer { player: 3, n: 2 }
+            .to_string()
+            .contains("player 3"));
+    }
+}

@@ -1,0 +1,75 @@
+//! # mmvc-clique
+//!
+//! A local simulator of the **CONGESTED-CLIQUE** model of distributed
+//! computing (Lotker–Pavlov–Patt-Shamir–Peleg), the second substrate of the
+//! PODC'18 paper this workspace reproduces (paper, Section 1.1.2).
+//!
+//! In this model, `n` players communicate in synchronous rounds; in each
+//! round every ordered pair of players can exchange `O(log n)` bits (one
+//! *word* here). The simulator meters per-link bandwidth and rounds, and
+//! implements the two communication primitives the paper's algorithms rely
+//! on:
+//!
+//! * **broadcast** — one player sends the same words to all others, paying
+//!   `ceil(words / bandwidth)` rounds;
+//! * **Lenzen's routing scheme** \[Len13\] — any routing instance where
+//!   each player sends/receives at most `n` words completes in `O(1)`
+//!   rounds; the simulator *checks the precondition* and fails with
+//!   [`CliqueError::RoutingOverload`] when an algorithm violates it.
+//!
+//! ```
+//! use mmvc_clique::CliqueNetwork;
+//!
+//! let mut net = CliqueNetwork::new(16)?;
+//! // Leader 0 collects one word from everyone via Lenzen routing.
+//! let msgs: Vec<(usize, usize, usize)> = (1..16).map(|p| (p, 0, 1)).collect();
+//! net.lenzen_route(&msgs)?;
+//! assert!(net.rounds() >= 1);
+//! # Ok::<(), mmvc_clique::CliqueError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod network;
+
+pub use error::{CliqueError, RoutingRole};
+pub use network::{CliqueNetwork, CliqueRoundCtx, LENZEN_ROUTING_ROUNDS};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn broadcast_cost_is_ceiling(n in 2usize..20, words in 0usize..40, bw in 1usize..5) {
+            let mut net = CliqueNetwork::with_bandwidth(n, bw).unwrap();
+            let rounds = net.broadcast(0, words).unwrap();
+            prop_assert_eq!(rounds, words.div_ceil(bw));
+            prop_assert_eq!(net.total_words(), words * (n - 1));
+        }
+
+        #[test]
+        fn routing_feasible_iff_loads_ok(
+            n in 2usize..12,
+            raw in proptest::collection::vec((0usize..12, 0usize..12, 0usize..6), 0..30)
+        ) {
+            let msgs: Vec<(usize, usize, usize)> = raw
+                .into_iter()
+                .map(|(f, t, w)| (f % n, t % n, w))
+                .collect();
+            let mut out = vec![0usize; n];
+            let mut inc = vec![0usize; n];
+            for &(f, t, w) in &msgs {
+                out[f] += w;
+                inc[t] += w;
+            }
+            let feasible = (0..n).all(|p| out[p] <= n && inc[p] <= n);
+            let mut net = CliqueNetwork::new(n).unwrap();
+            let result = net.lenzen_route(&msgs);
+            prop_assert_eq!(result.is_ok(), feasible);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Fractional matchings: edge weights `x_e ∈ [0, 1]` with vertex loads
+//! `y_v = Σ_{e ∋ v} x_e ≤ 1`.
+//!
+//! The paper's matching/vertex-cover pipeline (Section 4) first constructs
+//! a *fractional* matching within `(2+ε)` of the maximum matching, then
+//! rounds it (Section 5). This module provides the validated container both
+//! stages share.
+
+use mmvc_graph::Graph;
+
+/// Tolerance for floating-point feasibility checks.
+const FEASIBILITY_TOL: f64 = 1e-9;
+
+/// A fractional matching over the canonical edge list of a graph.
+///
+/// `x[i]` is the weight of `graph.edges()[i]`. Feasibility (`y_v ≤ 1`) is
+/// checked at construction.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_core::matching::FractionalMatching;
+/// use mmvc_graph::generators;
+///
+/// let g = generators::path(3); // edges {0,1}, {1,2}
+/// let fm = FractionalMatching::new(&g, vec![0.5, 0.5]).unwrap();
+/// assert_eq!(fm.weight(), 1.0);
+/// assert_eq!(fm.vertex_weight(&g, 1), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalMatching {
+    x: Vec<f64>,
+}
+
+impl FractionalMatching {
+    /// Wraps per-edge weights, validating `0 ≤ x_e` and `y_v ≤ 1 + tol`.
+    ///
+    /// Returns `None` if the length mismatches the edge list, any weight is
+    /// negative or non-finite, or some vertex load exceeds 1.
+    pub fn new(g: &Graph, x: Vec<f64>) -> Option<Self> {
+        if x.len() != g.num_edges() {
+            return None;
+        }
+        if x.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            return None;
+        }
+        let fm = FractionalMatching { x };
+        if !fm.is_feasible(g) {
+            return None;
+        }
+        Some(fm)
+    }
+
+    /// The all-zero fractional matching.
+    pub fn zero(g: &Graph) -> Self {
+        FractionalMatching {
+            x: vec![0.0; g.num_edges()],
+        }
+    }
+
+    /// Per-edge weights, parallel to `g.edges()`.
+    pub fn edge_weights(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Weight of edge index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn edge_weight(&self, i: usize) -> f64 {
+        self.x[i]
+    }
+
+    /// Total weight `Σ_e x_e` — the quantity within `(2+ε)` of `|M*|`
+    /// (Lemma 4.2).
+    pub fn weight(&self) -> f64 {
+        self.x.iter().sum()
+    }
+
+    /// Vertex load `y_v = Σ_{e ∋ v} x_e`.
+    ///
+    /// `O(deg v · log m)` due to edge-index lookups; for bulk queries use
+    /// [`vertex_weights`](Self::vertex_weights).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range for `g`.
+    pub fn vertex_weight(&self, g: &Graph, v: mmvc_graph::VertexId) -> f64 {
+        self.vertex_weights(g)[v as usize]
+    }
+
+    /// All vertex loads `y` in one `O(E)` pass.
+    pub fn vertex_weights(&self, g: &Graph) -> Vec<f64> {
+        let mut y = vec![0.0; g.num_vertices()];
+        for (i, e) in g.edges().iter().enumerate() {
+            y[e.u() as usize] += self.x[i];
+            y[e.v() as usize] += self.x[i];
+        }
+        y
+    }
+
+    /// Checks feasibility: all loads `y_v ≤ 1` (within tolerance).
+    pub fn is_feasible(&self, g: &Graph) -> bool {
+        self.vertex_weights(g)
+            .iter()
+            .all(|&y| y <= 1.0 + FEASIBILITY_TOL)
+    }
+
+    /// The vertices with load at least `1 − beta` — the set `C̃` handed to
+    /// the Lemma 5.1 rounding procedure.
+    pub fn heavy_vertices(&self, g: &Graph, beta: f64) -> Vec<mmvc_graph::VertexId> {
+        self.vertex_weights(g)
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &y)| (y >= 1.0 - beta - FEASIBILITY_TOL).then_some(v as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmvc_graph::generators;
+
+    #[test]
+    fn validates_length_and_signs() {
+        let g = generators::path(3);
+        assert!(FractionalMatching::new(&g, vec![0.5]).is_none());
+        assert!(FractionalMatching::new(&g, vec![0.5, -0.1]).is_none());
+        assert!(FractionalMatching::new(&g, vec![0.5, f64::NAN]).is_none());
+        assert!(FractionalMatching::new(&g, vec![0.5, 0.5]).is_some());
+    }
+
+    #[test]
+    fn validates_vertex_loads() {
+        let g = generators::path(3); // middle vertex 1 on both edges
+        assert!(
+            FractionalMatching::new(&g, vec![0.7, 0.7]).is_none(),
+            "y_1 = 1.4 > 1"
+        );
+        assert!(FractionalMatching::new(&g, vec![1.0, 0.0]).is_some());
+    }
+
+    #[test]
+    fn weights_and_loads() {
+        let g = generators::star(4); // center 0, leaves 1..3
+        let fm = FractionalMatching::new(&g, vec![0.25, 0.25, 0.5]).unwrap();
+        assert!((fm.weight() - 1.0).abs() < 1e-12);
+        assert!((fm.vertex_weight(&g, 0) - 1.0).abs() < 1e-12);
+        assert!((fm.vertex_weight(&g, 3) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heavy_vertices_threshold() {
+        let g = generators::path(3);
+        let fm = FractionalMatching::new(&g, vec![0.5, 0.45]).unwrap();
+        // y = [0.5, 0.95, 0.45]
+        assert_eq!(fm.heavy_vertices(&g, 0.1), vec![1]);
+        assert_eq!(fm.heavy_vertices(&g, 0.5).len(), 2);
+        assert_eq!(fm.heavy_vertices(&g, 0.6).len(), 3);
+    }
+
+    #[test]
+    fn zero_matching() {
+        let g = generators::cycle(5);
+        let fm = FractionalMatching::zero(&g);
+        assert_eq!(fm.weight(), 0.0);
+        assert!(fm.is_feasible(&g));
+        assert!(fm.heavy_vertices(&g, 0.5).is_empty());
+    }
+
+    #[test]
+    fn integral_matching_is_feasible_fractional() {
+        let g = generators::cycle(6);
+        // Alternate edges 0-1, 2-3, 4-5 -> perfect matching as 0/1 vector.
+        let x: Vec<f64> = g
+            .edges()
+            .iter()
+            .map(|e| {
+                if e.u() % 2 == 0 && e.v() == e.u() + 1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let fm = FractionalMatching::new(&g, x).unwrap();
+        assert_eq!(fm.weight(), 3.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Maximal independent set algorithms (paper, Section 3).
+//!
+//! * [`greedy_mpc_mis`] — Theorem 1.1 in the MPC model: the randomized
+//!   greedy MIS simulated in `O(log log Δ)` rounds via rank prefixes.
+//! * [`clique_mis`] — Theorem 1.1 in the CONGESTED-CLIQUE model.
+//! * [`ghaffari_local_mis`] — the sparsified subroutine (Theorem 2.1
+//!   substitute; see DESIGN.md).
+//!
+//! The sequential reference (`randomized_greedy_mis`) lives in
+//! [`mmvc_graph::mis`]; the Luby baseline lives in [`crate::baselines`].
+
+mod clique_mis;
+mod ghaffari_local;
+mod greedy_mpc;
+
+pub use clique_mis::{clique_mis, CliqueMisConfig, CliqueMisOutcome};
+pub use ghaffari_local::{ghaffari_local_mis, LocalMisConfig, LocalMisOutcome};
+pub use greedy_mpc::{greedy_mpc_mis, GreedyMisConfig, GreedyMisOutcome, SparsifyThreshold};

@@ -1,0 +1,78 @@
+//! Error types for graph construction and algorithm inputs.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex id `>= n`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices in the graph.
+        n: usize,
+    },
+    /// A self-loop `{v, v}` was supplied; the paper's algorithms operate on
+    /// simple graphs.
+    SelfLoop {
+        /// The vertex with the self-loop.
+        vertex: u32,
+    },
+    /// A parameter was outside its documented domain.
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(
+                    f,
+                    "vertex {vertex} out of range for graph with {n} vertices"
+                )
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(
+                    f,
+                    "self-loop at vertex {vertex} not allowed in a simple graph"
+                )
+            }
+            GraphError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::VertexOutOfRange { vertex: 7, n: 3 };
+        assert!(e.to_string().contains("vertex 7"));
+        let e = GraphError::SelfLoop { vertex: 2 };
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::InvalidParameter {
+            name: "p",
+            message: "must be in [0,1]".into(),
+        };
+        assert!(e.to_string().contains("`p`"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn Error> = Box::new(GraphError::SelfLoop { vertex: 0 });
+        assert!(e.source().is_none());
+    }
+}

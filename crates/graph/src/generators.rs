@@ -1,0 +1,765 @@
+//! Seeded random and structured graph generators.
+//!
+//! These produce the workloads for the experiment harness: Erdős–Rényi
+//! `G(n,p)` / `G(n,m)` graphs, random bipartite graphs (the ad-allocation
+//! scenarios), Chung–Lu power-law graphs (social networks, the motivating
+//! workload of the paper's introduction), and assorted structured graphs
+//! used as worst cases and unit-test fixtures.
+//!
+//! All generators are deterministic in their `seed` argument.
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skip sampling, so the running time is
+/// `O(n + |E|)` rather than `O(n²)`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::generators::gnp;
+/// let g = gnp(100, 0.05, 7)?;
+/// assert_eq!(g.num_vertices(), 100);
+/// # Ok::<(), mmvc_graph::GraphError>(())
+/// ```
+pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            name: "p",
+            message: format!("edge probability must be in [0, 1], got {p}"),
+        });
+    }
+    let mut b = GraphBuilder::new(n);
+    if p == 0.0 || n < 2 {
+        return Ok(b.build());
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    if p == 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+        return Ok(b.build());
+    }
+    // Geometric skip sampling: per row `u`, jump between successive
+    // successes of a Bernoulli(p) stream over columns `u+1..n`, so the
+    // running time is proportional to the number of edges generated.
+    let log_q = (1.0 - p).ln();
+    for row in 0..(n - 1) as u32 {
+        let mut col = row as i64; // previous column; first candidate is row+1
+        loop {
+            let r: f64 = rng.gen::<f64>();
+            // Number of failures before next success in Bernoulli(p) stream.
+            let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+            col += 1 + skip.max(0);
+            if col >= n as i64 {
+                break;
+            }
+            b.add_edge(row, col as u32).expect("in range");
+        }
+    }
+    Ok(b.build())
+}
+
+/// Erdős–Rényi `G(n, m)`: `m` distinct edges chosen uniformly at random.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m` exceeds `n·(n−1)/2`.
+pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
+    if m > max_m {
+        return Err(GraphError::InvalidParameter {
+            name: "m",
+            message: format!("requested {m} edges but K_{n} has only {max_m}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    // Rejection sampling is fine while m ≤ max_m/2; otherwise sample the
+    // complement.
+    if m * 2 <= max_m {
+        while chosen.len() < m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            chosen.insert(key);
+        }
+        for (u, v) in chosen {
+            b.add_edge(u, v).expect("in range");
+        }
+    } else {
+        let holes = max_m - m;
+        let mut removed = std::collections::HashSet::with_capacity(holes * 2);
+        while removed.len() < holes {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            removed.insert(key);
+        }
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                if !removed.contains(&(u, v)) {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Random bipartite graph: sides `0..n_left` and `n_left..n_left+n_right`,
+/// each cross pair an edge independently with probability `p`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn bipartite_gnp(
+    n_left: usize,
+    n_right: usize,
+    p: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&p) || p.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            name: "p",
+            message: format!("edge probability must be in [0, 1], got {p}"),
+        });
+    }
+    let n = n_left + n_right;
+    let mut b = GraphBuilder::new(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for u in 0..n_left as u32 {
+        for v in 0..n_right as u32 {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, n_left as u32 + v).expect("in range");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Chung–Lu random graph with expected degree sequence `weights`:
+/// pair `{u, v}` is an edge with probability `min(1, w_u w_v / Σw)`.
+///
+/// With `w_i ∝ i^(−1/(β−1))` this yields a power-law degree distribution
+/// with exponent `β`; see [`power_law`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if any weight is negative or
+/// non-finite, or all weights are zero while `weights` is non-empty.
+pub fn chung_lu(weights: &[f64], seed: u64) -> Result<Graph, GraphError> {
+    let n = weights.len();
+    if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+        return Err(GraphError::InvalidParameter {
+            name: "weights",
+            message: "all expected degrees must be finite and non-negative".into(),
+        });
+    }
+    let total: f64 = weights.iter().sum();
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || total <= 0.0 {
+        if n > 0 && total <= 0.0 && !weights.is_empty() {
+            // All-zero weights: valid, produces the empty graph.
+            return Ok(b.build());
+        }
+        return Ok(b.build());
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Sort vertices by descending weight for the standard efficient
+    // Miller–Hagberg style generation; here we keep the O(n²) loop for
+    // clarity but skip rows with negligible weight mass.
+    for u in 0..n {
+        if weights[u] == 0.0 {
+            continue;
+        }
+        for v in (u + 1)..n {
+            let p = (weights[u] * weights[v] / total).min(1.0);
+            if p > 0.0 && rng.gen::<f64>() < p {
+                b.add_edge(u as u32, v as u32).expect("in range");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Power-law graph: Chung–Lu with weights `w_i = c · (i+1)^(−1/(β−1))`,
+/// scaled so the average expected degree is `avg_degree`.
+///
+/// Typical social networks have `β ∈ [2, 3]`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `beta <= 1` or
+/// `avg_degree < 0`.
+pub fn power_law(n: usize, beta: f64, avg_degree: f64, seed: u64) -> Result<Graph, GraphError> {
+    if beta <= 1.0 || !beta.is_finite() {
+        return Err(GraphError::InvalidParameter {
+            name: "beta",
+            message: format!("power-law exponent must be > 1, got {beta}"),
+        });
+    }
+    if avg_degree < 0.0 || !avg_degree.is_finite() {
+        return Err(GraphError::InvalidParameter {
+            name: "avg_degree",
+            message: format!("average degree must be non-negative, got {avg_degree}"),
+        });
+    }
+    let exponent = -1.0 / (beta - 1.0);
+    let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
+    let sum: f64 = weights.iter().sum();
+    if sum > 0.0 && n > 0 {
+        let scale = avg_degree * n as f64 / sum;
+        for w in &mut weights {
+            *w *= scale;
+        }
+    }
+    chung_lu(&weights, seed)
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// The path `P_n` on `n` vertices (`n − 1` edges).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v).expect("in range");
+    }
+    b.build()
+}
+
+/// The cycle `C_n` (requires `n >= 3` to be simple; smaller `n` degrades to
+/// a path).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v).expect("in range");
+    }
+    if n >= 3 {
+        b.add_edge(n as u32 - 1, 0).expect("in range");
+    }
+    b.build()
+}
+
+/// The star `K_{1,n−1}` with center `0`.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        b.add_edge(0, v).expect("in range");
+    }
+    b.build()
+}
+
+/// The `rows × cols` grid graph.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut b = GraphBuilder::new(n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1)).expect("in range");
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c)).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` (left side `0..a`).
+pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
+    let mut b = GraphBuilder::new(a + b_size);
+    for u in 0..a as u32 {
+        for v in 0..b_size as u32 {
+            b.add_edge(u, a as u32 + v).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// A disjoint union of `k` copies of `g` (vertex ids shifted per copy).
+pub fn disjoint_union(g: &Graph, k: usize) -> Graph {
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::new(n * k);
+    for copy in 0..k {
+        let off = (copy * n) as u32;
+        for e in g.edges() {
+            b.add_edge(e.u() + off, e.v() + off).expect("in range");
+        }
+    }
+    b.build()
+}
+
+/// A graph of `k` disjoint edges (a perfect matching on `2k` vertices) —
+/// the extremal instance where a maximum matching equals `n/2` and the MIS
+/// equals `n/2`.
+pub fn disjoint_edges(k: usize) -> Graph {
+    let mut b = GraphBuilder::new(2 * k);
+    for i in 0..k as u32 {
+        b.add_edge(2 * i, 2 * i + 1).expect("in range");
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m_attach` existing vertices chosen with
+/// probability proportional to their degree.
+///
+/// Produces power-law degree tails by growth rather than by explicit
+/// weights (contrast [`power_law`]/Chung–Lu).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m_attach == 0` or
+/// `m_attach >= n`.
+pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, GraphError> {
+    if m_attach == 0 || m_attach >= n.max(1) {
+        return Err(GraphError::InvalidParameter {
+            name: "m_attach",
+            message: format!("need 0 < m_attach < n, got {m_attach} with n = {n}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Seed clique on m_attach + 1 vertices.
+    let seed_size = m_attach + 1;
+    // Repeated-endpoints list: sampling a uniform element is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<VertexId> = Vec::new();
+    for u in 0..seed_size as u32 {
+        for v in (u + 1)..seed_size as u32 {
+            b.add_edge(u, v).expect("in range");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in seed_size as u32..n as u32 {
+        let mut targets = std::collections::HashSet::with_capacity(m_attach * 2);
+        // Rejection-sample distinct targets by degree.
+        while targets.len() < m_attach {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t).expect("in range");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Watts–Strogatz small-world graph: a ring lattice where each vertex
+/// connects to its `k` nearest neighbors (`k` even), with each edge
+/// rewired to a uniform endpoint with probability `beta`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k` is odd, `k >= n`, or
+/// `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !k.is_multiple_of(2) || k >= n.max(1) {
+        return Err(GraphError::InvalidParameter {
+            name: "k",
+            message: format!("need even k < n, got k = {k}, n = {n}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&beta) || beta.is_nan() {
+        return Err(GraphError::InvalidParameter {
+            name: "beta",
+            message: format!("rewiring probability must be in [0, 1], got {beta}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for step in 1..=k / 2 {
+            let v = (u + step) % n;
+            if u == v {
+                continue;
+            }
+            let (mut a, mut c) = (u as u32, v as u32);
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a uniform non-self target.
+                for _ in 0..16 {
+                    let t = rng.gen_range(0..n as u32);
+                    if t != a {
+                        c = t;
+                        break;
+                    }
+                }
+            }
+            if a == c {
+                continue;
+            }
+            if a > c {
+                std::mem::swap(&mut a, &mut c);
+            }
+            b.add_edge(a, c).expect("in range");
+        }
+    }
+    Ok(b.build())
+}
+
+/// Stochastic block model: `sizes[i]` vertices in block `i`; pair
+/// probability `p_in` within a block, `p_out` across blocks. Vertices are
+/// numbered block by block.
+///
+/// Generalizes the planted-partition workloads used by the correlation
+/// clustering example.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless both probabilities are
+/// in `[0, 1]`.
+pub fn stochastic_block_model(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    for (name, p) in [("p_in", p_in), ("p_out", p_out)] {
+        if !(0.0..=1.0).contains(&p) || p.is_nan() {
+            return Err(GraphError::InvalidParameter {
+                name,
+                message: format!("probability must be in [0, 1], got {p}"),
+            });
+        }
+    }
+    let n: usize = sizes.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    for (i, &s) in sizes.iter().enumerate() {
+        block_of.extend(std::iter::repeat_n(i, s));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of[u] == block_of[v] {
+                p_in
+            } else {
+                p_out
+            };
+            if p > 0.0 && rng.gen::<f64>() < p {
+                b.add_edge(u as u32, v as u32).expect("in range");
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Random geometric graph: `n` points uniform in the unit square, edges
+/// between pairs at Euclidean distance at most `radius`.
+///
+/// The classic model for wireless/sensor networks (the vertex-cover
+/// monitoring workload).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `radius` is negative or
+/// not finite.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !radius.is_finite() || radius < 0.0 {
+        return Err(GraphError::InvalidParameter {
+            name: "radius",
+            message: format!("radius must be non-negative, got {radius}"),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
+    // Grid-bucket the points so the expected running time is
+    // O(n + |E|) instead of O(n²).
+    let cell = radius.max(1e-9);
+    let cells_per_side = (1.0 / cell).ceil().max(1.0) as usize;
+    let cell_of = |x: f64, y: f64| -> (usize, usize) {
+        (
+            ((x / cell) as usize).min(cells_per_side - 1),
+            ((y / cell) as usize).min(cells_per_side - 1),
+        )
+    };
+    let mut buckets: std::collections::HashMap<(usize, usize), Vec<u32>> =
+        std::collections::HashMap::new();
+    for (i, &(x, y)) in points.iter().enumerate() {
+        buckets.entry(cell_of(x, y)).or_default().push(i as u32);
+    }
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for (&(cx, cy), members) in &buckets {
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 {
+                    continue;
+                }
+                let Some(neighbors) = buckets.get(&(nx as usize, ny as usize)) else {
+                    continue;
+                };
+                for &u in members {
+                    for &v in neighbors {
+                        if u < v {
+                            let (x1, y1) = points[u as usize];
+                            let (x2, y2) = points[v as usize];
+                            let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+                            if d2 <= r2 {
+                                b.add_edge(u, v).expect("in range");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(10, 0.0, 1).unwrap().num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).unwrap().num_edges(), 45);
+        assert_eq!(gnp(0, 0.5, 1).unwrap().num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, 1).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn gnp_rejects_bad_p() {
+        assert!(gnp(10, -0.1, 1).is_err());
+        assert!(gnp(10, 1.5, 1).is_err());
+        assert!(gnp(10, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let n = 400;
+        let p = 0.1;
+        let g = gnp(n, p, 99).unwrap();
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 0.15 * expected,
+            "edges {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_deterministic() {
+        assert_eq!(gnp(50, 0.2, 3).unwrap(), gnp(50, 0.2, 3).unwrap());
+        assert_ne!(gnp(50, 0.2, 3).unwrap(), gnp(50, 0.2, 4).unwrap());
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        for &m in &[0usize, 1, 10, 44, 45] {
+            let g = gnm(10, m, 5).unwrap();
+            assert_eq!(g.num_edges(), m);
+        }
+        assert!(gnm(10, 46, 5).is_err());
+    }
+
+    #[test]
+    fn gnm_dense_path_uses_complement() {
+        let g = gnm(20, 180, 2).unwrap(); // max is 190, complement path
+        assert_eq!(g.num_edges(), 180);
+    }
+
+    #[test]
+    fn bipartite_is_bipartite() {
+        let g = bipartite_gnp(20, 30, 0.3, 8).unwrap();
+        assert_eq!(g.num_vertices(), 50);
+        for e in g.edges() {
+            assert!(e.u() < 20 && e.v() >= 20, "edge {:?} crosses sides", e);
+        }
+    }
+
+    #[test]
+    fn chung_lu_zero_weights_empty() {
+        let g = chung_lu(&[0.0; 10], 1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn chung_lu_rejects_negative() {
+        assert!(chung_lu(&[1.0, -1.0], 1).is_err());
+        assert!(chung_lu(&[f64::INFINITY], 1).is_err());
+    }
+
+    #[test]
+    fn power_law_degrees_skewed() {
+        let g = power_law(500, 2.5, 8.0, 42).unwrap();
+        // Earlier vertices get higher expected degree.
+        let head: usize = (0..10).map(|v| g.degree(v)).sum();
+        let tail: usize = (490..500).map(|v| g.degree(v)).sum();
+        assert!(head > tail, "head degree {head} should exceed tail {tail}");
+        assert!(g.max_degree() > (2.0 * g.avg_degree()) as usize);
+    }
+
+    #[test]
+    fn power_law_rejects_bad_params() {
+        assert!(power_law(10, 1.0, 4.0, 1).is_err());
+        assert!(power_law(10, 2.5, -1.0, 1).is_err());
+    }
+
+    #[test]
+    fn structured_graphs() {
+        assert_eq!(complete(6).num_edges(), 15);
+        assert_eq!(path(6).num_edges(), 5);
+        assert_eq!(cycle(6).num_edges(), 6);
+        assert_eq!(cycle(2).num_edges(), 1); // degrades to path
+        assert_eq!(star(6).num_edges(), 5);
+        assert_eq!(star(6).degree(0), 5);
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
+        assert_eq!(disjoint_edges(5).num_edges(), 5);
+        assert_eq!(disjoint_edges(5).max_degree(), 1);
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let g = barabasi_albert(300, 3, 1).unwrap();
+        assert_eq!(g.num_vertices(), 300);
+        // Each of the 296 non-seed vertices adds exactly 3 edges (distinct
+        // targets, no duplicates possible for a fresh vertex).
+        assert_eq!(g.num_edges(), 6 + 296 * 3);
+        // Preferential attachment concentrates degree on early vertices.
+        let early: usize = (0..10).map(|v| g.degree(v)).sum();
+        let late: usize = (290..300).map(|v| g.degree(v)).sum();
+        assert!(early > 2 * late, "early {early} vs late {late}");
+        assert!(g.max_degree() >= 3);
+    }
+
+    #[test]
+    fn barabasi_albert_rejects_bad_params() {
+        assert!(barabasi_albert(10, 0, 1).is_err());
+        assert!(barabasi_albert(10, 10, 1).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_no_rewiring_is_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 20 * 2);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4, "ring lattice is 4-regular");
+        }
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && !g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_preserves_edge_budget() {
+        let g = watts_strogatz(100, 6, 0.3, 2).unwrap();
+        // Rewiring can only merge into existing edges, never add.
+        assert!(g.num_edges() <= 300);
+        assert!(g.num_edges() > 250, "most edges survive dedup");
+    }
+
+    #[test]
+    fn watts_strogatz_rejects_bad_params() {
+        assert!(watts_strogatz(10, 3, 0.1, 1).is_err(), "odd k");
+        assert!(watts_strogatz(10, 10, 0.1, 1).is_err(), "k >= n");
+        assert!(watts_strogatz(10, 4, 1.5, 1).is_err(), "beta > 1");
+    }
+
+    #[test]
+    fn sbm_block_structure() {
+        let g = stochastic_block_model(&[50, 50], 0.3, 0.01, 3).unwrap();
+        assert_eq!(g.num_vertices(), 100);
+        let intra = g
+            .edges()
+            .iter()
+            .filter(|e| (e.u() < 50) == (e.v() < 50))
+            .count();
+        let inter = g.num_edges() - intra;
+        assert!(intra > 5 * inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn sbm_degenerate_cases() {
+        let g = stochastic_block_model(&[10], 1.0, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 45, "single block at p=1 is complete");
+        let g = stochastic_block_model(&[], 0.5, 0.5, 1).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert!(stochastic_block_model(&[5], 2.0, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn geometric_radius_extremes() {
+        let g = random_geometric(50, 0.0, 1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        let g = random_geometric(50, 1.5, 1).unwrap();
+        assert_eq!(g.num_edges(), 50 * 49 / 2, "radius covers the whole square");
+        assert!(random_geometric(50, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn geometric_matches_brute_force() {
+        // The grid-bucket construction must agree with the O(n²) check.
+        let n = 120;
+        let r = 0.15;
+        let g = random_geometric(n, r, 7).unwrap();
+        // Recompute points with the same RNG stream.
+        let mut rng = SmallRng::seed_from_u64(7);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        let mut expect = 0usize;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d2 = (pts[u].0 - pts[v].0).powi(2) + (pts[u].1 - pts[v].1).powi(2);
+                if d2 <= r * r {
+                    expect += 1;
+                    assert!(g.has_edge(u as u32, v as u32), "missing edge {u}-{v}");
+                }
+            }
+        }
+        assert_eq!(g.num_edges(), expect);
+    }
+
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn disjoint_union_copies() {
+        let g = cycle(5);
+        let u = disjoint_union(&g, 3);
+        assert_eq!(u.num_vertices(), 15);
+        assert_eq!(u.num_edges(), 15);
+        let (_, k) = u.connected_components();
+        assert_eq!(k, 3);
+    }
+}

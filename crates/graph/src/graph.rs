@@ -1,0 +1,613 @@
+//! The core immutable graph type and its builder.
+//!
+//! [`Graph`] is a simple (no self-loops, no parallel edges), undirected graph
+//! stored in compressed sparse row (CSR) form: a flat neighbor array plus
+//! per-vertex offsets. Neighbor lists are sorted, which gives `O(log d)`
+//! adjacency tests and cache-friendly iteration — the access pattern every
+//! algorithm in this workspace is built around.
+//!
+//! Construction goes through [`GraphBuilder`], which validates endpoints,
+//! rejects self-loops, and deduplicates parallel edges.
+
+use crate::error::GraphError;
+
+/// Identifier of a vertex: a dense index in `0..n`.
+pub type VertexId = u32;
+
+/// An undirected edge, canonically stored with `u() <= v()`.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::Edge;
+/// let e = Edge::new(5, 2);
+/// assert_eq!((e.u(), e.v()), (2, 5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    u: VertexId,
+    v: VertexId,
+}
+
+impl Edge {
+    /// Creates an edge; endpoints are normalized so that `u() <= v()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (self-loop).
+    pub fn new(a: VertexId, b: VertexId) -> Self {
+        assert!(a != b, "self-loop {{{a},{a}}} is not a valid edge");
+        if a < b {
+            Edge { u: a, v: b }
+        } else {
+            Edge { u: b, v: a }
+        }
+    }
+
+    /// The smaller endpoint.
+    pub fn u(&self) -> VertexId {
+        self.u
+    }
+
+    /// The larger endpoint.
+    pub fn v(&self) -> VertexId {
+        self.v
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an endpoint of this edge.
+    pub fn other(&self, x: VertexId) -> VertexId {
+        if x == self.u {
+            self.v
+        } else {
+            assert!(x == self.v, "vertex {x} is not an endpoint of {self:?}");
+            self.u
+        }
+    }
+
+    /// Returns `true` if `x` is an endpoint.
+    pub fn contains(&self, x: VertexId) -> bool {
+        x == self.u || x == self.v
+    }
+}
+
+/// An immutable simple undirected graph in CSR representation.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{Graph, GraphBuilder};
+///
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// b.add_edge(2, 3)?;
+/// let g: Graph = b.build();
+/// assert_eq!(g.num_vertices(), 4);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(2, 1));
+/// # Ok::<(), mmvc_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// CSR offsets: neighbors of `v` live at `adj[offsets[v]..offsets[v+1]]`.
+    offsets: Vec<usize>,
+    /// Flat, per-vertex-sorted neighbor array (each undirected edge appears
+    /// twice).
+    adj: Vec<VertexId>,
+    /// Canonical edge list (`u < v`), sorted.
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Builds a graph from an iterator of endpoint pairs.
+    ///
+    /// Duplicate edges are merged; order of endpoints is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] or [`GraphError::SelfLoop`]
+    /// for invalid pairs.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of vertices `n`.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the graph has no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.n as VertexId
+    }
+
+    /// The canonical (sorted, `u < v`) edge list.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Sorted neighbor slice of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// Maximum degree Δ of the graph (0 for an edgeless graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n)
+            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / self.n as f64
+        }
+    }
+
+    /// Adjacency test in `O(log d)`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u as usize >= self.n || v as usize >= self.n || u == v {
+            return false;
+        }
+        // Search the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Returns the subgraph induced on `keep` (`keep[v]` true ⇔ vertex kept),
+    /// **preserving vertex ids** (kept vertices keep their id; dropped
+    /// vertices become isolated).
+    ///
+    /// This is the operation the paper's simulations perform when "removing"
+    /// vertices: the vertex set stays `0..n` but all edges incident to
+    /// removed vertices disappear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep.len() != n`.
+    pub fn induced_subgraph_mask(&self, keep: &[bool]) -> Graph {
+        assert_eq!(keep.len(), self.n, "mask length must equal n");
+        let edges: Vec<(VertexId, VertexId)> = self
+            .edges
+            .iter()
+            .filter(|e| keep[e.u() as usize] && keep[e.v() as usize])
+            .map(|e| (e.u(), e.v()))
+            .collect();
+        Graph::from_edges(self.n, edges).expect("edges of a valid graph remain valid")
+    }
+
+    /// Returns the subgraph induced on the given vertex set, **relabelled**
+    /// to dense ids `0..keep.len()`, together with the mapping
+    /// `local -> original`.
+    ///
+    /// Used by the MPC simulations when shipping an induced subgraph to a
+    /// single machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vertices` contains an out-of-range or duplicate id.
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut local_of = vec![u32::MAX; self.n];
+        for (i, &v) in vertices.iter().enumerate() {
+            assert!((v as usize) < self.n, "vertex {v} out of range");
+            assert!(local_of[v as usize] == u32::MAX, "duplicate vertex {v}");
+            local_of[v as usize] = i as u32;
+        }
+        let mut edges = Vec::new();
+        for &v in vertices {
+            let lv = local_of[v as usize];
+            for &w in self.neighbors(v) {
+                let lw = local_of[w as usize];
+                if lw != u32::MAX && lv < lw {
+                    edges.push((lv, lw));
+                }
+            }
+        }
+        let g = Graph::from_edges(vertices.len(), edges).expect("relabelled edges are valid");
+        (g, vertices.to_vec())
+    }
+
+    /// The line graph `L(G)`: one vertex per edge of `G`, with two vertices
+    /// adjacent iff the corresponding edges share an endpoint.
+    ///
+    /// An MIS of `L(G)` is a *maximal matching* of `G` (Luby's classical
+    /// reduction, referenced in the paper's introduction).
+    pub fn line_graph(&self) -> Graph {
+        let m = self.edges.len();
+        // Index edges incident to each vertex.
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); self.n];
+        for (i, e) in self.edges.iter().enumerate() {
+            incident[e.u() as usize].push(i as u32);
+            incident[e.v() as usize].push(i as u32);
+        }
+        let mut b = GraphBuilder::new(m);
+        for inc in &incident {
+            for i in 0..inc.len() {
+                for j in (i + 1)..inc.len() {
+                    b.add_edge(inc[i], inc[j]).expect("line-graph edges valid");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Total number of words needed to represent the edge list (2 per edge);
+    /// the unit of the MPC memory accounting.
+    pub fn edge_words(&self) -> usize {
+        2 * self.num_edges()
+    }
+
+    /// The complement graph `Ḡ`: same vertices, pair adjacent iff not
+    /// adjacent in `G`. Independent sets of `G` are cliques of `Ḡ`.
+    ///
+    /// `O(n²)`; intended for small verification graphs.
+    pub fn complement(&self) -> Graph {
+        let mut b = GraphBuilder::new(self.n);
+        for u in 0..self.n as VertexId {
+            for v in (u + 1)..self.n as VertexId {
+                if !self.has_edge(u, v) {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Connected components as a vector `comp[v] = component id`, plus the
+    /// number of components. Isolated vertices form singleton components.
+    pub fn connected_components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for s in 0..self.n {
+            if comp[s] != u32::MAX {
+                continue;
+            }
+            comp[s] = next;
+            stack.push(s as VertexId);
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbors(v) {
+                    if comp[w as usize] == u32::MAX {
+                        comp[w as usize] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates edges and validates endpoints. See [`Graph`] for an example.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of vertices this builder was created with.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Duplicates are tolerated (merged at [`build`](Self::build) time).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::VertexOutOfRange`] if an endpoint is `>= n`.
+    /// * [`GraphError::SelfLoop`] if `u == v`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<&mut Self, GraphError> {
+        if u as usize >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: u,
+                n: self.n,
+            });
+        }
+        if v as usize >= self.n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.n,
+            });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { vertex: u });
+        }
+        self.edges.push(Edge::new(u, v));
+        Ok(self)
+    }
+
+    /// Finalizes into an immutable [`Graph`], deduplicating edges and
+    /// building the CSR arrays.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut degree = vec![0usize; n];
+        for e in &self.edges {
+            degree[e.u() as usize] += 1;
+            degree[e.v() as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let mut adj = vec![0 as VertexId; 2 * self.edges.len()];
+        let mut cursor = offsets.clone();
+        for e in &self.edges {
+            adj[cursor[e.u() as usize]] = e.v();
+            cursor[e.u() as usize] += 1;
+            adj[cursor[e.v() as usize]] = e.u();
+            cursor[e.v() as usize] += 1;
+        }
+        // Neighbor lists are sorted because edges were processed in sorted
+        // order for `u`, but for `v` sides we must sort explicitly.
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph {
+            n,
+            offsets,
+            adj,
+            edges: self.edges,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn petersen() -> Graph {
+        // Outer 5-cycle, inner 5-star polygon, spokes.
+        let mut b = GraphBuilder::new(10);
+        for i in 0..5u32 {
+            b.add_edge(i, (i + 1) % 5).unwrap(); // outer
+            b.add_edge(5 + i, 5 + (i + 2) % 5).unwrap(); // inner
+            b.add_edge(i, 5 + i).unwrap(); // spokes
+        }
+        b.build()
+    }
+
+    #[test]
+    fn edge_normalization_and_other() {
+        let e = Edge::new(9, 4);
+        assert_eq!(e.u(), 4);
+        assert_eq!(e.v(), 9);
+        assert_eq!(e.other(4), 9);
+        assert_eq!(e.other(9), 4);
+        assert!(e.contains(4) && e.contains(9) && !e.contains(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_self_loop_panics() {
+        Edge::new(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_wrong_vertex_panics() {
+        Edge::new(1, 2).other(3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_edgeless());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn petersen_structure() {
+        let g = petersen();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 3);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 3, "Petersen is 3-regular");
+        }
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn duplicate_edges_merged() {
+        let g = Graph::from_edges(3, vec![(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn builder_rejects_bad_input() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(
+            b.add_edge(0, 3).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 3, n: 3 }
+        );
+        assert_eq!(
+            b.add_edge(4, 0).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 4, n: 3 }
+        );
+        assert_eq!(
+            b.add_edge(1, 1).unwrap_err(),
+            GraphError::SelfLoop { vertex: 1 }
+        );
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(6, vec![(5, 0), (3, 0), (0, 1), (4, 0)]).unwrap();
+        assert_eq!(g.neighbors(0), &[1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn induced_subgraph_mask_preserves_ids() {
+        let g = petersen();
+        let mut keep = vec![true; 10];
+        keep[0] = false;
+        let h = g.induced_subgraph_mask(&keep);
+        assert_eq!(h.num_vertices(), 10);
+        assert_eq!(h.degree(0), 0);
+        assert_eq!(h.num_edges(), 15 - 3);
+        assert!(!h.has_edge(0, 1));
+        assert!(h.has_edge(1, 2));
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = petersen();
+        let verts = vec![0u32, 1, 5];
+        let (h, map) = g.induced_subgraph(&verts);
+        assert_eq!(h.num_vertices(), 3);
+        assert_eq!(map, verts);
+        // Edges {0,1} and {0,5} survive as {0,1} and {0,2} locally.
+        assert_eq!(h.num_edges(), 2);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(0, 2));
+        assert!(!h.has_edge(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate vertex")]
+    fn induced_subgraph_rejects_duplicates() {
+        petersen().induced_subgraph(&[1, 1]);
+    }
+
+    #[test]
+    fn line_graph_of_path() {
+        // Path 0-1-2-3 has line graph = path on 3 vertices.
+        let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)]).unwrap();
+        let l = g.line_graph();
+        assert_eq!(l.num_vertices(), 3);
+        assert_eq!(l.num_edges(), 2);
+    }
+
+    #[test]
+    fn line_graph_of_star() {
+        // Star K_{1,4}: line graph is K_4.
+        let g = Graph::from_edges(5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let l = g.line_graph();
+        assert_eq!(l.num_vertices(), 4);
+        assert_eq!(l.num_edges(), 6);
+    }
+
+    #[test]
+    fn connected_components_counts() {
+        let g = Graph::from_edges(6, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (comp, k) = g.connected_components();
+        assert_eq!(k, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert_ne!(comp[5], comp[3]);
+    }
+
+    #[test]
+    fn edge_words_counts() {
+        let g = petersen();
+        assert_eq!(g.edge_words(), 30);
+    }
+
+    #[test]
+    fn complement_involution_and_counts() {
+        let g = Graph::from_edges(5, vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+        let c = g.complement();
+        assert_eq!(c.num_edges(), 10 - 3);
+        assert!(!c.has_edge(0, 1));
+        assert!(c.has_edge(0, 2));
+        assert_eq!(c.complement(), g, "complement is an involution");
+        // Extremes.
+        assert_eq!(Graph::empty(4).complement().num_edges(), 6);
+        let complete5 = Graph::empty(5).complement();
+        assert_eq!(complete5.complement().num_edges(), 0);
+    }
+}

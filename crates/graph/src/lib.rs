@@ -1,0 +1,138 @@
+//! # mmvc-graph
+//!
+//! Graph substrate for the `mmvc` workspace — the from-scratch reproduction
+//! of *"Improved Massively Parallel Computation Algorithms for MIS,
+//! Matching, and Vertex Cover"* (Ghaffari, Gouleakis, Konrad, Mitrović,
+//! Rubinfeld — PODC 2018).
+//!
+//! This crate provides everything the paper's algorithms assume about
+//! graphs, plus the exact solvers used as ground truth by the experiment
+//! harness:
+//!
+//! * [`Graph`] / [`GraphBuilder`] — immutable simple undirected graphs in
+//!   CSR form, with induced-subgraph extraction (the core MPC operation)
+//!   and line graphs (Luby's matching-via-MIS reduction).
+//! * [`generators`] — seeded `G(n,p)`, `G(n,m)`, bipartite, Chung–Lu
+//!   power-law, and structured graph generators.
+//! * [`matching`] — validated [`matching::Matching`]s, greedy baselines,
+//!   Hopcroft–Karp, and Edmonds' blossom algorithm.
+//! * [`mis`] — validated independent sets and the sequential randomized
+//!   greedy MIS (paper, Section 3.1).
+//! * [`vertex_cover`] — validated covers, the classical 2-approximation,
+//!   and exact solvers for verification.
+//! * [`weighted`] — edge-weighted graphs for the Corollary 1.4 experiments.
+//! * [`rng`] — deterministic seeded randomness, including the stateless
+//!   per-`(vertex, iteration)` hashing that lets distributed simulations
+//!   share random thresholds without communication.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mmvc_graph::{generators, matching, mis};
+//!
+//! let g = generators::gnp(200, 0.05, 42)?;
+//! let m = matching::greedy_maximal_matching(&g);
+//! let s = mis::randomized_greedy_mis(&g, 7);
+//! assert!(m.is_maximal(&g));
+//! assert!(s.is_maximal(&g));
+//! # Ok::<(), mmvc_graph::GraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+
+pub mod generators;
+pub mod io;
+pub mod matching;
+pub mod mis;
+pub mod rng;
+pub mod stats;
+pub mod vertex_cover;
+pub mod weighted;
+
+pub use error::GraphError;
+pub use graph::{Edge, Graph, GraphBuilder, VertexId};
+
+#[cfg(test)]
+mod proptests {
+    use crate::{generators, matching, mis, vertex_cover, Graph};
+    use proptest::prelude::*;
+
+    /// Strategy: a random graph described by (n, edge density seed).
+    fn arb_graph() -> impl Strategy<Value = Graph> {
+        (2usize..60, 0u64..1000, 0.0f64..0.5)
+            .prop_map(|(n, seed, p)| generators::gnp(n, p, seed).expect("valid p"))
+    }
+
+    proptest! {
+        #[test]
+        fn greedy_matching_is_valid_and_maximal(g in arb_graph()) {
+            let m = matching::greedy_maximal_matching(&g);
+            for e in m.edges() {
+                prop_assert!(g.has_edge(e.u(), e.v()));
+            }
+            prop_assert!(m.is_maximal(&g));
+        }
+
+        #[test]
+        fn greedy_matching_is_half_approx(g in arb_graph()) {
+            let m = matching::greedy_maximal_matching(&g).len();
+            let opt = matching::blossom(&g).len();
+            prop_assert!(2 * m >= opt, "greedy {m} vs optimum {opt}");
+            prop_assert!(m <= opt);
+        }
+
+        #[test]
+        fn randomized_mis_invariants(g in arb_graph(), seed in 0u64..100) {
+            let s = mis::randomized_greedy_mis(&g, seed);
+            prop_assert!(s.is_independent(&g));
+            prop_assert!(s.is_maximal(&g));
+        }
+
+        #[test]
+        fn blossom_at_least_greedy(g in arb_graph()) {
+            prop_assert!(
+                matching::blossom(&g).len() >= matching::greedy_maximal_matching(&g).len()
+            );
+        }
+
+        #[test]
+        fn cover_vs_matching_duality(g in arb_graph()) {
+            // Any vertex cover is at least any matching size.
+            let c = vertex_cover::two_approx_vertex_cover(&g);
+            prop_assert!(c.covers(&g));
+            let mm = matching::blossom(&g).len();
+            prop_assert!(c.len() >= mm);
+            prop_assert!(c.len() <= 2 * mm.max(1) || g.is_edgeless());
+        }
+
+        #[test]
+        fn induced_subgraph_mask_never_grows(g in arb_graph(), bits in proptest::collection::vec(any::<bool>(), 2..60)) {
+            let mut keep = bits;
+            keep.resize(g.num_vertices(), false);
+            let h = g.induced_subgraph_mask(&keep);
+            prop_assert!(h.num_edges() <= g.num_edges());
+            prop_assert_eq!(h.num_vertices(), g.num_vertices());
+            for e in h.edges() {
+                prop_assert!(g.has_edge(e.u(), e.v()));
+                prop_assert!(keep[e.u() as usize] && keep[e.v() as usize]);
+            }
+        }
+
+        #[test]
+        fn line_graph_mis_is_matching(seed in 0u64..50) {
+            // MIS of L(G) ↦ maximal matching of G (the classical reduction).
+            let g = generators::gnp(20, 0.2, seed).expect("valid p");
+            let l = g.line_graph();
+            let s = mis::randomized_greedy_mis(&l, seed);
+            let pairs: Vec<_> = s.members().iter()
+                .map(|&i| { let e = g.edges()[i as usize]; (e.u(), e.v()) })
+                .collect();
+            let m = matching::Matching::new(&g, pairs).expect("independent edges are a matching");
+            prop_assert!(m.is_maximal(&g));
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Hopcroft–Karp exact maximum matching for bipartite graphs, `O(E √V)`.
+//!
+//! Used as ground truth for approximation-ratio measurements on bipartite
+//! workloads (the ad-allocation experiments), where it is much faster than
+//! the general-graph blossom solver.
+
+use super::Matching;
+use crate::graph::{Graph, VertexId};
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`hopcroft_karp`] when the input graph is not
+/// bipartite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotBipartiteError {
+    /// A vertex on an odd cycle witnessing non-bipartiteness.
+    pub witness: VertexId,
+}
+
+impl fmt::Display for NotBipartiteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "graph is not bipartite (odd cycle through vertex {})",
+            self.witness
+        )
+    }
+}
+
+impl Error for NotBipartiteError {}
+
+/// Computes a 2-coloring of `g` (`true` = left side), or the witness
+/// vertex of an odd cycle.
+///
+/// # Errors
+///
+/// Returns [`NotBipartiteError`] if `g` contains an odd cycle.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{generators, matching::bipartition};
+/// let sides = bipartition(&generators::cycle(6))?;
+/// assert_ne!(sides[0], sides[1]);
+/// assert!(bipartition(&generators::cycle(5)).is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn bipartition(g: &Graph) -> Result<Vec<bool>, NotBipartiteError> {
+    let n = g.num_vertices();
+    let mut color = vec![u8::MAX; n];
+    let mut queue = VecDeque::new();
+    for s in 0..n {
+        if color[s] != u8::MAX {
+            continue;
+        }
+        color[s] = 0;
+        queue.push_back(s as VertexId);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if color[w as usize] == u8::MAX {
+                    color[w as usize] = 1 - color[v as usize];
+                    queue.push_back(w);
+                } else if color[w as usize] == color[v as usize] {
+                    return Err(NotBipartiteError { witness: w });
+                }
+            }
+        }
+    }
+    Ok(color.into_iter().map(|c| c == 0).collect())
+}
+
+/// Exact maximum matching on a bipartite graph via Hopcroft–Karp.
+///
+/// The bipartition is computed internally by 2-coloring.
+///
+/// # Errors
+///
+/// Returns [`NotBipartiteError`] if `g` contains an odd cycle.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{generators, matching::hopcroft_karp};
+/// let g = generators::complete_bipartite(3, 5);
+/// let m = hopcroft_karp(&g)?;
+/// assert_eq!(m.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn hopcroft_karp(g: &Graph) -> Result<Matching, NotBipartiteError> {
+    let n = g.num_vertices();
+    let left_side = bipartition(g)?;
+    let left: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| left_side[v as usize] && g.degree(v) > 0)
+        .collect();
+
+    const NIL: u32 = u32::MAX;
+    let mut mate = vec![NIL; n]; // for both sides
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+
+    // BFS from free left vertices; layers alternate unmatched/matched edges.
+    let bfs = |mate: &[u32], dist: &mut [u32], queue: &mut VecDeque<VertexId>| -> bool {
+        dist.fill(u32::MAX);
+        queue.clear();
+        for &u in &left {
+            if mate[u as usize] == NIL {
+                dist[u as usize] = 0;
+                queue.push_back(u);
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                let w = mate[v as usize];
+                if w == NIL {
+                    found_augmenting = true;
+                } else if dist[w as usize] == u32::MAX {
+                    dist[w as usize] = dist[u as usize] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        found_augmenting
+    };
+
+    // DFS along the layered structure, augmenting vertex-disjoint paths.
+    fn dfs(g: &Graph, u: VertexId, mate: &mut [u32], dist: &mut [u32]) -> bool {
+        for i in 0..g.degree(u) {
+            let v = g.neighbors(u)[i];
+            let w = mate[v as usize];
+            let ok = if w == u32::MAX {
+                true
+            } else if dist[w as usize] == dist[u as usize] + 1 {
+                dfs(g, w, mate, dist)
+            } else {
+                false
+            };
+            if ok {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+                return true;
+            }
+        }
+        dist[u as usize] = u32::MAX; // dead end; prune
+        false
+    }
+
+    while bfs(&mate, &mut dist, &mut queue) {
+        for &u in &left {
+            if mate[u as usize] == NIL {
+                dfs(g, u, &mut mate, &mut dist);
+            }
+        }
+    }
+
+    Ok(Matching::from_mate_array(&mate))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::matching::brute_force_maximum_matching_size;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn complete_bipartite_sizes() {
+        for (a, b, want) in [(3usize, 5usize, 3usize), (4, 4, 4), (1, 9, 1), (0, 5, 0)] {
+            let g = generators::complete_bipartite(a, b);
+            assert_eq!(hopcroft_karp(&g).unwrap().len(), want, "K_{{{a},{b}}}");
+        }
+    }
+
+    #[test]
+    fn path_and_even_cycle() {
+        assert_eq!(hopcroft_karp(&generators::path(7)).unwrap().len(), 3);
+        assert_eq!(hopcroft_karp(&generators::cycle(8)).unwrap().len(), 4);
+    }
+
+    #[test]
+    fn odd_cycle_rejected() {
+        let err = hopcroft_karp(&generators::cycle(5)).unwrap_err();
+        assert!(err.to_string().contains("not bipartite"));
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        assert_eq!(hopcroft_karp(&Graph::empty(0)).unwrap().len(), 0);
+        assert_eq!(hopcroft_karp(&Graph::empty(10)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_bipartite() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for trial in 0..60 {
+            let a = rng.gen_range(1..6usize);
+            let b = rng.gen_range(1..6usize);
+            let p = rng.gen_range(0.1..0.9);
+            let g = generators::bipartite_gnp(a, b, p, trial).unwrap();
+            let hk = hopcroft_karp(&g).unwrap().len();
+            let bf = brute_force_maximum_matching_size(&g);
+            assert_eq!(hk, bf, "trial {trial}: a={a} b={b} p={p}");
+        }
+    }
+
+    #[test]
+    fn result_is_valid_matching() {
+        let g = generators::bipartite_gnp(30, 30, 0.2, 5).unwrap();
+        let m = hopcroft_karp(&g).unwrap();
+        for e in m.edges() {
+            assert!(g.has_edge(e.u(), e.v()));
+        }
+        // Kőnig check: a maximum bipartite matching leaves no augmenting
+        // path; in particular it is maximal.
+        assert!(m.is_maximal(&g));
+    }
+
+    #[test]
+    fn disconnected_bipartite_components() {
+        let g = generators::disjoint_union(&generators::path(4), 3);
+        assert_eq!(hopcroft_karp(&g).unwrap().len(), 6);
+    }
+}

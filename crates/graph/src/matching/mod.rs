@@ -1,0 +1,390 @@
+//! Matchings: representation, validation, greedy baseline, and exact
+//! maximum-matching solvers used as ground truth by the experiment harness.
+//!
+//! * [`Matching`] — a validated set of vertex-disjoint edges.
+//! * [`greedy_maximal_matching`] — the classical sequential 2-approximation
+//!   (and the source of a 2-approximate vertex cover), used as a baseline.
+//! * [`hopcroft_karp`] — exact maximum matching on bipartite graphs in
+//!   `O(E √V)`.
+//! * [`blossom`] — exact maximum matching on general graphs in `O(V³)`
+//!   (Edmonds' algorithm); the paper proves ratios against this optimum.
+
+mod blossom;
+mod hopcroft_karp;
+
+pub use blossom::maximum_matching as blossom;
+pub use hopcroft_karp::{bipartition, hopcroft_karp, NotBipartiteError};
+
+use crate::graph::{Edge, Graph, VertexId};
+
+/// A matching: a set of pairwise vertex-disjoint edges of a graph.
+///
+/// The invariant (edges belong to the graph and are vertex-disjoint) is
+/// enforced at construction.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{Graph, matching::Matching};
+///
+/// let g = Graph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)])?;
+/// let m = Matching::new(&g, vec![(0, 1), (2, 3)]).unwrap();
+/// assert_eq!(m.len(), 2);
+/// assert!(m.is_maximal(&g));
+/// # Ok::<(), mmvc_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matching {
+    edges: Vec<Edge>,
+    /// `mate[v] == Some(u)` iff `{u, v}` is in the matching.
+    mate: Vec<Option<VertexId>>,
+}
+
+impl Matching {
+    /// Creates an empty matching for a graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Matching {
+            edges: Vec::new(),
+            mate: vec![None; n],
+        }
+    }
+
+    /// Builds a matching from edge endpoint pairs, validating that every
+    /// pair is an edge of `g` and that edges are vertex-disjoint.
+    ///
+    /// Returns `None` if validation fails.
+    pub fn new<I>(g: &Graph, pairs: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut m = Matching::empty(g.num_vertices());
+        for (u, v) in pairs {
+            if !g.has_edge(u, v) {
+                return None;
+            }
+            if !m.try_add(u, v) {
+                return None;
+            }
+        }
+        Some(m)
+    }
+
+    /// Builds a matching from a mate array (`mate[v] = matched partner or
+    /// `u32::MAX`), trusting the caller. Used internally by solvers.
+    pub(crate) fn from_mate_array(mate_raw: &[u32]) -> Self {
+        let n = mate_raw.len();
+        let mut m = Matching::empty(n);
+        for v in 0..n as u32 {
+            let u = mate_raw[v as usize];
+            if u != u32::MAX && v < u {
+                let added = m.try_add(v, u);
+                debug_assert!(added, "solver produced an invalid mate array");
+            }
+        }
+        m
+    }
+
+    /// Adds edge `{u, v}` if both endpoints are currently free.
+    /// Returns whether the edge was added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range or `u == v`.
+    pub fn try_add(&mut self, u: VertexId, v: VertexId) -> bool {
+        assert!(u != v, "self-loop cannot be matched");
+        assert!((u as usize) < self.mate.len() && (v as usize) < self.mate.len());
+        if self.mate[u as usize].is_some() || self.mate[v as usize].is_some() {
+            return false;
+        }
+        self.mate[u as usize] = Some(v);
+        self.mate[v as usize] = Some(u);
+        self.edges.push(Edge::new(u, v));
+        true
+    }
+
+    /// Number of matched edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if no edge is matched.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The matched edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The partner of `v`, if matched.
+    pub fn mate(&self, v: VertexId) -> Option<VertexId> {
+        self.mate[v as usize]
+    }
+
+    /// Whether `v` is covered by the matching.
+    pub fn covers(&self, v: VertexId) -> bool {
+        self.mate[v as usize].is_some()
+    }
+
+    /// Checks maximality w.r.t. `g`: no edge of `g` has both endpoints free.
+    pub fn is_maximal(&self, g: &Graph) -> bool {
+        g.edges()
+            .iter()
+            .all(|e| self.covers(e.u()) || self.covers(e.v()))
+    }
+
+    /// The set of matched vertices — the classical 2-approximate vertex
+    /// cover when the matching is maximal.
+    pub fn matched_vertices(&self) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = Vec::with_capacity(2 * self.edges.len());
+        for e in &self.edges {
+            vs.push(e.u());
+            vs.push(e.v());
+        }
+        vs.sort_unstable();
+        vs
+    }
+
+    /// Flips the matching along an augmenting path, increasing its size by
+    /// one.
+    ///
+    /// `path` lists the vertices `v₀, v₁, …, v_{2k+1}` of an augmenting
+    /// path: `v₀` and `v_{2k+1}` are free, edges `{v₀,v₁}, {v₂,v₃}, …` are
+    /// unmatched and `{v₁,v₂}, {v₃,v₄}, …` are matched. After the call the
+    /// statuses are exchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `path` is not a valid alternating
+    /// augmenting path of this matching; panics (always) if `path` has odd
+    /// length or fewer than 2 vertices.
+    pub fn augment_along(&mut self, path: &[VertexId]) {
+        assert!(
+            path.len() >= 2 && path.len().is_multiple_of(2),
+            "augmenting paths have even order"
+        );
+        debug_assert!(!self.covers(path[0]), "path start must be free");
+        debug_assert!(!self.covers(path[path.len() - 1]), "path end must be free");
+        debug_assert!(
+            path[1..path.len() - 1]
+                .chunks(2)
+                .all(|c| c.len() == 2 && self.mate[c[0] as usize] == Some(c[1])),
+            "interior path edges must alternate matched/unmatched"
+        );
+        // Detach every matched edge internal to the path. For a valid
+        // augmenting path, all partners lie on the path itself.
+        for &v in path {
+            if let Some(m) = self.mate[v as usize] {
+                self.mate[m as usize] = None;
+                self.mate[v as usize] = None;
+            }
+        }
+        // Re-pair along the new alternation.
+        for chunk in path.chunks(2) {
+            let (a, b) = (chunk[0], chunk[1]);
+            self.mate[a as usize] = Some(b);
+            self.mate[b as usize] = Some(a);
+        }
+        // Rebuild the edge list from the mate array.
+        self.edges.clear();
+        for v in 0..self.mate.len() as u32 {
+            if let Some(u) = self.mate[v as usize] {
+                if v < u {
+                    self.edges.push(Edge::new(v, u));
+                }
+            }
+        }
+    }
+
+    /// Merges another vertex-disjoint matching into this one.
+    ///
+    /// Edges of `other` whose endpoints are already covered are skipped;
+    /// returns how many edges were added.
+    pub fn absorb(&mut self, other: &Matching) -> usize {
+        let mut added = 0;
+        for e in other.edges() {
+            if self.try_add(e.u(), e.v()) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+/// Greedy maximal matching: scan edges in the given order, keep every edge
+/// whose endpoints are both free.
+///
+/// Any maximal matching is a 1/2-approximation of the maximum matching, and
+/// its endpoints form a 2-approximate vertex cover — the classical
+/// guarantees the paper's introduction cites.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{generators, matching::greedy_maximal_matching};
+/// let g = generators::cycle(5);
+/// let m = greedy_maximal_matching(&g);
+/// assert_eq!(m.len(), 2);
+/// assert!(m.is_maximal(&g));
+/// ```
+pub fn greedy_maximal_matching(g: &Graph) -> Matching {
+    let mut m = Matching::empty(g.num_vertices());
+    for e in g.edges() {
+        m.try_add(e.u(), e.v());
+    }
+    m
+}
+
+/// Greedy maximal matching scanning edges in a caller-provided order
+/// (e.g. a random permutation, or descending weight).
+///
+/// # Panics
+///
+/// Panics if `order` indexes outside `g.edges()`.
+pub fn greedy_maximal_matching_ordered(g: &Graph, order: &[usize]) -> Matching {
+    let mut m = Matching::empty(g.num_vertices());
+    for &i in order {
+        let e = g.edges()[i];
+        m.try_add(e.u(), e.v());
+    }
+    m
+}
+
+/// Exhaustive maximum matching by branching over edges — exponential time,
+/// only for cross-checking the exact solvers on tiny graphs in tests.
+pub fn brute_force_maximum_matching_size(g: &Graph) -> usize {
+    fn rec(edges: &[Edge], used: &mut [bool]) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let e = edges[0];
+        let rest = &edges[1..];
+        // Skip e.
+        let mut best = rec(rest, used);
+        // Take e if possible.
+        if !used[e.u() as usize] && !used[e.v() as usize] {
+            used[e.u() as usize] = true;
+            used[e.v() as usize] = true;
+            best = best.max(1 + rec(rest, used));
+            used[e.u() as usize] = false;
+            used[e.v() as usize] = false;
+        }
+        best
+    }
+    let mut used = vec![false; g.num_vertices()];
+    rec(g.edges(), &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_matching() {
+        let m = Matching::empty(5);
+        assert!(m.is_empty());
+        assert_eq!(m.len(), 0);
+        assert!(!m.covers(0));
+        assert_eq!(m.mate(3), None);
+    }
+
+    #[test]
+    fn new_validates_edges_exist() {
+        let g = generators::path(4);
+        assert!(
+            Matching::new(&g, vec![(0, 2)]).is_none(),
+            "non-edge rejected"
+        );
+        assert!(
+            Matching::new(&g, vec![(0, 1), (1, 2)]).is_none(),
+            "overlap rejected"
+        );
+        let m = Matching::new(&g, vec![(0, 1), (2, 3)]).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.mate(0), Some(1));
+        assert_eq!(m.mate(3), Some(2));
+    }
+
+    #[test]
+    fn try_add_respects_disjointness() {
+        let mut m = Matching::empty(4);
+        assert!(m.try_add(0, 1));
+        assert!(!m.try_add(1, 2));
+        assert!(m.try_add(2, 3));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn greedy_is_maximal_on_many_graphs() {
+        for g in [
+            generators::cycle(9),
+            generators::complete(7),
+            generators::star(10),
+            generators::gnp(60, 0.1, 3).unwrap(),
+            generators::grid(5, 7),
+        ] {
+            let m = greedy_maximal_matching(&g);
+            assert!(m.is_maximal(&g));
+        }
+    }
+
+    #[test]
+    fn greedy_on_star_is_one_edge() {
+        let m = greedy_maximal_matching(&generators::star(8));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn matched_vertices_sorted_unique() {
+        let g = generators::path(6);
+        let m = Matching::new(&g, vec![(4, 5), (0, 1)]).unwrap();
+        assert_eq!(m.matched_vertices(), vec![0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn absorb_skips_conflicts() {
+        let g = generators::path(6);
+        let mut a = Matching::new(&g, vec![(1, 2)]).unwrap();
+        let b = Matching::new(&g, vec![(0, 1), (3, 4)]).unwrap();
+        let added = a.absorb(&b);
+        assert_eq!(added, 1);
+        assert_eq!(a.len(), 2);
+        assert!(a.covers(3) && a.covers(4));
+        assert!(!a.covers(0));
+    }
+
+    #[test]
+    fn ordered_greedy_respects_order() {
+        let g = generators::path(3); // edges {0,1}, {1,2}
+        let m = greedy_maximal_matching_ordered(&g, &[1, 0]);
+        assert_eq!(m.len(), 1);
+        assert!(m.covers(2), "edge {{1,2}} taken first");
+    }
+
+    #[test]
+    fn brute_force_small_cases() {
+        assert_eq!(brute_force_maximum_matching_size(&generators::path(4)), 2);
+        assert_eq!(brute_force_maximum_matching_size(&generators::cycle(5)), 2);
+        assert_eq!(
+            brute_force_maximum_matching_size(&generators::complete(4)),
+            2
+        );
+        assert_eq!(brute_force_maximum_matching_size(&generators::star(5)), 1);
+        assert_eq!(
+            brute_force_maximum_matching_size(&generators::disjoint_edges(3)),
+            3
+        );
+    }
+
+    #[test]
+    fn from_mate_array_roundtrip() {
+        let mate = vec![1u32, 0, u32::MAX, 4, 3];
+        let m = Matching::from_mate_array(&mate);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.mate(0), Some(1));
+        assert_eq!(m.mate(2), None);
+        assert_eq!(m.mate(4), Some(3));
+    }
+}

@@ -1,0 +1,269 @@
+//! Deterministic randomness utilities shared across the workspace.
+//!
+//! Every randomized algorithm in this workspace is parameterized by a `u64`
+//! seed so that experiments are exactly reproducible. Two primitives live
+//! here:
+//!
+//! * [`SplitMix64`] — a tiny, fast, high-quality PRNG used both as a stream
+//!   generator and as a *stateless hash*: [`hash2`] / [`hash3`] map tuples
+//!   such as `(seed, vertex, iteration)` to independent-looking 64-bit
+//!   values. The matching algorithms use this to let two *different*
+//!   processes (the idealized `Central-Rand` and the distributed
+//!   `MPC-Simulation`) observe the *same* random thresholds `T(v, t)`
+//!   without any communication, exactly as the paper's analysis assumes
+//!   (Section 4.4.3: "we assume that the thresholds ... are the same for
+//!   both").
+//! * [`random_permutation`] — a seeded Fisher–Yates shuffle producing the
+//!   uniformly random vertex ranking π required by the greedy MIS algorithm
+//!   (Section 3.1).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A [SplitMix64](https://prng.di.unimi.it/splitmix64.c) pseudorandom number
+/// generator.
+///
+/// SplitMix64 passes BigCrush, has a full 2^64 period, and — crucially for
+/// us — doubles as a stateless mixing function, which lets distributed
+/// simulations derive per-`(vertex, iteration)` randomness on the fly
+/// ("sampled when needed", Section 4.3 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // fully deterministic
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output and advances the state.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, unbiased.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let lo = m as u64;
+            if lo >= bound || lo >= (bound.wrapping_neg() % bound) {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+}
+
+/// The SplitMix64 finalizer: a bijective 64-bit mixing function.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a pair of values to a 64-bit output, suitable as per-entity
+/// randomness derived from a global seed.
+#[inline]
+pub fn hash2(seed: u64, a: u64) -> u64 {
+    mix(seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_mul(0xD134_2543_DE82_EF95)
+        ^ mix(a))
+}
+
+/// Hashes a triple of values to a 64-bit output.
+///
+/// Used for the per-vertex, per-iteration thresholds `T(v, t)` of
+/// `Central-Rand` (paper, Section 4.3): `hash3(seed, v, t)` yields the same
+/// value regardless of which simulated machine evaluates it.
+#[inline]
+pub fn hash3(seed: u64, a: u64, b: u64) -> u64 {
+    mix(hash2(seed, a) ^ mix(b.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// Returns a uniform `f64` in `[0, 1)` derived from `(seed, a, b)`.
+#[inline]
+pub fn hash3_unit(seed: u64, a: u64, b: u64) -> f64 {
+    (hash3(seed, a, b) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Produces a uniformly random permutation of `0..n` using Fisher–Yates
+/// seeded by `seed`.
+///
+/// The result assigns each vertex its *rank*: `perm[i]` is the vertex with
+/// rank `i` (rank 0 is processed first by the greedy MIS algorithm).
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::rng::random_permutation;
+///
+/// let p = random_permutation(10, 7);
+/// let mut sorted = p.clone();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, (0..10).collect::<Vec<u32>>());
+/// ```
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    // Standard Fisher–Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// Returns the inverse of a permutation: `inv[perm[i]] = i`.
+///
+/// For the MIS algorithms this converts "vertex at rank i" into "rank of
+/// vertex v".
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `perm` is not a permutation of `0..perm.len()`.
+pub fn invert_permutation(perm: &[u32]) -> Vec<u32> {
+    let mut inv = vec![u32::MAX; perm.len()];
+    for (i, &v) in perm.iter().enumerate() {
+        debug_assert!(inv[v as usize] == u32::MAX, "not a permutation");
+        inv[v as usize] = i as u32;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_deterministic() {
+        let mut a = SplitMix64::new(123);
+        let mut b = SplitMix64::new(123);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_bounds_and_coverage() {
+        let mut rng = SplitMix64::new(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = rng.next_below(7) as usize;
+            assert!(x < 7);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+
+    #[test]
+    fn hash3_is_stateless_and_distinct() {
+        assert_eq!(hash3(1, 2, 3), hash3(1, 2, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 2, 4));
+        assert_ne!(hash3(1, 2, 3), hash3(1, 3, 3));
+        assert_ne!(hash3(1, 2, 3), hash3(2, 2, 3));
+    }
+
+    #[test]
+    fn hash3_unit_distribution_roughly_uniform() {
+        // Mean of U[0,1) samples should concentrate near 0.5.
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|i| hash3_unit(99, i, i * 31 + 7)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn permutation_is_valid() {
+        for n in [0usize, 1, 2, 17, 100] {
+            let p = random_permutation(n, 11);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn permutation_deterministic_and_seed_sensitive() {
+        assert_eq!(random_permutation(50, 3), random_permutation(50, 3));
+        assert_ne!(random_permutation(50, 3), random_permutation(50, 4));
+    }
+
+    #[test]
+    fn inverse_permutation_roundtrip() {
+        let p = random_permutation(64, 8);
+        let inv = invert_permutation(&p);
+        for (rank, &v) in p.iter().enumerate() {
+            assert_eq!(inv[v as usize] as usize, rank);
+        }
+    }
+
+    #[test]
+    fn permutation_looks_uniform() {
+        // Chi-square-ish sanity check: the rank of vertex 0 over many seeds
+        // should hit all positions of a small permutation.
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        for seed in 0..4000u64 {
+            let p = random_permutation(n, seed);
+            let rank0 = p.iter().position(|&v| v == 0).unwrap();
+            counts[rank0] += 1;
+        }
+        let expected = 4000.0 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.3,
+                "rank {i} count {c} deviates from {expected}"
+            );
+        }
+    }
+}

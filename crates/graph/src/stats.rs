@@ -1,0 +1,205 @@
+//! Graph statistics used to characterize experiment workloads: degree
+//! distributions and degeneracy (core) decompositions.
+
+use crate::graph::{Graph, VertexId};
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree `Δ`.
+    pub max: usize,
+    /// Mean degree `2|E|/n`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+    /// 99th percentile degree (heavy-tail indicator).
+    pub p99: usize,
+}
+
+/// Computes [`DegreeStats`] for a graph.
+///
+/// Returns `None` for the empty (0-vertex) graph.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{generators, stats::degree_stats};
+/// let s = degree_stats(&generators::star(10)).unwrap();
+/// assert_eq!(s.max, 9);
+/// assert_eq!(s.min, 1);
+/// ```
+pub fn degree_stats(g: &Graph) -> Option<DegreeStats> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let mut degrees: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    let pct = |q: f64| -> usize {
+        let idx = ((n as f64 - 1.0) * q).round() as usize;
+        degrees[idx.min(n - 1)]
+    };
+    Some(DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: g.avg_degree(),
+        median: pct(0.5),
+        p99: pct(0.99),
+    })
+}
+
+/// Histogram of degrees: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Core decomposition (Matula–Beck): returns `(core_number, order)` where
+/// `core_number[v]` is the largest `k` such that `v` belongs to the
+/// `k`-core, and `order` is the degeneracy ordering (repeatedly removing
+/// a minimum-degree vertex).
+///
+/// The graph's *degeneracy* is `core_number.iter().max()`; it lower-bounds
+/// how sparse residual graphs can get, which is what the MIS rank-prefix
+/// analysis exploits.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{generators, stats::core_decomposition};
+/// let (cores, order) = core_decomposition(&generators::complete(5));
+/// assert!(cores.iter().all(|&c| c == 4)); // K5 is 4-degenerate
+/// assert_eq!(order.len(), 5);
+/// ```
+pub fn core_decomposition(g: &Graph) -> (Vec<u32>, Vec<VertexId>) {
+    let n = g.num_vertices();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    // Bucket queue over degrees.
+    let mut degree: Vec<usize> = (0..n as u32).map(|v| g.degree(v)).collect();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n as u32 {
+        buckets[degree[v as usize]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut core = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    let mut current_core = 0u32;
+    let mut cursor = 0usize; // lowest possibly-nonempty bucket
+
+    for _ in 0..n {
+        // Find the minimum-degree live vertex.
+        while cursor <= max_deg && buckets[cursor].is_empty() {
+            cursor += 1;
+        }
+        // Buckets hold stale entries; pop until a live one matches.
+        let v = loop {
+            while cursor <= max_deg && buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let candidate = buckets[cursor].pop().expect("nonempty bucket");
+            if !removed[candidate as usize] && degree[candidate as usize] == cursor {
+                break candidate;
+            }
+        };
+        current_core = current_core.max(cursor as u32);
+        core[v as usize] = current_core;
+        removed[v as usize] = true;
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                let d = degree[u as usize];
+                degree[u as usize] = d - 1;
+                buckets[d - 1].push(u);
+                if d - 1 < cursor {
+                    cursor = d - 1;
+                }
+            }
+        }
+    }
+    (core, order)
+}
+
+/// The degeneracy of a graph (maximum core number; 0 for edgeless
+/// graphs).
+pub fn degeneracy(g: &Graph) -> u32 {
+    core_decomposition(g).0.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn degree_stats_basic() {
+        let s = degree_stats(&generators::cycle(10)).unwrap();
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.median, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!(degree_stats(&Graph::empty(0)).is_none());
+    }
+
+    use crate::graph::Graph;
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = generators::gnp(100, 0.1, 1).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn power_law_p99_exceeds_median() {
+        let g = generators::power_law(500, 2.2, 8.0, 2).unwrap();
+        let s = degree_stats(&g).unwrap();
+        assert!(s.p99 > s.median, "heavy tail expected: {s:?}");
+    }
+
+    #[test]
+    fn degeneracy_known_values() {
+        assert_eq!(degeneracy(&generators::complete(6)), 5);
+        assert_eq!(degeneracy(&generators::cycle(9)), 2);
+        assert_eq!(degeneracy(&generators::path(9)), 1);
+        assert_eq!(degeneracy(&generators::star(9)), 1);
+        assert_eq!(degeneracy(&generators::grid(4, 4)), 2);
+        assert_eq!(degeneracy(&Graph::empty(4)), 0);
+    }
+
+    #[test]
+    fn core_numbers_monotone_under_ordering() {
+        // Every vertex, at removal time, has at most `core[v]` live
+        // neighbors — re-verify from the ordering.
+        let g = generators::gnp(80, 0.15, 3).unwrap();
+        let (core, order) = core_decomposition(&g);
+        let mut removed = [false; 80];
+        for &v in &order {
+            let live = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| !removed[u as usize])
+                .count();
+            assert!(live <= core[v as usize] as usize);
+            removed[v as usize] = true;
+        }
+        assert_eq!(order.len(), 80);
+    }
+
+    #[test]
+    fn degeneracy_bounds_max_core() {
+        let g = generators::gnp(60, 0.2, 4).unwrap();
+        let (core, _) = core_decomposition(&g);
+        let d = degeneracy(&g);
+        assert_eq!(d, core.iter().copied().max().unwrap());
+        // Degeneracy <= max degree.
+        assert!(d as usize <= g.max_degree());
+    }
+}

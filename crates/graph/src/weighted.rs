@@ -1,0 +1,221 @@
+//! Edge-weighted graphs, used by the weighted-matching experiments
+//! (Corollary 1.4 of the paper).
+
+use crate::error::GraphError;
+use crate::graph::{Edge, Graph};
+use crate::matching::Matching;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A simple undirected graph with a positive weight per edge.
+///
+/// Weights are keyed by the index of the edge in `graph().edges()` (the
+/// canonical sorted edge list).
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{Graph, weighted::WeightedGraph};
+/// let g = Graph::from_edges(3, vec![(0, 1), (1, 2)])?;
+/// let wg = WeightedGraph::new(g, vec![2.0, 5.0]).unwrap();
+/// assert_eq!(wg.weight(1), 5.0);
+/// assert_eq!(wg.max_weight(), 5.0);
+/// # Ok::<(), mmvc_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedGraph {
+    graph: Graph,
+    weights: Vec<f64>,
+}
+
+impl WeightedGraph {
+    /// Wraps a graph with per-edge weights (`weights[i]` weights
+    /// `graph.edges()[i]`).
+    ///
+    /// Returns `None` if the lengths mismatch or any weight is
+    /// non-positive/non-finite.
+    pub fn new(graph: Graph, weights: Vec<f64>) -> Option<Self> {
+        if weights.len() != graph.num_edges() {
+            return None;
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+            return None;
+        }
+        Some(WeightedGraph { graph, weights })
+    }
+
+    /// Assigns every edge a uniform random weight in `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidParameter`] unless `0 < lo <= hi` and
+    /// both are finite.
+    pub fn with_random_weights(
+        graph: Graph,
+        lo: f64,
+        hi: f64,
+        seed: u64,
+    ) -> Result<Self, GraphError> {
+        if !(lo.is_finite() && hi.is_finite()) || lo <= 0.0 || hi < lo {
+            return Err(GraphError::InvalidParameter {
+                name: "weight range",
+                message: format!("need 0 < lo <= hi, got [{lo}, {hi}]"),
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let weights = (0..graph.num_edges())
+            .map(|_| if lo == hi { lo } else { rng.gen_range(lo..=hi) })
+            .collect();
+        Ok(WeightedGraph { graph, weights })
+    }
+
+    /// The underlying unweighted graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Weight of edge index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// All edge weights, parallel to `graph().edges()`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Largest edge weight (`0` for edgeless graphs).
+    pub fn max_weight(&self) -> f64 {
+        self.weights.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Total weight of a matching on this graph.
+    ///
+    /// Edges of the matching are looked up by endpoints in the canonical
+    /// edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a matching edge is not an edge of the graph.
+    pub fn matching_weight(&self, m: &Matching) -> f64 {
+        m.edges()
+            .iter()
+            .map(|e| self.weight(self.edge_index(*e)))
+            .sum()
+    }
+
+    /// Index of edge `e` in the canonical edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is not an edge of the graph.
+    pub fn edge_index(&self, e: Edge) -> usize {
+        self.graph
+            .edges()
+            .binary_search(&e)
+            .unwrap_or_else(|_| panic!("{e:?} is not an edge of the graph"))
+    }
+
+    /// Exact maximum-weight matching by exhaustive search — exponential;
+    /// for verification on tiny graphs only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than 24 edges.
+    pub fn brute_force_max_weight_matching(&self) -> f64 {
+        assert!(
+            self.graph.num_edges() <= 24,
+            "brute force restricted to tiny graphs"
+        );
+        let edges = self.graph.edges();
+        let mut best = 0.0f64;
+        let m = edges.len();
+        for mask in 0u32..(1 << m) {
+            let mut used = vec![false; self.graph.num_vertices()];
+            let mut ok = true;
+            let mut w = 0.0;
+            for (i, e) in edges.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    if used[e.u() as usize] || used[e.v() as usize] {
+                        ok = false;
+                        break;
+                    }
+                    used[e.u() as usize] = true;
+                    used[e.v() as usize] = true;
+                    w += self.weights[i];
+                }
+            }
+            if ok {
+                best = best.max(w);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn construction_validates() {
+        let g = generators::path(3);
+        assert!(
+            WeightedGraph::new(g.clone(), vec![1.0]).is_none(),
+            "length mismatch"
+        );
+        assert!(
+            WeightedGraph::new(g.clone(), vec![1.0, -2.0]).is_none(),
+            "negative"
+        );
+        assert!(
+            WeightedGraph::new(g.clone(), vec![1.0, f64::NAN]).is_none(),
+            "nan"
+        );
+        assert!(WeightedGraph::new(g, vec![1.0, 2.0]).is_some());
+    }
+
+    #[test]
+    fn random_weights_in_range() {
+        let g = generators::gnp(30, 0.2, 1).unwrap();
+        let wg = WeightedGraph::with_random_weights(g, 1.0, 10.0, 2).unwrap();
+        assert!(wg.weights().iter().all(|&w| (1.0..=10.0).contains(&w)));
+        assert!(wg.max_weight() <= 10.0);
+    }
+
+    #[test]
+    fn random_weights_bad_range() {
+        let g = generators::path(3);
+        assert!(WeightedGraph::with_random_weights(g.clone(), 0.0, 1.0, 1).is_err());
+        assert!(WeightedGraph::with_random_weights(g.clone(), 2.0, 1.0, 1).is_err());
+        assert!(WeightedGraph::with_random_weights(g, f64::NAN, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn matching_weight_sums() {
+        let g = generators::path(4); // edges {0,1},{1,2},{2,3}
+        let wg = WeightedGraph::new(g.clone(), vec![1.0, 10.0, 100.0]).unwrap();
+        let m = Matching::new(&g, vec![(0, 1), (2, 3)]).unwrap();
+        assert_eq!(wg.matching_weight(&m), 101.0);
+    }
+
+    #[test]
+    fn brute_force_prefers_heavy_middle() {
+        // Path with heavy middle edge: best matching = middle alone.
+        let g = generators::path(4);
+        let wg = WeightedGraph::new(g, vec![1.0, 10.0, 1.0]).unwrap();
+        assert_eq!(wg.brute_force_max_weight_matching(), 10.0);
+    }
+
+    #[test]
+    fn constant_weight_range_allowed() {
+        let g = generators::path(3);
+        let wg = WeightedGraph::with_random_weights(g, 2.0, 2.0, 1).unwrap();
+        assert!(wg.weights().iter().all(|&w| w == 2.0));
+    }
+}

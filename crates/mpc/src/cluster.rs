@@ -1,0 +1,476 @@
+//! The simulated MPC cluster: synchronous rounds with per-machine memory
+//! metering.
+//!
+//! The simulator does not execute machines on separate hosts — the
+//! algorithms run locally — but it *meters* the model quantities exactly:
+//! every word a machine receives or holds in a round is charged against its
+//! budget, and the trace records rounds, loads, and total communication.
+//! Exceeding a budget is a hard [`MpcError::MemoryExceeded`] error, so the
+//! paper's "O(n) memory per machine" claims are *checked*, not assumed.
+
+use crate::config::MpcConfig;
+use crate::error::MpcError;
+use crate::trace::{ExecutionTrace, RoundSummary};
+
+/// A simulated MPC cluster (paper, Section 1.1.1).
+///
+/// Usage follows the model's structure: open a round, charge the words each
+/// machine receives/holds, close the round. The convenience wrapper
+/// [`Cluster::round`] scopes this with a closure.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_mpc::{Cluster, MpcConfig};
+///
+/// let mut cluster = Cluster::new(MpcConfig::new(4, 1000)?);
+/// cluster.round(|r| {
+///     r.receive(0, 800)?; // machine 0 receives 800 words
+///     r.broadcast(10)?;   // every machine receives 10 words
+///     Ok(())
+/// })?;
+/// assert_eq!(cluster.trace().rounds(), 1);
+/// assert_eq!(cluster.trace().max_load_words(), 810);
+/// # Ok::<(), mmvc_mpc::MpcError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: MpcConfig,
+    trace: ExecutionTrace,
+    open: Option<Vec<usize>>,
+}
+
+/// Handle for charging memory within one open round; created by
+/// [`Cluster::round`].
+#[derive(Debug)]
+pub struct RoundCtx<'a> {
+    cluster: &'a mut Cluster,
+}
+
+impl Cluster {
+    /// Creates a cluster with the given configuration.
+    pub fn new(config: MpcConfig) -> Self {
+        Cluster {
+            config,
+            trace: ExecutionTrace::new(),
+            open: None,
+        }
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        &self.config
+    }
+
+    /// The execution trace so far.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
+    /// Number of completed rounds.
+    pub fn rounds(&self) -> usize {
+        self.trace.rounds()
+    }
+
+    /// Opens a new round.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::RoundProtocol`] if a round is already open.
+    pub fn begin_round(&mut self) -> Result<(), MpcError> {
+        if self.open.is_some() {
+            return Err(MpcError::RoundProtocol {
+                message: "round already open",
+            });
+        }
+        self.open = Some(vec![0; self.config.num_machines()]);
+        Ok(())
+    }
+
+    /// Charges `words` received/held by `machine` in the open round.
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::RoundProtocol`] if no round is open.
+    /// * [`MpcError::NoSuchMachine`] for an invalid machine id.
+    /// * [`MpcError::MemoryExceeded`] if the charge would exceed the
+    ///   machine's budget.
+    pub fn receive(&mut self, machine: usize, words: usize) -> Result<(), MpcError> {
+        let round = self.trace.rounds() + 1;
+        let budget = self.config.words_per_machine();
+        let num_machines = self.config.num_machines();
+        let Some(loads) = self.open.as_mut() else {
+            return Err(MpcError::RoundProtocol {
+                message: "receive outside a round",
+            });
+        };
+        if machine >= num_machines {
+            return Err(MpcError::NoSuchMachine {
+                machine,
+                num_machines,
+            });
+        }
+        let attempted = loads[machine] + words;
+        if attempted > budget {
+            return Err(MpcError::MemoryExceeded {
+                machine,
+                round,
+                attempted_words: attempted,
+                budget_words: budget,
+            });
+        }
+        loads[machine] = attempted;
+        Ok(())
+    }
+
+    /// Charges `words` received by *every* machine (a broadcast).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::receive`].
+    pub fn broadcast(&mut self, words: usize) -> Result<(), MpcError> {
+        for machine in 0..self.config.num_machines() {
+            self.receive(machine, words)?;
+        }
+        Ok(())
+    }
+
+    /// Closes the open round and records its summary.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::RoundProtocol`] if no round is open.
+    pub fn end_round(&mut self) -> Result<RoundSummary, MpcError> {
+        let Some(loads) = self.open.take() else {
+            return Err(MpcError::RoundProtocol {
+                message: "end_round without begin_round",
+            });
+        };
+        let summary = RoundSummary {
+            round: self.trace.rounds() + 1,
+            max_load_words: loads.iter().copied().max().unwrap_or(0),
+            total_words: loads.iter().sum(),
+        };
+        self.trace.push(summary);
+        Ok(summary)
+    }
+
+    /// Runs `f` inside a fresh round, closing it afterwards.
+    ///
+    /// If `f` fails, the round is abandoned (not recorded) and the error is
+    /// propagated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates protocol and budget errors from `f` or round management.
+    pub fn round<T>(
+        &mut self,
+        f: impl FnOnce(&mut RoundCtx<'_>) -> Result<T, MpcError>,
+    ) -> Result<T, MpcError> {
+        self.begin_round()?;
+        let mut ctx = RoundCtx { cluster: self };
+        match f(&mut ctx) {
+            Ok(value) => {
+                self.end_round()?;
+                Ok(value)
+            }
+            Err(e) => {
+                self.open = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Records `k` rounds of an abstracted constant-round primitive (e.g.
+    /// the "standard techniques" of \[GSZ11\] the paper invokes for sorting /
+    /// aggregation), charging `load_words` to every machine per round.
+    ///
+    /// # Errors
+    ///
+    /// [`MpcError::MemoryExceeded`] if `load_words` exceeds the budget;
+    /// [`MpcError::RoundProtocol`] if a round is already open.
+    pub fn charge_rounds(&mut self, k: usize, load_words: usize) -> Result<(), MpcError> {
+        for _ in 0..k {
+            self.begin_round()?;
+            self.broadcast(load_words)?;
+            self.end_round()?;
+        }
+        Ok(())
+    }
+
+    /// Merges the trace of a nested computation (e.g. a subroutine run on
+    /// its own cluster handle) into this cluster's trace.
+    pub fn absorb_trace(&mut self, other: &ExecutionTrace) {
+        self.trace.absorb(other);
+    }
+
+    /// Executes one round in which every machine `0..k` runs `work`
+    /// concurrently on OS threads, then charges each machine the words its
+    /// closure reports.
+    ///
+    /// `work(machine)` returns `(output, words_received)`. This is the
+    /// "local computation" step of the MPC model executed with real
+    /// parallelism (`std::thread::scope`); metering semantics are
+    /// identical to calling [`Cluster::receive`] per machine inside a
+    /// [`Cluster::round`].
+    ///
+    /// # Errors
+    ///
+    /// * [`MpcError::NoSuchMachine`] if `k` exceeds the cluster size.
+    /// * [`MpcError::MemoryExceeded`] if any reported load overflows its
+    ///   machine's budget — the round is then abandoned (not recorded).
+    /// * [`MpcError::RoundProtocol`] if a round is already open.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mmvc_mpc::{Cluster, MpcConfig};
+    /// let mut cluster = Cluster::new(MpcConfig::new(4, 1000)?);
+    /// let sums = cluster.parallel_round(4, |m| {
+    ///     let local_sum: usize = (0..100).map(|i| i * (m + 1)).sum();
+    ///     (local_sum, 100) // each machine received 100 words
+    /// })?;
+    /// assert_eq!(sums.len(), 4);
+    /// assert_eq!(cluster.trace().max_load_words(), 100);
+    /// # Ok::<(), mmvc_mpc::MpcError>(())
+    /// ```
+    pub fn parallel_round<T, F>(&mut self, k: usize, work: F) -> Result<Vec<T>, MpcError>
+    where
+        T: Send,
+        F: Fn(usize) -> (T, usize) + Sync,
+    {
+        if k > self.config.num_machines() {
+            return Err(MpcError::NoSuchMachine {
+                machine: k.saturating_sub(1),
+                num_machines: self.config.num_machines(),
+            });
+        }
+        if self.open.is_some() {
+            return Err(MpcError::RoundProtocol {
+                message: "round already open",
+            });
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let chunk = k.div_ceil(threads.max(1)).max(1);
+        let mut results: Vec<Option<(T, usize)>> = (0..k).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot_chunk, base) in results.chunks_mut(chunk).zip((0..k).step_by(chunk)) {
+                let work = &work;
+                scope.spawn(move || {
+                    for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(work(base + offset));
+                    }
+                });
+            }
+        });
+        self.begin_round()?;
+        let mut outputs = Vec::with_capacity(k);
+        for (machine, slot) in results.into_iter().enumerate() {
+            let (out, words) = slot.expect("every machine slot filled");
+            if let Err(e) = self.receive(machine, words) {
+                self.open = None; // abandon the partially charged round
+                return Err(e);
+            }
+            outputs.push(out);
+        }
+        self.end_round()?;
+        Ok(outputs)
+    }
+}
+
+impl RoundCtx<'_> {
+    /// Charges `words` to `machine`; see [`Cluster::receive`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::receive`].
+    pub fn receive(&mut self, machine: usize, words: usize) -> Result<(), MpcError> {
+        self.cluster.receive(machine, words)
+    }
+
+    /// Charges a broadcast; see [`Cluster::broadcast`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Cluster::broadcast`].
+    pub fn broadcast(&mut self, words: usize) -> Result<(), MpcError> {
+        self.cluster.broadcast(words)
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &MpcConfig {
+        self.cluster.config()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cluster {
+        Cluster::new(MpcConfig::new(3, 100).unwrap())
+    }
+
+    #[test]
+    fn basic_round_lifecycle() {
+        let mut c = small();
+        c.begin_round().unwrap();
+        c.receive(0, 40).unwrap();
+        c.receive(0, 40).unwrap();
+        c.receive(2, 10).unwrap();
+        let s = c.end_round().unwrap();
+        assert_eq!(s.round, 1);
+        assert_eq!(s.max_load_words, 80);
+        assert_eq!(s.total_words, 90);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let mut c = small();
+        c.begin_round().unwrap();
+        c.receive(1, 99).unwrap();
+        let err = c.receive(1, 2).unwrap_err();
+        assert_eq!(
+            err,
+            MpcError::MemoryExceeded {
+                machine: 1,
+                round: 1,
+                attempted_words: 101,
+                budget_words: 100
+            }
+        );
+    }
+
+    #[test]
+    fn protocol_violations() {
+        let mut c = small();
+        assert!(matches!(
+            c.receive(0, 1),
+            Err(MpcError::RoundProtocol { .. })
+        ));
+        assert!(matches!(c.end_round(), Err(MpcError::RoundProtocol { .. })));
+        c.begin_round().unwrap();
+        assert!(matches!(
+            c.begin_round(),
+            Err(MpcError::RoundProtocol { .. })
+        ));
+    }
+
+    #[test]
+    fn no_such_machine() {
+        let mut c = small();
+        c.begin_round().unwrap();
+        assert_eq!(
+            c.receive(3, 1).unwrap_err(),
+            MpcError::NoSuchMachine {
+                machine: 3,
+                num_machines: 3
+            }
+        );
+    }
+
+    #[test]
+    fn round_closure_records_on_success() {
+        let mut c = small();
+        let out = c.round(|r| {
+            r.receive(0, 5)?;
+            Ok(7)
+        });
+        assert_eq!(out.unwrap(), 7);
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn round_closure_abandons_on_failure() {
+        let mut c = small();
+        let out: Result<(), _> = c.round(|r| r.receive(0, 1000));
+        assert!(matches!(out, Err(MpcError::MemoryExceeded { .. })));
+        assert_eq!(c.rounds(), 0, "failed round not recorded");
+        // The cluster is reusable afterwards.
+        c.round(|r| r.receive(0, 1)).unwrap();
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn broadcast_charges_everyone() {
+        let mut c = small();
+        c.round(|r| r.broadcast(30)).unwrap();
+        let s = c.trace().per_round()[0];
+        assert_eq!(s.max_load_words, 30);
+        assert_eq!(s.total_words, 90);
+    }
+
+    #[test]
+    fn charge_rounds_counts() {
+        let mut c = small();
+        c.charge_rounds(4, 10).unwrap();
+        assert_eq!(c.rounds(), 4);
+        assert_eq!(c.trace().total_words(), 4 * 3 * 10);
+    }
+
+    #[test]
+    fn charge_rounds_budget_enforced() {
+        let mut c = small();
+        assert!(matches!(
+            c.charge_rounds(1, 101),
+            Err(MpcError::MemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_round_outputs_in_machine_order() {
+        let mut c = Cluster::new(MpcConfig::new(8, 100).unwrap());
+        let out = c.parallel_round(8, |m| (m * 10, m)).unwrap();
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        let s = c.trace().per_round()[0];
+        assert_eq!(s.max_load_words, 7);
+        assert_eq!(s.total_words, 28);
+    }
+
+    #[test]
+    fn parallel_round_budget_enforced_and_abandoned() {
+        let mut c = small();
+        let r = c.parallel_round(3, |m| ((), if m == 2 { 1000 } else { 1 }));
+        assert!(matches!(
+            r,
+            Err(MpcError::MemoryExceeded { machine: 2, .. })
+        ));
+        assert_eq!(c.rounds(), 0, "failed round not recorded");
+        // Cluster usable afterwards.
+        c.parallel_round(3, |_| ((), 1)).unwrap();
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn parallel_round_rejects_too_many_machines() {
+        let mut c = small();
+        assert!(matches!(
+            c.parallel_round(4, |_| ((), 0)),
+            Err(MpcError::NoSuchMachine { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_round_zero_machines() {
+        let mut c = small();
+        let out: Vec<()> = c.parallel_round(0, |_| ((), 0)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(c.rounds(), 1, "an empty round still advances the clock");
+    }
+
+    #[test]
+    fn parallel_round_actually_runs_concurrently_safe() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let mut c = Cluster::new(MpcConfig::new(16, 10).unwrap());
+        c.parallel_round(16, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            ((), 1)
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+}

@@ -1,0 +1,135 @@
+//! Configuration of the simulated MPC cluster.
+
+use crate::error::MpcError;
+
+/// Parameters of a simulated MPC cluster (paper, Section 1.1.1).
+///
+/// A cluster has `num_machines` machines, each with `words_per_machine`
+/// words of memory. One *word* is `Θ(log n)` bits and holds a vertex id or
+/// an edge endpoint; an edge costs two words.
+///
+/// The paper's regime of interest is `S ∈ Θ(n)` (or `Θ(n / polylog n)`)
+/// with `S · m = Θ(N)` where `N` is the input size; the convenience
+/// constructor [`MpcConfig::near_linear`] captures exactly that.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_mpc::MpcConfig;
+/// // A graph with 10^4 vertices and ~10^5 edges: S = 4n words.
+/// let cfg = MpcConfig::near_linear(10_000, 100_000, 4.0)?;
+/// assert_eq!(cfg.words_per_machine(), 40_000);
+/// assert!(cfg.num_machines() >= 5);
+/// # Ok::<(), mmvc_mpc::MpcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MpcConfig {
+    words_per_machine: usize,
+    num_machines: usize,
+}
+
+impl MpcConfig {
+    /// Creates a configuration with explicit machine count and budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::InvalidConfig`] if either parameter is zero.
+    pub fn new(num_machines: usize, words_per_machine: usize) -> Result<Self, MpcError> {
+        if num_machines == 0 {
+            return Err(MpcError::InvalidConfig {
+                message: "need at least one machine".into(),
+            });
+        }
+        if words_per_machine == 0 {
+            return Err(MpcError::InvalidConfig {
+                message: "words_per_machine must be positive".into(),
+            });
+        }
+        Ok(MpcConfig {
+            words_per_machine,
+            num_machines,
+        })
+    }
+
+    /// The paper's regime: `S = space_factor · n` words per machine, with
+    /// enough machines for the total memory to hold the input
+    /// (`S · m ≥ 2 · (2m_edges)`, i.e. a constant factor above the edge
+    /// list size), and at least two machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MpcError::InvalidConfig`] if `n == 0`, or
+    /// `space_factor <= 0` or non-finite.
+    pub fn near_linear(n: usize, num_edges: usize, space_factor: f64) -> Result<Self, MpcError> {
+        if n == 0 {
+            return Err(MpcError::InvalidConfig {
+                message: "graph must have vertices".into(),
+            });
+        }
+        if !space_factor.is_finite() || space_factor <= 0.0 {
+            return Err(MpcError::InvalidConfig {
+                message: format!("space_factor must be positive, got {space_factor}"),
+            });
+        }
+        let words = ((n as f64) * space_factor).ceil() as usize;
+        let words = words.max(1);
+        let input_words = 2 * num_edges;
+        // Total cluster memory ≥ 2× the input, mirroring S·m = Θ(N).
+        let machines = (2 * input_words).div_ceil(words).max(2);
+        MpcConfig::new(machines, words)
+    }
+
+    /// Per-machine memory budget in words.
+    pub fn words_per_machine(&self) -> usize {
+        self.words_per_machine
+    }
+
+    /// Number of machines `m`.
+    pub fn num_machines(&self) -> usize {
+        self.num_machines
+    }
+
+    /// Total cluster memory `S · m` in words.
+    pub fn total_words(&self) -> usize {
+        self.words_per_machine * self.num_machines
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_construction() {
+        let c = MpcConfig::new(8, 1000).unwrap();
+        assert_eq!(c.num_machines(), 8);
+        assert_eq!(c.words_per_machine(), 1000);
+        assert_eq!(c.total_words(), 8000);
+    }
+
+    #[test]
+    fn rejects_zeroes() {
+        assert!(MpcConfig::new(0, 10).is_err());
+        assert!(MpcConfig::new(10, 0).is_err());
+    }
+
+    #[test]
+    fn near_linear_holds_input() {
+        let c = MpcConfig::near_linear(1000, 50_000, 2.0).unwrap();
+        assert_eq!(c.words_per_machine(), 2000);
+        assert!(c.total_words() >= 2 * 2 * 50_000);
+    }
+
+    #[test]
+    fn near_linear_minimum_two_machines() {
+        let c = MpcConfig::near_linear(100, 1, 10.0).unwrap();
+        assert!(c.num_machines() >= 2);
+    }
+
+    #[test]
+    fn near_linear_rejects_bad_params() {
+        assert!(MpcConfig::near_linear(0, 10, 1.0).is_err());
+        assert!(MpcConfig::near_linear(10, 10, 0.0).is_err());
+        assert!(MpcConfig::near_linear(10, 10, f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Errors reported by the MPC simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while simulating an MPC computation.
+///
+/// The most important variant is [`MpcError::MemoryExceeded`]: the paper's
+/// claims are of the form "this fits in O(n) words per machine", and the
+/// simulator *verifies* rather than assumes them — an algorithm that ships
+/// too much data to one machine fails loudly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MpcError {
+    /// A machine's per-round memory budget was exceeded.
+    MemoryExceeded {
+        /// The machine whose budget was violated.
+        machine: usize,
+        /// The round in which the violation occurred (1-based).
+        round: usize,
+        /// Words the machine would have had to hold.
+        attempted_words: usize,
+        /// The configured budget in words.
+        budget_words: usize,
+    },
+    /// An operation referenced a machine id `>= num_machines`.
+    NoSuchMachine {
+        /// The offending machine id.
+        machine: usize,
+        /// Number of machines in the cluster.
+        num_machines: usize,
+    },
+    /// An operation requiring an open round was invoked outside one, or a
+    /// round was opened twice.
+    RoundProtocol {
+        /// Description of the misuse.
+        message: &'static str,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        message: String,
+    },
+}
+
+impl fmt::Display for MpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpcError::MemoryExceeded {
+                machine,
+                round,
+                attempted_words,
+                budget_words,
+            } => write!(
+                f,
+                "machine {machine} exceeded its memory budget in round {round}: \
+                 {attempted_words} words > budget {budget_words}"
+            ),
+            MpcError::NoSuchMachine {
+                machine,
+                num_machines,
+            } => {
+                write!(
+                    f,
+                    "machine {machine} does not exist (cluster has {num_machines})"
+                )
+            }
+            MpcError::RoundProtocol { message } => write!(f, "round protocol violation: {message}"),
+            MpcError::InvalidConfig { message } => {
+                write!(f, "invalid MPC configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for MpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = MpcError::MemoryExceeded {
+            machine: 3,
+            round: 7,
+            attempted_words: 1000,
+            budget_words: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("machine 3") && s.contains("round 7") && s.contains("1000"));
+        assert!(MpcError::NoSuchMachine {
+            machine: 9,
+            num_machines: 4
+        }
+        .to_string()
+        .contains("machine 9"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        let e: Box<dyn Error + Send + Sync> = Box::new(MpcError::RoundProtocol { message: "x" });
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,98 @@
+//! # mmvc-mpc
+//!
+//! A local simulator of the **Massively Parallel Computation (MPC)** model
+//! (Karloff–Suri–Vassilvitskii), the substrate assumed by the PODC'18 paper
+//! this workspace reproduces.
+//!
+//! The MPC model (paper, Section 1.1.1): `m` machines with `S` words of
+//! memory each proceed in synchronous rounds; per round, each machine
+//! receives and sends messages that must fit in its memory. The complexity
+//! measure is the number of rounds.
+//!
+//! No public Rust crate implements this model, so this crate provides it:
+//! a [`Cluster`] meters rounds and per-machine memory (and *fails* on
+//! budget violations — the paper's `O(n)`-memory claims are verified, not
+//! assumed), [`MpcConfig`] captures the `S ∈ Θ(n)`, `S·m = Θ(N)` regime,
+//! and [`random_vertex_partition`] implements the vertex-based random
+//! partitioning both of the paper's algorithms rely on.
+//!
+//! ```
+//! use mmvc_mpc::{Cluster, MpcConfig, random_vertex_partition};
+//!
+//! // 16 machines, 10_000 words each.
+//! let mut cluster = Cluster::new(MpcConfig::new(16, 10_000)?);
+//! let vertices: Vec<u32> = (0..1000).collect();
+//! let parts = random_vertex_partition(&vertices, 16, 42);
+//!
+//! // One round: every machine receives its share of vertices.
+//! cluster.round(|r| {
+//!     for (machine, part) in parts.iter().enumerate() {
+//!         r.receive(machine, part.len())?;
+//!     }
+//!     Ok(())
+//! })?;
+//! assert_eq!(cluster.rounds(), 1);
+//! # Ok::<(), mmvc_mpc::MpcError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cluster;
+mod config;
+mod error;
+mod partition;
+mod primitives;
+mod trace;
+
+pub use cluster::{Cluster, RoundCtx};
+pub use config::MpcConfig;
+pub use error::MpcError;
+pub use partition::{machine_of_vertex, random_vertex_partition};
+pub use primitives::{mpc_aggregate_by_key, mpc_prefix_sum, mpc_sort};
+pub use trace::{ExecutionTrace, RoundSummary};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn trace_totals_match_per_round(
+            charges in proptest::collection::vec((0usize..4, 0usize..50), 0..40)
+        ) {
+            let mut c = Cluster::new(MpcConfig::new(4, 10_000).unwrap());
+            c.begin_round().unwrap();
+            let mut expect_total = 0usize;
+            for (m, w) in charges {
+                c.receive(m, w).unwrap();
+                expect_total += w;
+            }
+            let s = c.end_round().unwrap();
+            prop_assert_eq!(s.total_words, expect_total);
+            prop_assert!(s.max_load_words <= expect_total);
+        }
+
+        #[test]
+        fn partition_always_exhaustive(n in 0usize..500, m in 1usize..12, seed: u64) {
+            let verts: Vec<u32> = (0..n as u32).collect();
+            let parts = random_vertex_partition(&verts, m, seed);
+            prop_assert_eq!(parts.len(), m);
+            prop_assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), n);
+        }
+
+        #[test]
+        fn budget_never_silently_exceeded(words in 0usize..300, budget in 1usize..200) {
+            let mut c = Cluster::new(MpcConfig::new(1, budget).unwrap());
+            c.begin_round().unwrap();
+            let r = c.receive(0, words);
+            if words <= budget {
+                prop_assert!(r.is_ok());
+            } else {
+                let exceeded = matches!(r, Err(MpcError::MemoryExceeded { .. }));
+                prop_assert!(exceeded);
+            }
+        }
+    }
+}

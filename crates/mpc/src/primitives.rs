@@ -1,0 +1,293 @@
+//! Constant-round MPC primitives after Goodrich–Sitchinava–Zhang
+//! \[GSZ11\]: the "standard techniques" the paper invokes for the
+//! bookkeeping steps of its algorithms (sorting, aggregation, prefix
+//! sums).
+//!
+//! Each primitive executes the real computation locally while charging the
+//! model the rounds and per-machine loads the distributed protocol would
+//! use, and fails with [`MpcError::MemoryExceeded`] when the input cannot
+//! fit the cluster — the same meter-don't-trust contract as the rest of
+//! the simulator.
+
+use crate::cluster::Cluster;
+use crate::error::MpcError;
+
+/// Splits `n` items into per-machine chunk lengths (`ceil(n/m)` each, last
+/// chunk short).
+fn chunk_lengths(n: usize, machines: usize) -> Vec<usize> {
+    let chunk = n.div_ceil(machines.max(1)).max(1);
+    let mut lens = Vec::new();
+    let mut left = n;
+    while left > 0 {
+        let take = left.min(chunk);
+        lens.push(take);
+        left -= take;
+    }
+    lens
+}
+
+/// Distributed sample sort \[GSZ11\]: sorts `items` across the cluster in
+/// three metered rounds (sample → splitters → route), returning the
+/// sorted vector.
+///
+/// Round structure and loads:
+/// 1. every machine ships `O(m)` samples to machine 0;
+/// 2. machine 0 broadcasts `m − 1` splitters;
+/// 3. items are routed to their splitter bucket; each target machine's
+///    received words are charged and checked.
+///
+/// # Errors
+///
+/// [`MpcError::MemoryExceeded`] if a bucket overflows its machine (input
+/// too skewed or cluster too small).
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_mpc::{mpc_sort, Cluster, MpcConfig};
+/// let mut cluster = Cluster::new(MpcConfig::new(8, 4096)?);
+/// let items: Vec<u64> = (0..10_000).rev().collect();
+/// let sorted = mpc_sort(&mut cluster, &items)?;
+/// assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+/// assert_eq!(cluster.rounds(), 3);
+/// # Ok::<(), mmvc_mpc::MpcError>(())
+/// ```
+pub fn mpc_sort<T: Ord + Clone>(cluster: &mut Cluster, items: &[T]) -> Result<Vec<T>, MpcError> {
+    let m = cluster.config().num_machines();
+    let n = items.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let lens = chunk_lengths(n, m);
+
+    // Round 1: each machine draws ~m evenly spaced local samples and ships
+    // them to machine 0. (Deterministic regular sampling is the
+    // de-randomized variant; the load is what matters to the model.)
+    let mut samples: Vec<T> = Vec::new();
+    let mut offset = 0usize;
+    for &len in &lens {
+        let chunk = &items[offset..offset + len];
+        let step = (len / m.max(1)).max(1);
+        for i in (0..len).step_by(step) {
+            samples.push(chunk[i].clone());
+        }
+        offset += len;
+    }
+    cluster.round(|r| r.receive(0, samples.len()))?;
+
+    // Machine 0 picks m-1 splitters; round 2 broadcasts them.
+    samples.sort();
+    let splitters: Vec<T> = (1..m)
+        .map(|i| samples[(i * samples.len()) / m].clone())
+        .collect();
+    cluster.round(|r| r.broadcast(splitters.len().max(1)))?;
+
+    // Round 3: route each item to its bucket; charge target loads.
+    let mut buckets: Vec<Vec<T>> = vec![Vec::new(); m];
+    for item in items {
+        let b = splitters.partition_point(|s| s <= item);
+        buckets[b].push(item.clone());
+    }
+    cluster.round(|r| {
+        for (machine, bucket) in buckets.iter().enumerate() {
+            r.receive(machine, bucket.len())?;
+        }
+        Ok(())
+    })?;
+
+    // Local sorts and concatenation.
+    let mut out = Vec::with_capacity(n);
+    for mut bucket in buckets {
+        bucket.sort();
+        out.append(&mut bucket);
+    }
+    Ok(out)
+}
+
+/// Distributed prefix sums: returns `out[i] = values[0] + … + values[i]`
+/// in two metered rounds (local sums to machine 0, offsets broadcast
+/// back).
+///
+/// # Errors
+///
+/// [`MpcError::MemoryExceeded`] if per-machine chunks exceed the budget.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_mpc::{mpc_prefix_sum, Cluster, MpcConfig};
+/// let mut cluster = Cluster::new(MpcConfig::new(4, 1024)?);
+/// let sums = mpc_prefix_sum(&mut cluster, &[1, 2, 3, 4])?;
+/// assert_eq!(sums, vec![1, 3, 6, 10]);
+/// # Ok::<(), mmvc_mpc::MpcError>(())
+/// ```
+pub fn mpc_prefix_sum(cluster: &mut Cluster, values: &[u64]) -> Result<Vec<u64>, MpcError> {
+    let m = cluster.config().num_machines();
+    let n = values.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let lens = chunk_lengths(n, m);
+    // Charge holding the chunks + shipping one partial sum per machine.
+    cluster.round(|r| {
+        for (machine, &len) in lens.iter().enumerate() {
+            r.receive(machine, len)?;
+        }
+        r.receive(0, lens.len())
+    })?;
+    // Machine 0 computes chunk offsets; broadcast.
+    cluster.round(|r| r.broadcast(lens.len()))?;
+
+    let mut out = Vec::with_capacity(n);
+    let mut running = 0u64;
+    for &v in values {
+        running += v;
+        out.push(running);
+    }
+    Ok(out)
+}
+
+/// Distributed aggregation: sums `value` per `key` in one metered shuffle
+/// round (hash-partition by key), returning `(key, total)` pairs sorted by
+/// key.
+///
+/// # Errors
+///
+/// [`MpcError::MemoryExceeded`] if some machine's key share overflows the
+/// budget.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_mpc::{mpc_aggregate_by_key, Cluster, MpcConfig};
+/// let mut cluster = Cluster::new(MpcConfig::new(4, 1024)?);
+/// let agg = mpc_aggregate_by_key(&mut cluster, &[(7, 1), (3, 5), (7, 2)])?;
+/// assert_eq!(agg, vec![(3, 5), (7, 3)]);
+/// # Ok::<(), mmvc_mpc::MpcError>(())
+/// ```
+pub fn mpc_aggregate_by_key(
+    cluster: &mut Cluster,
+    pairs: &[(u64, u64)],
+) -> Result<Vec<(u64, u64)>, MpcError> {
+    let m = cluster.config().num_machines();
+    if pairs.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Shuffle: key k goes to machine hash(k) % m; 2 words per pair.
+    let mut loads = vec![0usize; m];
+    let mut agg: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    for &(k, v) in pairs {
+        let machine = (mmvc_graph::rng::hash2(0x5EED, k) % m as u64) as usize;
+        loads[machine] += 2;
+        *agg.entry(k).or_insert(0) += v;
+    }
+    cluster.round(|r| {
+        for (machine, &load) in loads.iter().enumerate() {
+            r.receive(machine, load)?;
+        }
+        Ok(())
+    })?;
+    Ok(agg.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MpcConfig;
+
+    fn cluster(machines: usize, words: usize) -> Cluster {
+        Cluster::new(MpcConfig::new(machines, words).unwrap())
+    }
+
+    #[test]
+    fn sort_matches_std_sort() {
+        let mut c = cluster(8, 10_000);
+        let items: Vec<u64> = (0..5000).map(|i| (i * 2654435761u64) % 10007).collect();
+        let got = mpc_sort(&mut c, &items).unwrap();
+        let mut want = items.clone();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(c.rounds(), 3);
+    }
+
+    #[test]
+    fn sort_empty_and_singleton() {
+        let mut c = cluster(4, 100);
+        assert!(mpc_sort::<u64>(&mut c, &[]).unwrap().is_empty());
+        assert_eq!(c.rounds(), 0);
+        assert_eq!(mpc_sort(&mut c, &[9u64]).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn sort_with_heavy_duplicates() {
+        // All-equal keys land in one bucket: the skew stress case.
+        let mut c = cluster(4, 10_000);
+        let items = vec![5u64; 3000];
+        let got = mpc_sort(&mut c, &items).unwrap();
+        assert_eq!(got, items);
+    }
+
+    #[test]
+    fn sort_budget_violation() {
+        // 4 machines × 100 words cannot hold 10_000 items.
+        let mut c = cluster(4, 100);
+        let items: Vec<u64> = (0..10_000).collect();
+        assert!(matches!(
+            mpc_sort(&mut c, &items),
+            Err(MpcError::MemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn sort_strings() {
+        let mut c = cluster(3, 1000);
+        let items: Vec<String> = ["pear", "apple", "fig", "date"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let got = mpc_sort(&mut c, &items).unwrap();
+        assert_eq!(got, vec!["apple", "date", "fig", "pear"]);
+    }
+
+    #[test]
+    fn prefix_sum_correct() {
+        let mut c = cluster(4, 1000);
+        let values: Vec<u64> = (1..=100).collect();
+        let sums = mpc_prefix_sum(&mut c, &values).unwrap();
+        assert_eq!(sums[0], 1);
+        assert_eq!(sums[99], 5050);
+        assert_eq!(c.rounds(), 2);
+        assert!(mpc_prefix_sum(&mut c, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn prefix_sum_budget_violation() {
+        let mut c = cluster(2, 10);
+        let values = vec![1u64; 1000];
+        assert!(matches!(
+            mpc_prefix_sum(&mut c, &values),
+            Err(MpcError::MemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn aggregate_sums_per_key_sorted() {
+        let mut c = cluster(4, 1000);
+        let pairs = vec![(9, 1), (2, 10), (9, 4), (2, 1), (5, 7)];
+        let agg = mpc_aggregate_by_key(&mut c, &pairs).unwrap();
+        assert_eq!(agg, vec![(2, 11), (5, 7), (9, 5)]);
+        assert_eq!(c.rounds(), 1);
+        assert!(mpc_aggregate_by_key(&mut c, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn aggregate_skewed_key_violation() {
+        // Every pair shares one key -> one machine takes the whole load.
+        let mut c = cluster(4, 100);
+        let pairs: Vec<(u64, u64)> = (0..200).map(|_| (1u64, 1u64)).collect();
+        assert!(matches!(
+            mpc_aggregate_by_key(&mut c, &pairs),
+            Err(MpcError::MemoryExceeded { .. })
+        ));
+    }
+}

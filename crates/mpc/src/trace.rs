@@ -1,0 +1,128 @@
+//! Execution traces: the measured quantities the experiments report.
+
+/// Summary of one completed MPC round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundSummary {
+    /// 1-based round index.
+    pub round: usize,
+    /// Maximum words received/held by any machine this round.
+    pub max_load_words: usize,
+    /// Total words communicated across all machines this round.
+    pub total_words: usize,
+}
+
+/// The complete record of a simulated MPC execution.
+///
+/// This is the primary *output* of the substrate from the experiments'
+/// point of view: the paper's theorems bound `rounds()` and
+/// `max_load_words()`, and the harness reports these measured values
+/// against the claims.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionTrace {
+    rounds: Vec<RoundSummary>,
+}
+
+impl ExecutionTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a completed round.
+    pub(crate) fn push(&mut self, summary: RoundSummary) {
+        self.rounds.push(summary);
+    }
+
+    /// Number of rounds executed.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Per-round summaries, in order.
+    pub fn per_round(&self) -> &[RoundSummary] {
+        &self.rounds
+    }
+
+    /// The largest per-machine load observed in any round (words).
+    pub fn max_load_words(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.max_load_words)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total words communicated over the whole execution.
+    pub fn total_words(&self) -> usize {
+        self.rounds.iter().map(|r| r.total_words).sum()
+    }
+
+    /// Merges another trace (e.g. a sub-phase) into this one, renumbering
+    /// its rounds to follow the current last round.
+    pub fn absorb(&mut self, other: &ExecutionTrace) {
+        let base = self.rounds.len();
+        for (i, r) in other.rounds.iter().enumerate() {
+            self.rounds.push(RoundSummary {
+                round: base + i + 1,
+                ..*r
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_trace() {
+        let t = ExecutionTrace::new();
+        assert_eq!(t.rounds(), 0);
+        assert_eq!(t.max_load_words(), 0);
+        assert_eq!(t.total_words(), 0);
+    }
+
+    #[test]
+    fn accumulates() {
+        let mut t = ExecutionTrace::new();
+        t.push(RoundSummary {
+            round: 1,
+            max_load_words: 10,
+            total_words: 30,
+        });
+        t.push(RoundSummary {
+            round: 2,
+            max_load_words: 25,
+            total_words: 25,
+        });
+        assert_eq!(t.rounds(), 2);
+        assert_eq!(t.max_load_words(), 25);
+        assert_eq!(t.total_words(), 55);
+    }
+
+    #[test]
+    fn absorb_renumbers() {
+        let mut a = ExecutionTrace::new();
+        a.push(RoundSummary {
+            round: 1,
+            max_load_words: 1,
+            total_words: 1,
+        });
+        let mut b = ExecutionTrace::new();
+        b.push(RoundSummary {
+            round: 1,
+            max_load_words: 2,
+            total_words: 2,
+        });
+        b.push(RoundSummary {
+            round: 2,
+            max_load_words: 3,
+            total_words: 3,
+        });
+        a.absorb(&b);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.per_round()[1].round, 2);
+        assert_eq!(a.per_round()[2].round, 3);
+        assert_eq!(a.max_load_words(), 3);
+    }
+}

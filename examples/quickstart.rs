@@ -1,0 +1,79 @@
+//! Quickstart: run every headline algorithm of the paper on one random
+//! graph and print what the theorems promise next to what was measured.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mmvc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 2_000;
+    let p = 0.01;
+    let seed = 42;
+    let g = generators::gnp(n, p, seed)?;
+    println!(
+        "graph: G({n}, {p})  |E| = {}  Δ = {}",
+        g.num_edges(),
+        g.max_degree()
+    );
+    println!();
+
+    // ── Theorem 1.1: MIS in O(log log Δ) MPC rounds ─────────────────────
+    let mis = greedy_mpc_mis(&g, &GreedyMisConfig::new(seed))?;
+    println!("MIS (Theorem 1.1, MPC):");
+    println!("  |MIS|            = {}", mis.mis.len());
+    println!("  prefix phases    = {}  (Θ(log log Δ))", mis.prefix_phases);
+    println!("  local rounds     = {}", mis.local_rounds);
+    println!("  total MPC rounds = {}", mis.trace.rounds());
+    println!(
+        "  max machine load = {} words (budget 8n = {})",
+        mis.trace.max_load_words(),
+        8 * n
+    );
+    let luby = luby_mis(&g, seed);
+    println!("  Luby baseline    = {} rounds (Θ(log n))", luby.rounds);
+    println!();
+
+    // ── Theorem 1.2: (2+ε) matching + vertex cover ──────────────────────
+    let eps = Epsilon::new(0.1)?;
+    let out = integral_matching(&g, &IntegralMatchingConfig::new(eps, seed))?;
+    let optimum = matching::blossom(&g).len();
+    println!("Matching & vertex cover (Theorem 1.2, ε = {eps}):");
+    println!(
+        "  |M|       = {}   (optimum {})",
+        out.matching.len(),
+        optimum
+    );
+    println!(
+        "  ratio     = {:.3}  (claimed ≤ 2+ε = {:.1})",
+        optimum as f64 / out.matching.len().max(1) as f64,
+        2.0 + eps.get()
+    );
+    println!(
+        "  |C|       = {}   (lower bound |M*| = {optimum})",
+        out.cover.len()
+    );
+    println!(
+        "  VC ratio  ≤ {:.3}  (vs matching LB; claimed ≤ 2+ε)",
+        out.cover.len() as f64 / optimum.max(1) as f64
+    );
+    println!(
+        "  MPC rounds = {}  extractions = {}",
+        out.total_rounds, out.extractions
+    );
+    println!();
+
+    // ── Corollary 1.3: (1+ε) matching ───────────────────────────────────
+    let aug = one_plus_eps_matching(&g, &AugmentConfig::new(eps, seed))?;
+    println!("(1+ε) matching (Corollary 1.3):");
+    println!("  |M|    = {}   (optimum {optimum})", aug.matching.len());
+    println!(
+        "  ratio  = {:.4} (claimed ≤ 1+ε = {:.1})",
+        optimum as f64 / aug.matching.len().max(1) as f64,
+        1.0 + eps.get()
+    );
+    println!("  augmentation passes = {}", aug.passes);
+
+    Ok(())
+}

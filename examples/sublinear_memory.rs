@@ -1,0 +1,49 @@
+//! The sublinear-memory regime (paper, end of §1.3): matching and vertex
+//! cover with `O(n / polylog n)` words per machine.
+//!
+//! The paper presents its algorithms at `Õ(n)` memory but notes they
+//! adjust to `O(n/polylog n)`. The adjustment is mechanical: use
+//! `√reduction`-times more machines per phase so every induced subgraph
+//! shrinks with the budget; the price is `reduction^(1/4)` more estimate
+//! noise. This example sweeps the reduction factor and prints the
+//! memory/rounds/quality trade-off.
+//!
+//! ```text
+//! cargo run --release --example sublinear_memory
+//! ```
+
+use mmvc::core::matching::MpcMatchingConfig;
+use mmvc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 4096;
+    let g = generators::gnp(n, 0.1, 21)?;
+    let eps = Epsilon::new(0.1)?;
+    let opt = matching::greedy_maximal_matching(&g).len(); // cheap LB reference
+
+    println!(
+        "graph: G({n}, 0.1)  |E| = {}  maximal-matching LB = {opt}",
+        g.num_edges()
+    );
+    println!();
+    println!(
+        "{:>10} {:>13} {:>10} {:>8} {:>12}",
+        "reduction", "budget(words)", "max-load", "rounds", "frac-weight"
+    );
+    for reduction in [1.0, 4.0, 16.0] {
+        let cfg = MpcMatchingConfig::sublinear(eps, 21, reduction);
+        let out = mpc_simulation(&g, &cfg)?;
+        assert!(out.cover.covers(&g));
+        println!(
+            "{:>10} {:>13} {:>10} {:>8} {:>12.1}",
+            reduction,
+            (8.0 / reduction * n as f64).ceil() as usize,
+            out.trace.max_load_words(),
+            out.trace.rounds(),
+            out.fractional.weight(),
+        );
+    }
+    println!();
+    println!("memory shrinks 16x; rounds stay O(log log n); quality dips only slightly.");
+    Ok(())
+}

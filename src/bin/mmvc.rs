@@ -1,0 +1,177 @@
+//! `mmvc` — command-line front end for the workspace.
+//!
+//! Runs the paper's algorithms on edge-list files (one `u v` pair per
+//! line; `#` comments; optional `# vertices: n` header):
+//!
+//! ```text
+//! mmvc stats    <graph.txt>
+//! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq]
+//! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
+//! mmvc cover    <graph.txt> [--seed S] [--eps E]
+//! mmvc gen      gnp|powerlaw <n> <param> [--seed S]   # writes to stdout
+//! ```
+
+use mmvc::graph::{io, stats};
+use mmvc::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  mmvc stats    <graph.txt>
+  mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq]
+  mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
+  mmvc cover    <graph.txt> [--seed S] [--eps E]
+  mmvc gen gnp      <n> <p>          [--seed S]
+  mmvc gen powerlaw <n> <avg_degree> [--seed S]";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "stats" => cmd_stats(args),
+        "mis" => cmd_mis(args),
+        "matching" => cmd_matching(args),
+        "cover" => cmd_cover(args),
+        "gen" => cmd_gen(args),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_seed(args: &[String]) -> Result<u64, String> {
+    match flag_value(args, "--seed") {
+        None => Ok(42),
+        Some(s) => s.parse().map_err(|_| format!("invalid --seed `{s}`")),
+    }
+}
+
+fn parse_eps(args: &[String]) -> Result<Epsilon, String> {
+    let raw = match flag_value(args, "--eps") {
+        None => 0.1,
+        Some(s) => s.parse().map_err(|_| format!("invalid --eps `{s}`"))?,
+    };
+    Epsilon::new(raw).map_err(|e| e.to_string())
+}
+
+fn load_graph(args: &[String]) -> Result<Graph, String> {
+    let path = args.get(1).ok_or("missing graph file")?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_edge_list(file).map_err(|e| e.to_string())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let g = load_graph(args)?;
+    println!("vertices    : {}", g.num_vertices());
+    println!("edges       : {}", g.num_edges());
+    if let Some(s) = stats::degree_stats(&g) {
+        println!(
+            "degree      : min {} / median {} / mean {:.2} / p99 {} / max {}",
+            s.min, s.median, s.mean, s.p99, s.max
+        );
+    }
+    let (_, components) = g.connected_components();
+    println!("components  : {components}");
+    println!("degeneracy  : {}", stats::degeneracy(&g));
+    Ok(())
+}
+
+fn cmd_mis(args: &[String]) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let seed = parse_seed(args)?;
+    let model = flag_value(args, "--model").unwrap_or_else(|| "mpc".into());
+    match model.as_str() {
+        "mpc" => {
+            let out = greedy_mpc_mis(&g, &GreedyMisConfig::new(seed)).map_err(|e| e.to_string())?;
+            println!("mis_size    : {}", out.mis.len());
+            println!("mpc_rounds  : {}", out.trace.rounds());
+            println!("phases      : {}", out.prefix_phases);
+            println!("max_load    : {} words", out.trace.max_load_words());
+        }
+        "clique" => {
+            let out = clique_mis(&g, &CliqueMisConfig::new(seed)).map_err(|e| e.to_string())?;
+            println!("mis_size      : {}", out.mis.len());
+            println!("clique_rounds : {}", out.rounds);
+            println!("max_inflow    : {} words", out.max_player_in_words);
+        }
+        "luby" => {
+            let out = luby_mis(&g, seed);
+            println!("mis_size : {}", out.mis.len());
+            println!("rounds   : {}", out.rounds);
+        }
+        "seq" => {
+            let s = mis::randomized_greedy_mis(&g, seed);
+            println!("mis_size : {}", s.len());
+        }
+        other => return Err(format!("unknown --model `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_matching(args: &[String]) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let seed = parse_seed(args)?;
+    let eps = parse_eps(args)?;
+    let out = integral_matching(&g, &IntegralMatchingConfig::new(eps, seed))
+        .map_err(|e| e.to_string())?;
+    println!("matching_size : {}", out.matching.len());
+    println!("mpc_rounds    : {}", out.total_rounds);
+    if args.iter().any(|a| a == "--exact") {
+        let opt = matching::blossom(&g).len();
+        println!("optimum       : {opt}");
+        println!(
+            "ratio         : {:.4}",
+            opt as f64 / out.matching.len().max(1) as f64
+        );
+    }
+    Ok(())
+}
+
+fn cmd_cover(args: &[String]) -> Result<(), String> {
+    let g = load_graph(args)?;
+    let seed = parse_seed(args)?;
+    let eps = parse_eps(args)?;
+    let out = integral_matching(&g, &IntegralMatchingConfig::new(eps, seed))
+        .map_err(|e| e.to_string())?;
+    println!("cover_size : {}", out.cover.len());
+    println!("lower_bound: {}", out.matching.len());
+    println!("mpc_rounds : {}", out.total_rounds);
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let kind = args.get(1).ok_or("missing generator kind")?;
+    let n: usize = args
+        .get(2)
+        .ok_or("missing n")?
+        .parse()
+        .map_err(|_| "invalid n".to_string())?;
+    let param: f64 = args
+        .get(3)
+        .ok_or("missing generator parameter")?
+        .parse()
+        .map_err(|_| "invalid parameter".to_string())?;
+    let seed = parse_seed(args)?;
+    let g = match kind.as_str() {
+        "gnp" => generators::gnp(n, param, seed).map_err(|e| e.to_string())?,
+        "powerlaw" => generators::power_law(n, 2.5, param, seed).map_err(|e| e.to_string())?,
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    io::write_edge_list(&g, std::io::stdout().lock()).map_err(|e| e.to_string())
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the *model accounting*: the substrates must
+//! verify the paper's round/memory/bandwidth claims rather than assume
+//! them, and must fail loudly when an algorithm is run outside the
+//! claimed regime.
+
+use mmvc::core::matching::{mpc_simulation, MpcMatchingConfig, PhaseSchedule};
+use mmvc::core::mis::{greedy_mpc_mis, GreedyMisConfig};
+use mmvc::core::{CoreError, Epsilon};
+use mmvc::graph::generators;
+use mmvc::mpc::MpcError;
+
+fn eps() -> Epsilon {
+    Epsilon::new(0.1).expect("valid eps")
+}
+
+#[test]
+fn mis_memory_scales_linearly_not_quadratically() {
+    // Doubling n roughly doubles the max machine load (O(n) words), even
+    // though the edge count quadruples in the dense regime.
+    let g1 = generators::gnp(1024, 0.25, 1).unwrap();
+    let g2 = generators::gnp(2048, 0.25, 1).unwrap();
+    let l1 = greedy_mpc_mis(&g1, &GreedyMisConfig::new(1))
+        .unwrap()
+        .trace
+        .max_load_words();
+    let l2 = greedy_mpc_mis(&g2, &GreedyMisConfig::new(1))
+        .unwrap()
+        .trace
+        .max_load_words();
+    assert!(
+        (l2 as f64) < 4.0 * l1 as f64,
+        "load grew superlinearly: {l1} -> {l2} when n doubled"
+    );
+    assert!(l2 <= 8 * 2048, "load exceeds the 8n budget");
+}
+
+#[test]
+fn matching_rounds_grow_sublogarithmically() {
+    // Rounds at n and at n² should be within a small additive band —
+    // log-log growth — while central-style iteration counts would double.
+    let small = generators::gnp(256, 0.25, 2).unwrap();
+    let large = generators::gnp(4096, 0.25, 2).unwrap();
+    let r_small = mpc_simulation(&small, &MpcMatchingConfig::new(eps(), 2))
+        .unwrap()
+        .trace
+        .rounds();
+    let r_large = mpc_simulation(&large, &MpcMatchingConfig::new(eps(), 2))
+        .unwrap()
+        .trace
+        .rounds();
+    assert!(
+        r_large <= r_small + 24,
+        "rounds {r_small} -> {r_large}: not log-log-ish when n grew 16x"
+    );
+}
+
+#[test]
+fn starved_budget_fails_with_memory_error_not_wrong_answer() {
+    let g = generators::gnp(1024, 0.3, 3).unwrap();
+    let mut cfg = MpcMatchingConfig::new(eps(), 3);
+    cfg.space_factor = 0.02;
+    match mpc_simulation(&g, &cfg) {
+        Err(CoreError::Mpc(MpcError::MemoryExceeded {
+            attempted_words,
+            budget_words,
+            ..
+        })) => {
+            assert!(attempted_words > budget_words);
+        }
+        other => panic!("expected MemoryExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn paper_schedule_matches_practical_on_quality() {
+    // Both schedules must produce valid, comparable-quality outputs; they
+    // differ only in round structure.
+    let g = generators::gnp(400, 0.1, 4).unwrap();
+    let practical = mpc_simulation(&g, &MpcMatchingConfig::new(eps(), 4)).unwrap();
+    let mut paper_cfg = MpcMatchingConfig::new(eps(), 4);
+    paper_cfg.schedule = PhaseSchedule::Paper;
+    let paper = mpc_simulation(&g, &paper_cfg).unwrap();
+    assert!(practical.cover.covers(&g));
+    assert!(paper.cover.covers(&g));
+    let (wp, wq) = (practical.fractional.weight(), paper.fractional.weight());
+    assert!(
+        (wp - wq).abs() <= 0.35 * wq.max(1.0),
+        "schedules diverge too much: {wp} vs {wq}"
+    );
+}
+
+#[test]
+fn trace_per_round_is_consistent() {
+    let g = generators::gnp(512, 0.2, 5).unwrap();
+    let out = mpc_simulation(&g, &MpcMatchingConfig::new(eps(), 5)).unwrap();
+    let trace = &out.trace;
+    assert_eq!(trace.per_round().len(), trace.rounds());
+    for (i, r) in trace.per_round().iter().enumerate() {
+        assert_eq!(r.round, i + 1, "rounds must be numbered consecutively");
+        assert!(r.max_load_words <= r.total_words);
+    }
+    assert_eq!(
+        trace.total_words(),
+        trace
+            .per_round()
+            .iter()
+            .map(|r| r.total_words)
+            .sum::<usize>()
+    );
+}
+
+#[test]
+fn clique_bandwidth_budget_binds() {
+    use mmvc::clique::{CliqueError, CliqueNetwork};
+    let mut net = CliqueNetwork::new(64).unwrap();
+    // A full all-to-all of 3 words costs exactly 3 rounds at 1 word/pair.
+    assert_eq!(net.all_to_all(3).unwrap(), 3);
+    // Oversubscribing a single link in one round fails.
+    let err = net
+        .round(|r| {
+            r.send(0, 1, 1)?;
+            r.send(0, 1, 1)
+        })
+        .unwrap_err();
+    assert!(matches!(err, CliqueError::BandwidthExceeded { .. }));
+}
