@@ -37,7 +37,7 @@ fn bench_matching(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(4));
     group.warm_up_time(std::time::Duration::from_secs(1));
-        for k in [10usize, 11] {
+    for k in [10usize, 11] {
         let n = 1 << k;
         let g = generators::gnp(n, 16.0 / n as f64, k as u64).expect("valid p");
         group.bench_with_input(BenchmarkId::new("theorem_1_2", n), &g, |b, g| {

@@ -30,7 +30,7 @@ fn bench_rounding(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(4));
     group.warm_up_time(std::time::Duration::from_secs(1));
-        for n in [256usize, 1024] {
+    for n in [256usize, 1024] {
         let g = generators::gnp(n, 16.0 / n as f64, 3).expect("valid p");
         group.bench_with_input(BenchmarkId::new("blossom", n), &g, |b, g| {
             b.iter(|| matching::blossom(g))

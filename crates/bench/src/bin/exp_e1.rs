@@ -4,7 +4,7 @@
 //! `n`, reporting prefix phases, sparsified-stage rounds, and total MPC
 //! rounds against the `log₂ log₂ Δ` reference curve.
 
-use mmvc_bench::{header, log_log2, row};
+use mmvc_bench::{header, log_log2, row, SubstrateReport};
 use mmvc_core::mis::{greedy_mpc_mis, GreedyMisConfig};
 use mmvc_graph::generators;
 
@@ -13,46 +13,36 @@ fn run(n: usize, avg_deg: f64, seed: u64) {
     let g = generators::gnp(n, p, seed).expect("valid p");
     let out = greedy_mpc_mis(&g, &GreedyMisConfig::new(seed)).expect("simulation fits budget");
     assert!(out.mis.is_maximal(&g));
-    row(&[
+    let report = SubstrateReport::measure(&out.trace, log_log2(g.max_degree().max(4)));
+    let mut cells = vec![
         n.to_string(),
         g.num_edges().to_string(),
         g.max_degree().to_string(),
         out.prefix_phases.to_string(),
         out.local_rounds.to_string(),
-        out.trace.rounds().to_string(),
-        format!("{:.2}", log_log2(g.max_degree().max(4))),
-        out.mis.len().to_string(),
-    ]);
+    ];
+    cells.extend(report.cells());
+    cells.push(out.mis.len().to_string());
+    row(&cells);
+}
+
+fn sweep_header() {
+    let mut cols = vec!["n", "edges", "maxdeg", "phases", "local_rounds"];
+    cols.extend(SubstrateReport::COLUMNS);
+    cols.push("mis");
+    header(&cols);
 }
 
 fn main() {
     println!("# E1: Theorem 1.1 — MIS rounds vs n and Δ (MPC, practical schedule)");
     println!("## sweep n at average degree 64");
-    header(&[
-        "n",
-        "edges",
-        "maxdeg",
-        "phases",
-        "local_rounds",
-        "mpc_rounds",
-        "loglog_d",
-        "mis",
-    ]);
+    sweep_header();
     for k in 10..=16 {
         run(1 << k, 64.0, k as u64);
     }
     println!();
     println!("## sweep Δ at n = 16384");
-    header(&[
-        "n",
-        "edges",
-        "maxdeg",
-        "phases",
-        "local_rounds",
-        "mpc_rounds",
-        "loglog_d",
-        "mis",
-    ]);
+    sweep_header();
     for (i, deg) in [16.0, 64.0, 256.0, 1024.0, 4096.0].into_iter().enumerate() {
         run(16384, deg, 100 + i as u64);
     }

@@ -5,37 +5,31 @@
 //! (the precondition of Lenzen's routing scheme — violating it would
 //! abort the simulation).
 
-use mmvc_bench::{header, log_log2, row};
+use mmvc_bench::{header, log_log2, row, SubstrateReport};
 use mmvc_core::mis::{clique_mis, CliqueMisConfig};
 use mmvc_graph::generators;
 
 fn main() {
     println!("# E10: Theorem 1.1 in CONGESTED-CLIQUE (G(n, deg 64))");
-    header(&[
-        "n",
-        "maxdeg",
-        "phases",
-        "local_rounds",
-        "clique_rounds",
-        "loglog_d",
-        "max_inflow",
-        "inflow_budget",
-    ]);
+    let mut cols = vec!["n", "maxdeg", "phases", "local_rounds"];
+    cols.extend(SubstrateReport::COLUMNS);
+    cols.push("inflow_budget");
+    header(&cols);
     for k in 9..=13 {
         let n = 1usize << k;
         let g = generators::gnp(n, 64.0 / n as f64, k as u64).expect("valid p");
         let out = clique_mis(&g, &CliqueMisConfig::new(k as u64)).expect("feasible routing");
         assert!(out.mis.is_maximal(&g));
-        assert!(out.max_player_in_words <= n);
-        row(&[
+        let report = SubstrateReport::measure(&out.trace, log_log2(g.max_degree().max(4)));
+        assert!(report.max_load_words <= n);
+        let mut cells = vec![
             n.to_string(),
             g.max_degree().to_string(),
             out.prefix_phases.to_string(),
             out.local_rounds.to_string(),
-            out.rounds.to_string(),
-            format!("{:.2}", log_log2(g.max_degree().max(4))),
-            out.max_player_in_words.to_string(),
-            n.to_string(),
-        ]);
+        ];
+        cells.extend(report.cells());
+        cells.push(n.to_string());
+        row(&cells);
     }
 }

@@ -9,23 +9,17 @@
 //! rounds, measured per-machine load, and quality — rounds must stay
 //! flat while memory shrinks.
 
-use mmvc_bench::{approx_ratio, header, row};
+use mmvc_bench::{approx_ratio, header, row, SubstrateReport};
 use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
 use mmvc_core::Epsilon;
 use mmvc_graph::{generators, matching};
 
 fn main() {
     println!("# E13: sublinear memory regime (n = 4096, G(n, 0.125))");
-    header(&[
-        "reduction",
-        "budget_words",
-        "max_load",
-        "phases",
-        "mpc_rounds",
-        "frac_weight",
-        "matching_ratio",
-        "removed",
-    ]);
+    let mut cols = vec!["reduction", "budget_words", "phases"];
+    cols.extend(SubstrateReport::COLUMNS);
+    cols.extend(["frac_weight", "matching_ratio", "removed"]);
+    header(&cols);
     let eps = Epsilon::new(0.1).expect("valid eps");
     let n = 4096;
     let g = generators::gnp(n, 0.125, 13).expect("valid p");
@@ -34,15 +28,18 @@ fn main() {
         let cfg = MpcMatchingConfig::sublinear(eps, 13, reduction);
         let out = mpc_simulation(&g, &cfg).expect("fits budget");
         let removed = out.removed.iter().filter(|&&r| r).count();
-        row(&[
+        let report = SubstrateReport::measure(&out.trace, mmvc_bench::log_log2(n));
+        let mut cells = vec![
             format!("{reduction}"),
             ((8.0 / reduction * n as f64).ceil() as usize).to_string(),
-            out.trace.max_load_words().to_string(),
             out.phases.to_string(),
-            out.trace.rounds().to_string(),
+        ];
+        cells.extend(report.cells());
+        cells.extend([
             format!("{:.1}", out.fractional.weight()),
             format!("{:.3}", approx_ratio(opt, out.fractional.weight())),
             removed.to_string(),
         ]);
+        row(&cells);
     }
 }

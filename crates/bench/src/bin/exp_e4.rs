@@ -6,21 +6,18 @@
 //! iterations, and the measured approximation ratios (against blossom up
 //! to n = 4096, against the greedy-matching lower bound above that).
 
-use mmvc_bench::{approx_ratio, header, log_log2, row};
+use mmvc_bench::{approx_ratio, header, log_log2, row, SubstrateReport};
 use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
 use mmvc_core::Epsilon;
 use mmvc_graph::{generators, matching};
 
 fn main() {
     println!("# E4: Lemma 4.2 — MPC-Simulation rounds and quality (eps = 0.1, G(n, n/8 degree))");
-    header(&[
-        "n",
-        "edges",
-        "phases",
-        "mpc_rounds",
+    let mut cols = vec!["n", "edges", "phases"];
+    cols.extend(SubstrateReport::COLUMNS);
+    cols.extend([
         "tail_rounds",
         "iterations",
-        "loglog_n",
         "frac_weight",
         "opt_lb",
         "matching_ratio",
@@ -28,6 +25,7 @@ fn main() {
         "cover_vs_lb",
         "removed",
     ]);
+    header(&cols);
     let eps = Epsilon::new(0.1).expect("valid eps");
     for k in 9..=14 {
         let n = 1usize << k;
@@ -43,14 +41,16 @@ fn main() {
             (matching::greedy_maximal_matching(&g).len() as f64, false)
         };
         let removed = out.removed.iter().filter(|&&r| r).count();
-        row(&[
+        let report = SubstrateReport::measure(&out.trace, log_log2(n));
+        let mut cells = vec![
             n.to_string(),
             g.num_edges().to_string(),
             out.phases.to_string(),
-            out.trace.rounds().to_string(),
+        ];
+        cells.extend(report.cells());
+        cells.extend([
             out.tail_iterations.to_string(),
             out.iterations.to_string(),
-            format!("{:.2}", log_log2(n)),
             format!("{:.1}", out.fractional.weight()),
             format!("{}{}", if exact { "" } else { ">=" }, opt),
             format!("{:.3}", approx_ratio(opt, out.fractional.weight())),
@@ -58,5 +58,6 @@ fn main() {
             format!("{:.3}", out.cover.len() as f64 / opt.max(1.0)),
             removed.to_string(),
         ]);
+        row(&cells);
     }
 }

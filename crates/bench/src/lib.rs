@@ -4,6 +4,73 @@
 //! Each experiment binary regenerates one table of `EXPERIMENTS.md`; run
 //! them as `cargo run --release -p mmvc-bench --bin exp_e1` (etc.). The
 //! experiment index lives in `DESIGN.md` §5.
+//!
+//! Substrate-derived columns (measured rounds, claimed rounds, their
+//! ratio, peak load) go through [`SubstrateReport`], which consumes any
+//! [`mmvc_substrate::Substrate`] — a live `Cluster`, a live
+//! `CliqueNetwork`, or the `ExecutionTrace` an algorithm outcome carries —
+//! so every experiment reports claimed-vs-measured numbers through one
+//! code path.
+
+use mmvc_substrate::Substrate;
+
+/// The substrate-derived portion of an experiment row: measured
+/// quantities next to the paper's claimed round bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubstrateReport {
+    /// Which substrate was measured (`"mpc"`, `"congested-clique"`, or
+    /// `"trace"` for a stored [`mmvc_substrate::ExecutionTrace`]).
+    pub substrate: &'static str,
+    /// Measured rounds.
+    pub rounds: usize,
+    /// Measured peak per-machine / per-player load in words.
+    pub max_load_words: usize,
+    /// Measured total communication in words.
+    pub total_words: usize,
+    /// The claimed round bound being tested (e.g. `log₂ log₂ Δ`).
+    pub claimed_rounds: f64,
+}
+
+impl SubstrateReport {
+    /// Header labels matching [`SubstrateReport::cells`].
+    pub const COLUMNS: [&'static str; 4] =
+        ["rounds", "claimed_rounds", "round_ratio", "max_load_words"];
+
+    /// Measures `substrate` against a claimed round bound.
+    pub fn measure(substrate: &dyn Substrate, claimed_rounds: f64) -> Self {
+        SubstrateReport {
+            substrate: substrate.substrate_name(),
+            rounds: substrate.rounds(),
+            max_load_words: substrate.max_load_words(),
+            total_words: substrate.total_words(),
+            claimed_rounds,
+        }
+    }
+
+    /// `measured / claimed` — the figure of merit for the paper's round
+    /// bounds (`inf` when the claim is zero but rounds were used; 1 when
+    /// both are zero).
+    pub fn round_ratio(&self) -> f64 {
+        if self.claimed_rounds > 0.0 {
+            self.rounds as f64 / self.claimed_rounds
+        } else if self.rounds == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The TSV cells for this report, in [`SubstrateReport::COLUMNS`]
+    /// order.
+    pub fn cells(&self) -> Vec<String> {
+        vec![
+            self.rounds.to_string(),
+            format!("{:.2}", self.claimed_rounds),
+            format!("{:.2}", self.round_ratio()),
+            self.max_load_words.to_string(),
+        ]
+    }
+}
 
 /// Prints a TSV header row.
 pub fn header(cols: &[&str]) {
@@ -83,7 +150,10 @@ pub fn ascii_chart(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usi
         );
     }
     let glyphs = ['*', 'o', '+', 'x', '#', '@'];
-    let all: Vec<f64> = series.iter().flat_map(|(_, ys)| ys.iter().copied()).collect();
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .collect();
     let (lo, hi) = (min(&all), max(&all));
     let span = (hi - lo).max(1e-12);
     let cols = x_labels.len();
@@ -133,6 +203,46 @@ pub fn ascii_chart(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usi
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmvc_substrate::{ExecutionTrace, RoundSummary};
+
+    #[test]
+    fn substrate_report_measures_any_substrate() {
+        let mut t = ExecutionTrace::new();
+        t.record(RoundSummary {
+            round: 1,
+            max_load_words: 7,
+            total_words: 20,
+        });
+        t.record(RoundSummary {
+            round: 2,
+            max_load_words: 3,
+            total_words: 4,
+        });
+        let r = SubstrateReport::measure(&t, 4.0);
+        assert_eq!(r.substrate, "trace");
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.max_load_words, 7);
+        assert_eq!(r.total_words, 24);
+        assert!((r.round_ratio() - 0.5).abs() < 1e-12);
+        let cells = r.cells();
+        assert_eq!(cells.len(), SubstrateReport::COLUMNS.len());
+        assert_eq!(cells[0], "2");
+        assert_eq!(cells[2], "0.50");
+    }
+
+    #[test]
+    fn round_ratio_edge_cases() {
+        let empty = SubstrateReport::measure(&ExecutionTrace::new(), 0.0);
+        assert_eq!(empty.round_ratio(), 1.0);
+        let mut t = ExecutionTrace::new();
+        t.record(RoundSummary {
+            round: 1,
+            max_load_words: 0,
+            total_words: 0,
+        });
+        let r = SubstrateReport::measure(&t, 0.0);
+        assert_eq!(r.round_ratio(), f64::INFINITY);
+    }
 
     #[test]
     fn log_log_values() {
@@ -168,7 +278,11 @@ mod tests {
         assert!(chart.contains("o flat"));
         assert!(chart.contains('a') && chart.contains('c'));
         assert!(chart.contains("3.0") && chart.contains("1.0"));
-        assert_eq!(chart.lines().count(), 6 + 3, "rows + axis + labels + legend");
+        assert_eq!(
+            chart.lines().count(),
+            6 + 3,
+            "rows + axis + labels + legend"
+        );
     }
 
     #[test]

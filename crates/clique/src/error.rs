@@ -113,6 +113,53 @@ impl fmt::Display for CliqueError {
 
 impl Error for CliqueError {}
 
+impl From<CliqueError> for mmvc_substrate::SubstrateError {
+    fn from(e: CliqueError) -> Self {
+        use mmvc_substrate::SubstrateError;
+        const SUBSTRATE: &str = "congested-clique";
+        match e {
+            CliqueError::BandwidthExceeded {
+                from,
+                to,
+                round,
+                attempted_words,
+                budget_words,
+            } => SubstrateError::LoadExceeded {
+                substrate: SUBSTRATE,
+                location: format!("link {from}->{to}"),
+                round: Some(round),
+                attempted_words,
+                budget_words,
+            },
+            CliqueError::RoutingOverload {
+                player,
+                role,
+                attempted_words,
+                capacity_words,
+            } => SubstrateError::LoadExceeded {
+                substrate: SUBSTRATE,
+                location: format!("player {player} as {role}"),
+                round: None,
+                attempted_words,
+                budget_words: capacity_words,
+            },
+            CliqueError::NoSuchPlayer { player, n } => SubstrateError::InvalidAddress {
+                substrate: SUBSTRATE,
+                address: player,
+                limit: n,
+            },
+            CliqueError::RoundProtocol { message } => SubstrateError::RoundProtocol {
+                substrate: SUBSTRATE,
+                message,
+            },
+            CliqueError::InvalidConfig { message } => SubstrateError::InvalidConfig {
+                substrate: SUBSTRATE,
+                message,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,5 +184,55 @@ mod tests {
         assert!(CliqueError::NoSuchPlayer { player: 3, n: 2 }
             .to_string()
             .contains("player 3"));
+    }
+
+    #[test]
+    fn converts_to_substrate_error() {
+        use mmvc_substrate::SubstrateError;
+        let e: SubstrateError = CliqueError::BandwidthExceeded {
+            from: 1,
+            to: 2,
+            round: 3,
+            attempted_words: 4,
+            budget_words: 1,
+        }
+        .into();
+        assert_eq!(
+            e,
+            SubstrateError::LoadExceeded {
+                substrate: "congested-clique",
+                location: "link 1->2".into(),
+                round: Some(3),
+                attempted_words: 4,
+                budget_words: 1,
+            }
+        );
+        let e: SubstrateError = CliqueError::RoutingOverload {
+            player: 5,
+            role: RoutingRole::Receiver,
+            attempted_words: 100,
+            capacity_words: 10,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            SubstrateError::LoadExceeded { round: None, .. }
+        ));
+        let e: SubstrateError = CliqueError::NoSuchPlayer { player: 3, n: 2 }.into();
+        assert!(matches!(
+            e,
+            SubstrateError::InvalidAddress {
+                address: 3,
+                limit: 2,
+                ..
+            }
+        ));
+        let e: SubstrateError = CliqueError::RoundProtocol { message: "m" }.into();
+        assert!(matches!(e, SubstrateError::RoundProtocol { .. }));
+        let e: SubstrateError = CliqueError::InvalidConfig {
+            message: "c".into(),
+        }
+        .into();
+        assert!(matches!(e, SubstrateError::InvalidConfig { .. }));
     }
 }

@@ -36,6 +36,9 @@ mod network;
 
 pub use error::{CliqueError, RoutingRole};
 pub use network::{CliqueNetwork, CliqueRoundCtx, LENZEN_ROUTING_ROUNDS};
+// The trace types are shared with the MPC substrate and live in
+// `mmvc-substrate`; re-exported here for convenience.
+pub use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate, SubstrateError};
 
 #[cfg(test)]
 mod proptests {

@@ -1,6 +1,7 @@
 //! The simulated CONGESTED-CLIQUE network.
 
 use crate::error::{CliqueError, RoutingRole};
+use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
 use std::collections::HashMap;
 
 /// Number of rounds charged for one invocation of Lenzen's routing scheme.
@@ -37,9 +38,7 @@ pub const LENZEN_ROUTING_ROUNDS: usize = 2;
 pub struct CliqueNetwork {
     n: usize,
     words_per_pair: usize,
-    rounds: usize,
-    total_words: usize,
-    max_player_in_words: usize,
+    trace: ExecutionTrace,
     open: Option<RoundState>,
 }
 
@@ -89,9 +88,7 @@ impl CliqueNetwork {
         Ok(CliqueNetwork {
             n,
             words_per_pair,
-            rounds: 0,
-            total_words: 0,
-            max_player_in_words: 0,
+            trace: ExecutionTrace::new(),
             open: None,
         })
     }
@@ -106,19 +103,54 @@ impl CliqueNetwork {
         self.words_per_pair
     }
 
+    /// The per-round record of the execution so far.
+    pub fn trace(&self) -> &ExecutionTrace {
+        &self.trace
+    }
+
     /// Rounds elapsed.
     pub fn rounds(&self) -> usize {
-        self.rounds
+        self.trace.rounds()
     }
 
     /// Total words communicated so far.
     pub fn total_words(&self) -> usize {
-        self.total_words
+        self.trace.total_words()
     }
 
     /// The largest number of words any single player received in one round.
     pub fn max_player_in_words(&self) -> usize {
-        self.max_player_in_words
+        self.trace.max_load_words()
+    }
+
+    /// Records `k` completed rounds, attributing `total_words` and a
+    /// per-player peak of `max_in_words` to the first of them (the
+    /// convention for abstracted constant-round primitives, whose traffic
+    /// the model charges as a block).
+    fn record_rounds(&mut self, k: usize, total_words: usize, max_in_words: usize) {
+        for i in 0..k {
+            let (total, max_in) = if i == 0 {
+                (total_words, max_in_words)
+            } else {
+                (0, 0)
+            };
+            self.trace.record(RoundSummary {
+                round: self.trace.rounds() + 1,
+                max_load_words: max_in,
+                total_words: total,
+            });
+        }
+    }
+
+    /// Fails with [`CliqueError::RoundProtocol`] if a round is open —
+    /// the precondition of the whole-round primitives.
+    fn ensure_no_open_round(&self) -> Result<(), CliqueError> {
+        if self.open.is_some() {
+            return Err(CliqueError::RoundProtocol {
+                message: "round already open",
+            });
+        }
+        Ok(())
     }
 
     fn check_player(&self, player: usize) -> Result<(), CliqueError> {
@@ -158,7 +190,7 @@ impl CliqueNetwork {
     pub fn send(&mut self, from: usize, to: usize, words: usize) -> Result<(), CliqueError> {
         self.check_player(from)?;
         self.check_player(to)?;
-        let round = self.rounds + 1;
+        let round = self.trace.rounds() + 1;
         let budget = self.words_per_pair;
         let Some(state) = self.open.as_mut() else {
             return Err(CliqueError::RoundProtocol {
@@ -194,10 +226,11 @@ impl CliqueNetwork {
                 message: "end_round without begin_round",
             });
         };
-        self.rounds += 1;
-        self.total_words += state.words_this_round;
-        let max_in = state.in_words.iter().copied().max().unwrap_or(0);
-        self.max_player_in_words = self.max_player_in_words.max(max_in);
+        self.trace.record(RoundSummary {
+            round: self.trace.rounds() + 1,
+            max_load_words: state.in_words.iter().copied().max().unwrap_or(0),
+            total_words: state.words_this_round,
+        });
         Ok(())
     }
 
@@ -268,20 +301,13 @@ impl CliqueNetwork {
     ///
     /// [`CliqueError::RoundProtocol`] if a round is already open.
     pub fn all_to_all(&mut self, words: usize) -> Result<usize, CliqueError> {
-        if self.open.is_some() {
-            return Err(CliqueError::RoundProtocol {
-                message: "round already open",
-            });
-        }
+        self.ensure_no_open_round()?;
         let rounds_needed = words.div_ceil(self.words_per_pair);
         let pairs = self.n * self.n.saturating_sub(1);
         let mut remaining = words;
         for _ in 0..rounds_needed {
             let chunk = remaining.min(self.words_per_pair);
-            self.rounds += 1;
-            self.total_words += pairs * chunk;
-            let per_player_in = self.n.saturating_sub(1) * chunk;
-            self.max_player_in_words = self.max_player_in_words.max(per_player_in);
+            self.record_rounds(1, pairs * chunk, self.n.saturating_sub(1) * chunk);
             remaining -= chunk;
         }
         Ok(rounds_needed)
@@ -332,16 +358,12 @@ impl CliqueNetwork {
                 });
             }
         }
+        self.ensure_no_open_round()?;
         // The scheme itself is abstracted: charge its constant round cost
         // and account the traffic.
-        for _ in 0..LENZEN_ROUTING_ROUNDS {
-            self.begin_round()?;
-            self.end_round()?;
-        }
         let total: usize = messages.iter().map(|&(_, _, w)| w).sum();
-        self.total_words += total;
         let max_in = inc.iter().copied().max().unwrap_or(0);
-        self.max_player_in_words = self.max_player_in_words.max(max_in);
+        self.record_rounds(LENZEN_ROUTING_ROUNDS, total, max_in);
         Ok(LENZEN_ROUTING_ROUNDS)
     }
 
@@ -381,15 +403,21 @@ impl CliqueNetwork {
                 capacity_words: self.n,
             });
         }
-        for _ in 0..LENZEN_ROUTING_ROUNDS {
-            self.begin_round()?;
-            self.end_round()?;
-        }
-        self.total_words += values.len();
-        self.max_player_in_words = self.max_player_in_words.max(1.min(values.len()));
+        self.ensure_no_open_round()?;
+        self.record_rounds(LENZEN_ROUTING_ROUNDS, values.len(), 1.min(values.len()));
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
         Ok(sorted)
+    }
+}
+
+impl Substrate for CliqueNetwork {
+    fn substrate_name(&self) -> &'static str {
+        "congested-clique"
+    }
+
+    fn execution_trace(&self) -> &ExecutionTrace {
+        &self.trace
     }
 }
 
@@ -574,6 +602,32 @@ mod tests {
         let mut net = CliqueNetwork::new(3).unwrap();
         net.charge_rounds(5).unwrap();
         assert_eq!(net.rounds(), 5);
+    }
+
+    #[test]
+    fn network_is_a_substrate() {
+        let mut net = CliqueNetwork::new(5).unwrap();
+        net.broadcast(0, 2).unwrap();
+        let s: &dyn Substrate = &net;
+        assert_eq!(s.substrate_name(), "congested-clique");
+        assert_eq!(s.rounds(), 2);
+        assert_eq!(s.total_words(), 2 * 4);
+        assert_eq!(s.max_load_words(), net.max_player_in_words());
+        assert_eq!(s.execution_trace().per_round().len(), 2);
+    }
+
+    #[test]
+    fn lenzen_route_rejects_open_round() {
+        let mut net = CliqueNetwork::new(4).unwrap();
+        net.begin_round().unwrap();
+        assert!(matches!(
+            net.lenzen_route(&[(0, 1, 1)]),
+            Err(CliqueError::RoundProtocol { .. })
+        ));
+        assert!(matches!(
+            net.lenzen_sort(&[1, 2]),
+            Err(CliqueError::RoundProtocol { .. })
+        ));
     }
 
     #[test]

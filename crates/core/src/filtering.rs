@@ -45,7 +45,7 @@ pub struct FilteringOutcome {
     /// Filtering iterations executed (excluding the final gather).
     pub filter_rounds: usize,
     /// The metered MPC execution.
-    pub trace: mmvc_mpc::ExecutionTrace,
+    pub trace: mmvc_substrate::ExecutionTrace,
 }
 
 /// Computes a maximal matching with the \[LMSV11\] filtering algorithm

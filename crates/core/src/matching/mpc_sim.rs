@@ -211,7 +211,7 @@ pub struct MpcMatchingOutcome {
     /// Per-vertex freeze iteration ([`NEVER_FROZEN`] = never froze).
     pub freeze_iteration: Vec<u32>,
     /// The metered MPC execution (rounds, per-machine loads).
-    pub trace: mmvc_mpc::ExecutionTrace,
+    pub trace: mmvc_substrate::ExecutionTrace,
     /// Deviation diagnostics, when requested via
     /// [`MpcMatchingConfig::diagnostics`].
     pub diagnostics: Option<SimDiagnostics>,

@@ -61,11 +61,12 @@ pub struct CliqueMisOutcome {
     pub prefix_phases: usize,
     /// Rounds used by the sparsified local subroutine.
     pub local_rounds: usize,
-    /// Total CONGESTED-CLIQUE rounds (the Theorem 1.1 quantity).
-    pub rounds: usize,
-    /// Largest number of words any player received in one round
-    /// (bounded by `n · bandwidth` — the Lenzen precondition).
-    pub max_player_in_words: usize,
+    /// The per-round substrate record; `trace.rounds()` is the total
+    /// CONGESTED-CLIQUE round count (the Theorem 1.1 quantity) and
+    /// `trace.max_load_words()` the largest number of words any player
+    /// received in one round (bounded by `n · bandwidth` — the Lenzen
+    /// precondition).
+    pub trace: mmvc_substrate::ExecutionTrace,
 }
 
 /// Splits a routing instance into feasible chunks and routes each,
@@ -135,8 +136,7 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
             mis: IndependentSet::empty(0),
             prefix_phases: 0,
             local_rounds: 0,
-            rounds: 0,
-            max_player_in_words: 0,
+            trace: mmvc_substrate::ExecutionTrace::new(),
         });
     }
     let mut net = CliqueNetwork::new(n)?;
@@ -303,8 +303,7 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
         mis,
         prefix_phases,
         local_rounds: local.rounds,
-        rounds: net.rounds(),
-        max_player_in_words: net.max_player_in_words(),
+        trace: net.trace().clone(),
     })
 }
 
@@ -336,8 +335,8 @@ mod tests {
         // these sizes.
         let g = generators::gnp(512, 0.1, 1).unwrap();
         let out = clique_mis(&g, &CliqueMisConfig::new(1)).unwrap();
-        assert!(out.rounds < 100, "rounds = {}", out.rounds);
-        assert!(out.rounds >= 3, "at least setup + one phase");
+        assert!(out.trace.rounds() < 100, "rounds = {}", out.trace.rounds());
+        assert!(out.trace.rounds() >= 3, "at least setup + one phase");
     }
 
     #[test]
@@ -346,14 +345,14 @@ mod tests {
         // success of the run certifies it.
         let g = generators::gnp(300, 0.3, 2).unwrap();
         let out = clique_mis(&g, &CliqueMisConfig::new(2)).unwrap();
-        assert!(out.max_player_in_words <= 300);
+        assert!(out.trace.max_load_words() <= 300);
     }
 
     #[test]
     fn empty_graph() {
         let g = mmvc_graph::Graph::empty(0);
         let out = clique_mis(&g, &CliqueMisConfig::new(0)).unwrap();
-        assert_eq!(out.rounds, 0);
+        assert_eq!(out.trace.rounds(), 0);
         assert!(out.mis.is_empty());
     }
 
@@ -393,6 +392,6 @@ mod tests {
         let a = clique_mis(&g, &CliqueMisConfig::new(7)).unwrap();
         let b = clique_mis(&g, &CliqueMisConfig::new(7)).unwrap();
         assert_eq!(a.mis.members(), b.mis.members());
-        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.trace.rounds(), b.trace.rounds());
     }
 }

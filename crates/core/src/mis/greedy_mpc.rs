@@ -92,7 +92,7 @@ pub struct GreedyMisOutcome {
     /// the Lemma 3.1 / Eq. (1) `O(n)` quantity (experiment E2).
     pub phase_edge_words: Vec<usize>,
     /// The metered MPC execution.
-    pub trace: mmvc_mpc::ExecutionTrace,
+    pub trace: mmvc_substrate::ExecutionTrace,
 }
 
 /// Computes an MIS with the Theorem 1.1 MPC algorithm.

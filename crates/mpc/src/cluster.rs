@@ -10,7 +10,7 @@
 
 use crate::config::MpcConfig;
 use crate::error::MpcError;
-use crate::trace::{ExecutionTrace, RoundSummary};
+use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
 
 /// A simulated MPC cluster (paper, Section 1.1.1).
 ///
@@ -151,7 +151,7 @@ impl Cluster {
             max_load_words: loads.iter().copied().max().unwrap_or(0),
             total_words: loads.iter().sum(),
         };
-        self.trace.push(summary);
+        self.trace.record(summary);
         Ok(summary)
     }
 
@@ -277,6 +277,16 @@ impl Cluster {
         }
         self.end_round()?;
         Ok(outputs)
+    }
+}
+
+impl Substrate for Cluster {
+    fn substrate_name(&self) -> &'static str {
+        "mpc"
+    }
+
+    fn execution_trace(&self) -> &ExecutionTrace {
+        &self.trace
     }
 }
 
@@ -459,6 +469,22 @@ mod tests {
         let out: Vec<()> = c.parallel_round(0, |_| ((), 0)).unwrap();
         assert!(out.is_empty());
         assert_eq!(c.rounds(), 1, "an empty round still advances the clock");
+    }
+
+    #[test]
+    fn cluster_is_a_substrate() {
+        let mut c = small();
+        c.round(|r| {
+            r.receive(0, 40)?;
+            r.receive(1, 10)
+        })
+        .unwrap();
+        c.round(|r| r.receive(2, 25)).unwrap();
+        let s: &dyn Substrate = &c;
+        assert_eq!(s.substrate_name(), "mpc");
+        assert_eq!(s.rounds(), 2);
+        assert_eq!(s.max_load_words(), 40);
+        assert_eq!(s.total_words(), 75);
     }
 
     #[test]

@@ -75,6 +75,43 @@ impl fmt::Display for MpcError {
 
 impl Error for MpcError {}
 
+impl From<MpcError> for mmvc_substrate::SubstrateError {
+    fn from(e: MpcError) -> Self {
+        use mmvc_substrate::SubstrateError;
+        const SUBSTRATE: &str = "mpc";
+        match e {
+            MpcError::MemoryExceeded {
+                machine,
+                round,
+                attempted_words,
+                budget_words,
+            } => SubstrateError::LoadExceeded {
+                substrate: SUBSTRATE,
+                location: format!("machine {machine}"),
+                round: Some(round),
+                attempted_words,
+                budget_words,
+            },
+            MpcError::NoSuchMachine {
+                machine,
+                num_machines,
+            } => SubstrateError::InvalidAddress {
+                substrate: SUBSTRATE,
+                address: machine,
+                limit: num_machines,
+            },
+            MpcError::RoundProtocol { message } => SubstrateError::RoundProtocol {
+                substrate: SUBSTRATE,
+                message,
+            },
+            MpcError::InvalidConfig { message } => SubstrateError::InvalidConfig {
+                substrate: SUBSTRATE,
+                message,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +138,47 @@ mod tests {
     fn is_error_trait_object() {
         let e: Box<dyn Error + Send + Sync> = Box::new(MpcError::RoundProtocol { message: "x" });
         assert!(e.to_string().contains("x"));
+    }
+
+    #[test]
+    fn converts_to_substrate_error() {
+        use mmvc_substrate::SubstrateError;
+        let e: SubstrateError = MpcError::MemoryExceeded {
+            machine: 3,
+            round: 7,
+            attempted_words: 1000,
+            budget_words: 100,
+        }
+        .into();
+        assert_eq!(
+            e,
+            SubstrateError::LoadExceeded {
+                substrate: "mpc",
+                location: "machine 3".into(),
+                round: Some(7),
+                attempted_words: 1000,
+                budget_words: 100,
+            }
+        );
+        let e: SubstrateError = MpcError::NoSuchMachine {
+            machine: 9,
+            num_machines: 4,
+        }
+        .into();
+        assert!(matches!(
+            e,
+            SubstrateError::InvalidAddress {
+                address: 9,
+                limit: 4,
+                ..
+            }
+        ));
+        let e: SubstrateError = MpcError::RoundProtocol { message: "m" }.into();
+        assert!(matches!(e, SubstrateError::RoundProtocol { .. }));
+        let e: SubstrateError = MpcError::InvalidConfig {
+            message: "c".into(),
+        }
+        .into();
+        assert!(matches!(e, SubstrateError::InvalidConfig { .. }));
     }
 }

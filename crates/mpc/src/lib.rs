@@ -43,14 +43,16 @@ mod config;
 mod error;
 mod partition;
 mod primitives;
-mod trace;
 
 pub use cluster::{Cluster, RoundCtx};
 pub use config::MpcConfig;
 pub use error::MpcError;
 pub use partition::{machine_of_vertex, random_vertex_partition};
 pub use primitives::{mpc_aggregate_by_key, mpc_prefix_sum, mpc_sort};
-pub use trace::{ExecutionTrace, RoundSummary};
+// The trace types are shared with the CONGESTED-CLIQUE substrate and live
+// in `mmvc-substrate`; re-exported here so `mmvc_mpc::ExecutionTrace`
+// keeps working.
+pub use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate, SubstrateError};
 
 #[cfg(test)]
 mod proptests {

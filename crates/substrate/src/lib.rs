@@ -1,0 +1,108 @@
+//! # mmvc-substrate
+//!
+//! The shared metering layer under both simulated substrates of the `mmvc`
+//! workspace — the from-scratch reproduction of *"Improved Massively
+//! Parallel Computation Algorithms for MIS, Matching, and Vertex Cover"*
+//! (Ghaffari, Gouleakis, Konrad, Mitrović, Rubinfeld — PODC 2018).
+//!
+//! The paper states its theorems against **two** models: MPC (machines ×
+//! words of memory; Section 1.1.1) and CONGESTED-CLIQUE (per-link
+//! bandwidth; Section 1.1.2). Both charge *rounds* and *words*, and every
+//! experiment in the harness reports the same three measured quantities
+//! against the paper's claims. This crate owns that common vocabulary:
+//!
+//! * [`Substrate`] — the trait both `mmvc_mpc::Cluster` and
+//!   `mmvc_clique::CliqueNetwork` implement: `rounds()`,
+//!   `max_load_words()`, `total_words()`, and access to the full
+//!   [`ExecutionTrace`];
+//! * [`ExecutionTrace`] / [`RoundSummary`] — the unified per-round record;
+//! * [`SubstrateError`] — the substrate-agnostic failure type every
+//!   model-specific error converts into.
+//!
+//! ```
+//! use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
+//!
+//! // Anything carrying an ExecutionTrace is a read-only Substrate.
+//! let mut trace = ExecutionTrace::new();
+//! trace.record(RoundSummary { round: 1, max_load_words: 8, total_words: 24 });
+//!
+//! let s: &dyn Substrate = &trace;
+//! assert_eq!(s.rounds(), 1);
+//! assert_eq!(s.max_load_words(), 8);
+//! assert_eq!(s.total_words(), 24);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod trace;
+
+pub use error::SubstrateError;
+pub use trace::{ExecutionTrace, RoundSummary};
+
+/// A metered execution substrate.
+///
+/// Implemented by the live simulators (`mmvc_mpc::Cluster`,
+/// `mmvc_clique::CliqueNetwork`) and by [`ExecutionTrace`] itself, so the
+/// harness can report rounds and loads through one code path whether it
+/// holds a live substrate or a finished trace.
+pub trait Substrate {
+    /// Short name of the model, e.g. `"mpc"` or `"congested-clique"`.
+    fn substrate_name(&self) -> &'static str;
+
+    /// The per-round record of the execution so far.
+    fn execution_trace(&self) -> &ExecutionTrace;
+
+    /// Number of completed rounds — the complexity measure of both models.
+    fn rounds(&self) -> usize {
+        self.execution_trace().rounds()
+    }
+
+    /// The largest per-machine (MPC) or per-player (clique) load observed
+    /// in any round, in words.
+    fn max_load_words(&self) -> usize {
+        self.execution_trace().max_load_words()
+    }
+
+    /// Total words communicated over the whole execution.
+    fn total_words(&self) -> usize {
+        self.execution_trace().total_words()
+    }
+}
+
+impl Substrate for ExecutionTrace {
+    fn substrate_name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn execution_trace(&self) -> &ExecutionTrace {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_a_substrate() {
+        let mut t = ExecutionTrace::new();
+        t.record(RoundSummary {
+            round: 1,
+            max_load_words: 5,
+            total_words: 11,
+        });
+        t.record(RoundSummary {
+            round: 2,
+            max_load_words: 9,
+            total_words: 2,
+        });
+        let s: &dyn Substrate = &t;
+        assert_eq!(s.substrate_name(), "trace");
+        assert_eq!(s.rounds(), 2);
+        assert_eq!(s.max_load_words(), 9);
+        assert_eq!(s.total_words(), 13);
+        assert_eq!(s.execution_trace().per_round().len(), 2);
+    }
+}

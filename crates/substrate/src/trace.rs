@@ -1,22 +1,26 @@
-//! Execution traces: the measured quantities the experiments report.
+//! Execution traces: the measured quantities every experiment reports.
+//!
+//! Moved here from `mmvc-mpc` so that both simulated substrates (MPC and
+//! CONGESTED-CLIQUE) record their executions in one format and the
+//! harness can report claimed-vs-measured numbers through one code path.
 
-/// Summary of one completed MPC round.
+/// Summary of one completed substrate round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RoundSummary {
     /// 1-based round index.
     pub round: usize,
-    /// Maximum words received/held by any machine this round.
+    /// Maximum words received/held by any machine or player this round.
     pub max_load_words: usize,
-    /// Total words communicated across all machines this round.
+    /// Total words communicated across the substrate this round.
     pub total_words: usize,
 }
 
-/// The complete record of a simulated MPC execution.
+/// The complete record of a simulated execution.
 ///
-/// This is the primary *output* of the substrate from the experiments'
-/// point of view: the paper's theorems bound `rounds()` and
-/// `max_load_words()`, and the harness reports these measured values
-/// against the claims.
+/// This is the primary *output* of a substrate from the experiments' point
+/// of view: the paper's theorems bound [`rounds`](ExecutionTrace::rounds)
+/// and [`max_load_words`](ExecutionTrace::max_load_words), and the harness
+/// reports these measured values against the claims.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecutionTrace {
     rounds: Vec<RoundSummary>,
@@ -29,7 +33,11 @@ impl ExecutionTrace {
     }
 
     /// Appends a completed round.
-    pub(crate) fn push(&mut self, summary: RoundSummary) {
+    ///
+    /// Substrate implementations call this from their `end_round` path;
+    /// the summary's `round` field should be the 1-based index of the
+    /// completed round.
+    pub fn record(&mut self, summary: RoundSummary) {
         self.rounds.push(summary);
     }
 
@@ -43,7 +51,8 @@ impl ExecutionTrace {
         &self.rounds
     }
 
-    /// The largest per-machine load observed in any round (words).
+    /// The largest per-machine/per-player load observed in any round
+    /// (words).
     pub fn max_load_words(&self) -> usize {
         self.rounds
             .iter()
@@ -85,12 +94,12 @@ mod tests {
     #[test]
     fn accumulates() {
         let mut t = ExecutionTrace::new();
-        t.push(RoundSummary {
+        t.record(RoundSummary {
             round: 1,
             max_load_words: 10,
             total_words: 30,
         });
-        t.push(RoundSummary {
+        t.record(RoundSummary {
             round: 2,
             max_load_words: 25,
             total_words: 25,
@@ -103,18 +112,18 @@ mod tests {
     #[test]
     fn absorb_renumbers() {
         let mut a = ExecutionTrace::new();
-        a.push(RoundSummary {
+        a.record(RoundSummary {
             round: 1,
             max_load_words: 1,
             total_words: 1,
         });
         let mut b = ExecutionTrace::new();
-        b.push(RoundSummary {
+        b.record(RoundSummary {
             round: 1,
             max_load_words: 2,
             total_words: 2,
         });
-        b.push(RoundSummary {
+        b.record(RoundSummary {
             round: 2,
             max_load_words: 3,
             total_words: 3,

@@ -32,11 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             g.max_degree(),
             out.prefix_phases,
             out.local_rounds,
-            out.rounds,
-            out.max_player_in_words,
+            out.trace.rounds(),
+            out.trace.max_load_words(),
         );
         assert!(
-            out.max_player_in_words <= n,
+            out.trace.max_load_words() <= n,
             "Lenzen precondition respected"
         );
     }

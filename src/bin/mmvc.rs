@@ -107,8 +107,8 @@ fn cmd_mis(args: &[String]) -> Result<(), String> {
         "clique" => {
             let out = clique_mis(&g, &CliqueMisConfig::new(seed)).map_err(|e| e.to_string())?;
             println!("mis_size      : {}", out.mis.len());
-            println!("clique_rounds : {}", out.rounds);
-            println!("max_inflow    : {} words", out.max_player_in_words);
+            println!("clique_rounds : {}", out.trace.rounds());
+            println!("max_inflow    : {} words", out.trace.max_load_words());
         }
         "luby" => {
             let out = luby_mis(&g, seed);

@@ -11,6 +11,10 @@
 //!   (machines × words, rounds, budget enforcement);
 //! * [`clique`] ([`mmvc_clique`]) — a metered CONGESTED-CLIQUE simulator
 //!   (per-pair bandwidth, Lenzen routing);
+//! * [`substrate`] ([`mmvc_substrate`]) — the shared metering layer: the
+//!   [`Substrate`](mmvc_substrate::Substrate) trait both simulators
+//!   implement, the unified `ExecutionTrace`, and the substrate-agnostic
+//!   `SubstrateError`;
 //! * [`core`] ([`mmvc_core`]) — the paper's algorithms: `O(log log Δ)`-round
 //!   MIS (Theorem 1.1), `Central`/`Central-Rand`/`MPC-Simulation`
 //!   (Section 4), Lemma 5.1 rounding, Theorem 1.2's `(2+ε)` integral
@@ -41,6 +45,7 @@ pub use mmvc_clique as clique;
 pub use mmvc_core as core;
 pub use mmvc_graph as graph;
 pub use mmvc_mpc as mpc;
+pub use mmvc_substrate as substrate;
 
 /// Convenient single-import surface for the common workflow.
 pub mod prelude {
@@ -57,4 +62,5 @@ pub mod prelude {
     pub use mmvc_core::{CoreError, Epsilon};
     pub use mmvc_graph::{generators, matching, mis, vertex_cover, weighted, Graph, GraphBuilder};
     pub use mmvc_mpc::{Cluster, MpcConfig};
+    pub use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate, SubstrateError};
 }

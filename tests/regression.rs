@@ -2,6 +2,10 @@
 //! handful of exact values freeze the behaviour of the whole pipeline.
 //! If a refactor changes any of these, that is a *behaviour* change and
 //! must be a conscious decision (update the pins in the same commit).
+//!
+//! Pins are baselined against the vendored `rand` shim (`vendor/rand`,
+//! xoshiro256++ as in rand 0.8.5), measured when the workspace first
+//! became buildable.
 
 use mmvc::prelude::*;
 
@@ -15,49 +19,49 @@ fn fixture() -> Graph {
 fn pin_graph_generation() {
     let g = fixture();
     assert_eq!(g.num_vertices(), 512);
-    assert_eq!(g.num_edges(), 6461);
-    assert_eq!(g.max_degree(), 40);
+    assert_eq!(g.num_edges(), 6421);
+    assert_eq!(g.max_degree(), 44);
 }
 
 #[test]
 fn pin_sequential_greedy_mis() {
     let s = mis::randomized_greedy_mis(&fixture(), SEED);
-    assert_eq!(s.len(), 67);
+    assert_eq!(s.len(), 63);
 }
 
 #[test]
 fn pin_mpc_mis() {
     let out = greedy_mpc_mis(&fixture(), &GreedyMisConfig::new(SEED)).unwrap();
-    assert_eq!(out.mis.len(), 71);
+    assert_eq!(out.mis.len(), 66);
     assert_eq!(
         out.prefix_phases, 0,
-        "deg 40 < log² 512 = 81: no prefix phases"
+        "deg 44 < log² 512 = 81: no prefix phases"
     );
 }
 
 #[test]
 fn pin_luby() {
     let out = luby_mis(&fixture(), SEED);
-    assert_eq!(out.mis.len(), 65);
-    assert_eq!(out.rounds, 4);
+    assert_eq!(out.mis.len(), 71);
+    assert_eq!(out.rounds, 5);
 }
 
 #[test]
 fn pin_central() {
     let eps = Epsilon::new(0.1).unwrap();
     let out = central(&fixture(), eps);
-    assert_eq!(out.iterations, 47);
-    assert!((out.fractional.weight() - 208.09958).abs() < 1e-4);
-    assert_eq!(out.cover.len(), 467);
+    assert_eq!(out.iterations, 50);
+    assert!((out.fractional.weight() - 207.04415).abs() < 1e-4);
+    assert_eq!(out.cover.len(), 452);
 }
 
 #[test]
 fn pin_mpc_simulation() {
     let eps = Epsilon::new(0.1).unwrap();
     let out = mpc_simulation(&fixture(), &MpcMatchingConfig::new(eps, SEED)).unwrap();
-    assert_eq!(out.phases, 0, "deg 40 below d_min: direct simulation");
-    assert_eq!(out.cover.len(), 484);
-    assert!((out.fractional.weight() - 176.30539).abs() < 1e-4);
+    assert_eq!(out.phases, 0, "deg 44 below d_min: direct simulation");
+    assert_eq!(out.cover.len(), 478);
+    assert!((out.fractional.weight() - 174.63065).abs() < 1e-4);
 }
 
 #[test]
@@ -66,5 +70,5 @@ fn pin_integral_matching() {
     let out = integral_matching(&fixture(), &IntegralMatchingConfig::new(eps, SEED)).unwrap();
     let opt = matching::blossom(&fixture()).len();
     assert_eq!(opt, 256);
-    assert_eq!(out.matching.len(), 243);
+    assert_eq!(out.matching.len(), 246);
 }

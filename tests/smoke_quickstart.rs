@@ -1,0 +1,66 @@
+//! Smoke test: the quickstart path from the README, end-to-end on a
+//! small seed-fixed graph — generate, run the two headline algorithms,
+//! and check every witness with the exact validators. If this test
+//! passes, a fresh checkout can reproduce the paper's pipeline.
+
+use mmvc::prelude::*;
+
+const SEED: u64 = 42;
+
+#[test]
+fn quickstart_path_end_to_end() {
+    // gnp → a small fixed graph.
+    let g = generators::gnp(400, 0.05, SEED).expect("valid p");
+    assert_eq!(g.num_vertices(), 400);
+    assert!(g.num_edges() > 0, "fixture must be non-trivial");
+
+    // greedy_mpc_mis → a maximal independent set within budget.
+    let mis = greedy_mpc_mis(&g, &GreedyMisConfig::new(SEED)).expect("fits budget");
+    assert!(mis.mis.is_independent(&g));
+    assert!(mis.mis.is_maximal(&g));
+
+    // The outcome reports its substrate usage through the unified trace.
+    assert!(mis.trace.rounds() > 0);
+    assert!(
+        mis.trace.max_load_words() <= 8 * g.num_vertices(),
+        "Õ(n) memory claim: peak load {} exceeds 8n",
+        mis.trace.max_load_words()
+    );
+
+    // integral_matching → a valid matching plus a covering vertex cover.
+    let eps = Epsilon::new(0.1).expect("valid eps");
+    let out = integral_matching(&g, &IntegralMatchingConfig::new(eps, SEED)).expect("fits budget");
+    for e in out.matching.edges() {
+        assert!(g.has_edge(e.u(), e.v()), "matching uses only graph edges");
+    }
+    assert!(out.cover.covers(&g));
+
+    // Validators: the exact optimum sandwiches both witnesses.
+    let optimum = matching::blossom(&g).len();
+    assert!(out.matching.len() <= optimum);
+    assert!(
+        (2.0 + eps.get()) * out.matching.len() as f64 + 1e-9 >= optimum as f64,
+        "matching {} vs optimum {optimum} violates (2+eps)",
+        out.matching.len()
+    );
+    assert!(out.cover.len() >= optimum, "cover below matching bound");
+
+    // Determinism: the whole path reproduces exactly from the seed.
+    let mis2 = greedy_mpc_mis(&g, &GreedyMisConfig::new(SEED)).expect("fits budget");
+    assert_eq!(mis.mis.len(), mis2.mis.len());
+    assert_eq!(mis.trace, mis2.trace);
+    let out2 = integral_matching(&g, &IntegralMatchingConfig::new(eps, SEED)).expect("fits budget");
+    assert_eq!(out.matching.len(), out2.matching.len());
+}
+
+#[test]
+fn quickstart_substrate_trait_view() {
+    // The same trace answers through the Substrate trait object — the
+    // harness's one code path for claimed-vs-measured reporting.
+    let g = generators::gnp(400, 0.05, SEED).expect("valid p");
+    let mis = greedy_mpc_mis(&g, &GreedyMisConfig::new(SEED)).expect("fits budget");
+    let s: &dyn Substrate = &mis.trace;
+    assert_eq!(s.rounds(), mis.trace.rounds());
+    assert_eq!(s.max_load_words(), mis.trace.max_load_words());
+    assert!(s.total_words() >= s.max_load_words());
+}

@@ -1,0 +1,323 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the benchmarking surface the `mmvc-bench` targets use is
+//! vendored here. Timing is a straightforward wall-clock loop: after an
+//! optional warm-up, each benchmark runs up to `sample_size` samples (or
+//! until `measurement_time` elapses) and prints mean/min/max nanoseconds
+//! per iteration.
+//!
+//! When the binary is invoked by `cargo test` (libtest passes `--test`),
+//! every benchmark body executes exactly once — benches double as smoke
+//! tests without burning CI time.
+//!
+//! To switch to the real crate, replace the `criterion` entry in the
+//! workspace `[workspace.dependencies]` table with a registry version.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark result.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // libtest invokes bench targets with `--test`; honor it by running
+        // each benchmark once (the real crate does the same).
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (accepted for API parity).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("\ngroup {name}");
+        }
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        run_one(
+            id,
+            test_mode,
+            10,
+            Duration::from_secs(3),
+            Duration::from_millis(500),
+            &mut f,
+        );
+        self
+    }
+}
+
+/// Identifies one benchmark within a group: a function name plus the
+/// parameter value it was run with.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(
+            &id,
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        run_one(
+            &id,
+            self.criterion.test_mode,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark body; call [`Bencher::iter`] with the code
+/// under measurement.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: BencherMode,
+    samples_ns: Vec<f64>,
+}
+
+#[derive(Debug)]
+enum BencherMode {
+    /// Run the routine once, don't time it (`cargo test`).
+    Smoke,
+    /// Sample up to `max_samples` or until `deadline`.
+    Measure {
+        max_samples: usize,
+        deadline: Instant,
+    },
+}
+
+impl Bencher {
+    /// Measures `routine`, consuming samples until the budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BencherMode::Smoke => {
+                black_box(routine());
+            }
+            BencherMode::Measure {
+                max_samples,
+                deadline,
+            } => {
+                for _ in 0..max_samples {
+                    let start = Instant::now();
+                    black_box(routine());
+                    self.samples_ns.push(start.elapsed().as_nanos() as f64);
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    id: &str,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            mode: BencherMode::Smoke,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        println!("bench {id} ... ok (smoke)");
+        return;
+    }
+    // Warm-up: run the routine untimed until the warm-up budget elapses.
+    let mut warm = Bencher {
+        mode: BencherMode::Measure {
+            max_samples: usize::MAX,
+            deadline: Instant::now() + warm_up_time,
+        },
+        samples_ns: Vec::new(),
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        mode: BencherMode::Measure {
+            max_samples: sample_size.max(1),
+            deadline: Instant::now() + measurement_time,
+        },
+        samples_ns: Vec::new(),
+    };
+    f(&mut b);
+    let s = &b.samples_ns;
+    if s.is_empty() {
+        println!("  {id}: no samples (routine never called iter)");
+        return;
+    }
+    let mean = s.iter().sum::<f64>() / s.len() as f64;
+    let min = s.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "  {id}: mean {} min {} max {} ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max),
+        s.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a group of benchmark functions runnable by [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(1));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { test_mode: false };
+        demo(&mut c);
+        let mut c = Criterion { test_mode: true };
+        demo(&mut c);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(fmt_ns(12.0), "12 ns");
+        assert!(fmt_ns(1.2e4).contains("µs"));
+        assert!(fmt_ns(3.4e7).contains("ms"));
+        assert!(fmt_ns(2.5e9).contains(" s"));
+    }
+}

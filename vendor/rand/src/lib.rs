@@ -1,0 +1,361 @@
+//! Offline, API-compatible subset of the `rand` crate (0.8 series).
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the few `rand` APIs the workspace uses are vendored here.
+//! The implementation mirrors `rand` 0.8.5 **bit for bit** for the paths
+//! used (`SmallRng` = xoshiro256++ with SplitMix64 `seed_from_u64`,
+//! `Standard` float/bool sampling, widening-multiply uniform integers, and
+//! the `[1, 2)`-mantissa uniform floats), so seeded results — including the
+//! regression pins in `tests/regression.rs` — match what the real crate
+//! would produce.
+//!
+//! Only the surface the workspace needs is provided; this is not a general
+//! replacement for `rand`.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators (only [`rngs::SmallRng`] is provided).
+pub mod rngs {
+    /// A small, fast RNG: xoshiro256++, exactly as in `rand` 0.8.5 on
+    /// 64-bit platforms.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let res = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+
+            let t = self.s[1] << 17;
+
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+
+            self.s[3] = self.s[3].rotate_left(45);
+
+            res
+        }
+    }
+}
+
+use rngs::SmallRng;
+
+/// A random number generator core: the raw output streams.
+pub trait RngCore {
+    /// Returns the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        // The lowest bits of xoshiro256++ have linear dependencies; use the
+        // upper bits (matches rand 0.8.5).
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.next_u64_impl()
+    }
+}
+
+/// Seedable construction of generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed (SplitMix64 state expansion,
+    /// matching rand 0.8.5's xoshiro seeding).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        const PHI: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut s = [0u64; 4];
+        for word in s.iter_mut() {
+            state = state.wrapping_add(PHI);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *word = z;
+        }
+        SmallRng::from_state(s)
+    }
+}
+
+/// Types samplable uniformly over their whole domain (the `Standard`
+/// distribution of the real crate).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits in [0, 1), as in rand 0.8's Standard.
+        let value = rng.next_u64() >> 11;
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let value = rng.next_u32() >> 8;
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Sign test on the most significant bit (matches rand 0.8).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for usize {
+    #[inline]
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges from which a single uniform value can be drawn
+/// (`Rng::gen_range`'s argument).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// 64-bit widening multiply: `(hi, lo)` of `a * b`.
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let m = (a as u128) * (b as u128);
+    ((m >> 64) as u64, m as u64)
+}
+
+/// 32-bit widening multiply: `(hi, lo)` of `a * b`.
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let m = (a as u64) * (b as u64);
+    ((m >> 32) as u32, m as u32)
+}
+
+macro_rules! uniform_int_64 {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high as u64).wrapping_sub(low as u64).wrapping_add(1);
+                if range == 0 {
+                    // The range spans the whole domain.
+                    return rng.next_u64() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u64();
+                    let (hi, lo) = wmul64(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_64!(u64);
+uniform_int_64!(usize);
+uniform_int_64!(i64);
+
+macro_rules! uniform_int_32 {
+    ($ty:ty) => {
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                (self.start..=self.end - 1).sample_single(rng)
+            }
+        }
+
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "cannot sample empty range");
+                let range = (high as u32).wrapping_sub(low as u32).wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u32() as $ty;
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.next_u32();
+                    let (hi, lo) = wmul32(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int_32!(u32);
+uniform_int_32!(i32);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "cannot sample empty range");
+        let scale = high - low;
+        loop {
+            // A value in [1, 2): exponent of 1.0 with 52 random mantissa
+            // bits, exactly as in rand 0.8's UniformFloat.
+            let fraction = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res < high {
+                return res;
+            }
+        }
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (low, high) = (*self.start(), *self.end());
+        assert!(low <= high, "cannot sample empty range");
+        let scale = (high - low) / (1.0 - f64::EPSILON / 2.0);
+        loop {
+            let fraction = rng.next_u64() >> 12;
+            let value1_2 = f64::from_bits((1023u64 << 52) | fraction);
+            let value0_1 = value1_2 - 1.0;
+            let res = value0_1 * scale + low;
+            if res <= high {
+                return res;
+            }
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every core RNG.
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution.
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, Ra: SampleRange<T>>(&mut self, range: Ra) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        let mut c = SmallRng::seed_from_u64(8);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for i in 1usize..100 {
+            let x = rng.gen_range(0..i);
+            assert!(x < i);
+            let y = rng.gen_range(0..=i);
+            assert!(y <= i);
+            let z = rng.gen_range(0u32..i as u32);
+            assert!((z as usize) < i);
+        }
+        for _ in 0..1000 {
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let g = rng.gen_range(1.0f64..=2.0);
+            assert!((1.0..=2.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_everything() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_roughly_balanced() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let trues = (0..1000).filter(|_| rng.gen::<bool>()).count();
+        assert!((350..650).contains(&trues), "trues = {trues}");
+    }
+}
