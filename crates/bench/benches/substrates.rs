@@ -1,10 +1,13 @@
 //! Wall-time of the substrate primitives: graph generation, vertex
-//! partitioning, MPC round metering, and clique routing.
+//! partitioning, MPC round metering, clique routing, and the round
+//! engine's sequential-vs-threaded executors on both substrates.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mmvc_clique::CliqueNetwork;
+use mmvc_core::mis::{clique_mis, greedy_mpc_mis, CliqueMisConfig, GreedyMisConfig};
 use mmvc_graph::generators;
 use mmvc_mpc::{random_vertex_partition, Cluster, MpcConfig};
+use mmvc_substrate::{ExecutorConfig, Substrate};
 
 fn bench_substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("generators");
@@ -36,7 +39,7 @@ fn bench_substrates(c: &mut Criterion) {
             for _ in 0..1000 {
                 cl.round(|r| r.broadcast(100)).expect("within budget");
             }
-            cl.trace().rounds()
+            cl.rounds()
         })
     });
     group.bench_function("mpc_sort_100k", |b| {
@@ -62,6 +65,43 @@ fn bench_substrates(c: &mut Criterion) {
             net.lenzen_route(&msgs).expect("feasible")
         })
     });
+    group.finish();
+
+    // The round engine: the same seeded MIS run under the sequential and
+    // the threaded executor, on both substrates. Outcomes are identical by
+    // construction (the engine's determinism contract); only wall-time may
+    // differ.
+    let mut group = c.benchmark_group("round_engine");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(6));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    // Dense enough (Δ ≈ 410 > log² n) that the prefix-phase loop — the
+    // executor-parallel per-machine work — genuinely runs.
+    let n = 1usize << 13;
+    let g = generators::gnp(n, 0.05, 1).expect("valid p");
+    for (name, exec) in [
+        ("sequential", ExecutorConfig::sequential()),
+        ("threaded", ExecutorConfig::threaded()),
+    ] {
+        group.bench_with_input(BenchmarkId::new("mpc_mis_8k", name), &exec, |b, &exec| {
+            b.iter(|| {
+                let mut cfg = GreedyMisConfig::new(1);
+                cfg.executor = exec;
+                greedy_mpc_mis(&g, &cfg).expect("fits budget").mis.len()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("clique_mis_8k", name),
+            &exec,
+            |b, &exec| {
+                b.iter(|| {
+                    let mut cfg = CliqueMisConfig::new(1);
+                    cfg.executor = exec;
+                    clique_mis(&g, &cfg).expect("feasible routing").mis.len()
+                })
+            },
+        );
+    }
     group.finish();
 }
 

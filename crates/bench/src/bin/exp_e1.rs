@@ -4,14 +4,16 @@
 //! `n`, reporting prefix phases, sparsified-stage rounds, and total MPC
 //! rounds against the `log₂ log₂ Δ` reference curve.
 
-use mmvc_bench::{header, log_log2, row, SubstrateReport};
+use mmvc_bench::{executor_from_env, header, log_log2, row, SubstrateReport};
 use mmvc_core::mis::{greedy_mpc_mis, GreedyMisConfig};
 use mmvc_graph::generators;
 
 fn run(n: usize, avg_deg: f64, seed: u64) {
     let p = (avg_deg / (n as f64 - 1.0)).min(1.0);
     let g = generators::gnp(n, p, seed).expect("valid p");
-    let out = greedy_mpc_mis(&g, &GreedyMisConfig::new(seed)).expect("simulation fits budget");
+    let mut cfg = GreedyMisConfig::new(seed);
+    cfg.executor = executor_from_env();
+    let out = greedy_mpc_mis(&g, &cfg).expect("simulation fits budget");
     assert!(out.mis.is_maximal(&g));
     let report = SubstrateReport::measure(&out.trace, log_log2(g.max_degree().max(4)));
     let mut cells = vec![

@@ -5,7 +5,7 @@
 //! (the precondition of Lenzen's routing scheme — violating it would
 //! abort the simulation).
 
-use mmvc_bench::{header, log_log2, row, SubstrateReport};
+use mmvc_bench::{executor_from_env, header, log_log2, row, SubstrateReport};
 use mmvc_core::mis::{clique_mis, CliqueMisConfig};
 use mmvc_graph::generators;
 
@@ -15,10 +15,13 @@ fn main() {
     cols.extend(SubstrateReport::COLUMNS);
     cols.push("inflow_budget");
     header(&cols);
+    let executor = executor_from_env();
     for k in 9..=13 {
         let n = 1usize << k;
         let g = generators::gnp(n, 64.0 / n as f64, k as u64).expect("valid p");
-        let out = clique_mis(&g, &CliqueMisConfig::new(k as u64)).expect("feasible routing");
+        let mut cfg = CliqueMisConfig::new(k as u64);
+        cfg.executor = executor;
+        let out = clique_mis(&g, &cfg).expect("feasible routing");
         assert!(out.mis.is_maximal(&g));
         let report = SubstrateReport::measure(&out.trace, log_log2(g.max_degree().max(4)));
         assert!(report.max_load_words <= n);

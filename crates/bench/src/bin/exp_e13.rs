@@ -9,7 +9,7 @@
 //! rounds, measured per-machine load, and quality — rounds must stay
 //! flat while memory shrinks.
 
-use mmvc_bench::{approx_ratio, header, row, SubstrateReport};
+use mmvc_bench::{approx_ratio, executor_from_env, header, row, SubstrateReport};
 use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
 use mmvc_core::Epsilon;
 use mmvc_graph::{generators, matching};
@@ -24,8 +24,10 @@ fn main() {
     let n = 4096;
     let g = generators::gnp(n, 0.125, 13).expect("valid p");
     let opt = matching::blossom(&g).len() as f64;
+    let executor = executor_from_env();
     for reduction in [1.0, 2.0, 4.0, 8.0, 16.0] {
-        let cfg = MpcMatchingConfig::sublinear(eps, 13, reduction);
+        let mut cfg = MpcMatchingConfig::sublinear(eps, 13, reduction);
+        cfg.executor = executor;
         let out = mpc_simulation(&g, &cfg).expect("fits budget");
         let removed = out.removed.iter().filter(|&&r| r).count();
         let report = SubstrateReport::measure(&out.trace, mmvc_bench::log_log2(n));

@@ -6,7 +6,7 @@
 //! iterations, and the measured approximation ratios (against blossom up
 //! to n = 4096, against the greedy-matching lower bound above that).
 
-use mmvc_bench::{approx_ratio, header, log_log2, row, SubstrateReport};
+use mmvc_bench::{approx_ratio, executor_from_env, header, log_log2, row, SubstrateReport};
 use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
 use mmvc_core::Epsilon;
 use mmvc_graph::{generators, matching};
@@ -27,11 +27,13 @@ fn main() {
     ]);
     header(&cols);
     let eps = Epsilon::new(0.1).expect("valid eps");
+    let executor = executor_from_env();
     for k in 9..=14 {
         let n = 1usize << k;
         let g = generators::gnp(n, 0.125, k as u64).expect("valid p");
-        let out = mpc_simulation(&g, &MpcMatchingConfig::new(eps, k as u64))
-            .expect("simulation fits budget");
+        let mut cfg = MpcMatchingConfig::new(eps, k as u64);
+        cfg.executor = executor;
+        let out = mpc_simulation(&g, &cfg).expect("simulation fits budget");
         assert!(out.cover.covers(&g));
         // Exact optimum is affordable up to 4096 vertices; beyond that use
         // the maximal-matching lower bound (within 2x of optimum).

@@ -12,7 +12,34 @@
 //! so every experiment reports claimed-vs-measured numbers through one
 //! code path.
 
-use mmvc_substrate::Substrate;
+use mmvc_substrate::{ExecutorConfig, Substrate};
+
+/// Resolves the executor the experiment binaries thread into algorithm
+/// configs, from the `MMVC_EXECUTOR` environment variable:
+///
+/// * unset or `auto` — [`ExecutorConfig::threaded`] (the default);
+/// * `seq` — [`ExecutorConfig::sequential`];
+/// * a number `k` — [`ExecutorConfig::with_threads`]`(k)`.
+///
+/// Executors never change results (the round engine's determinism
+/// contract), only wall-time, so every `EXPERIMENTS.md` table is
+/// reproducible regardless of this setting.
+///
+/// # Panics
+///
+/// Panics on an unrecognised value — a misconfigured benchmark run should
+/// fail loudly, not silently fall back.
+pub fn executor_from_env() -> ExecutorConfig {
+    match std::env::var("MMVC_EXECUTOR") {
+        Err(_) => ExecutorConfig::threaded(),
+        Ok(v) if v == "auto" => ExecutorConfig::threaded(),
+        Ok(v) if v == "seq" => ExecutorConfig::sequential(),
+        Ok(v) => match v.parse::<usize>() {
+            Ok(k) => ExecutorConfig::with_threads(k),
+            Err(_) => panic!("MMVC_EXECUTOR must be `seq`, `auto`, or a thread count, got `{v}`"),
+        },
+    }
+}
 
 /// The substrate-derived portion of an experiment row: measured
 /// quantities next to the paper's claimed round bound.
@@ -228,6 +255,24 @@ mod tests {
         assert_eq!(cells.len(), SubstrateReport::COLUMNS.len());
         assert_eq!(cells[0], "2");
         assert_eq!(cells[2], "0.50");
+    }
+
+    #[test]
+    fn executor_env_parsing() {
+        // Only this test touches the variable, so set/remove is safe.
+        std::env::remove_var("MMVC_EXECUTOR");
+        assert_eq!(
+            executor_from_env(),
+            ExecutorConfig::threaded(),
+            "unset variable must mean the threaded default"
+        );
+        std::env::set_var("MMVC_EXECUTOR", "seq");
+        assert!(executor_from_env().is_sequential());
+        std::env::set_var("MMVC_EXECUTOR", "4");
+        assert_eq!(executor_from_env().threads(), 4);
+        std::env::set_var("MMVC_EXECUTOR", "auto");
+        assert!(executor_from_env().threads() >= 1);
+        std::env::remove_var("MMVC_EXECUTOR");
     }
 
     #[test]

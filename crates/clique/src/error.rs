@@ -1,5 +1,6 @@
 //! Errors reported by the CONGESTED-CLIQUE simulator.
 
+use mmvc_substrate::SubstrateError;
 use std::error::Error;
 use std::fmt;
 
@@ -22,6 +23,11 @@ impl fmt::Display for RoutingRole {
 }
 
 /// Errors arising while simulating a CONGESTED-CLIQUE computation.
+///
+/// Failures that are not specific to the clique model — round-protocol
+/// misuse detected by the shared [`mmvc_substrate::RoundLedger`] — surface
+/// as [`CliqueError::Substrate`], carrying the [`SubstrateError`]
+/// unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum CliqueError {
@@ -58,16 +64,15 @@ pub enum CliqueError {
         /// The `n`-word capacity.
         capacity_words: usize,
     },
-    /// A round-protocol misuse (round opened twice, send outside a round…).
-    RoundProtocol {
-        /// Description of the misuse.
-        message: &'static str,
-    },
     /// Invalid configuration.
     InvalidConfig {
         /// Description of the violated constraint.
         message: String,
     },
+    /// A substrate-level failure shared with every metered model — most
+    /// commonly [`SubstrateError::RoundProtocol`] (a round opened twice,
+    /// send outside a round…), reported by the shared round ledger.
+    Substrate(SubstrateError),
 }
 
 impl fmt::Display for CliqueError {
@@ -101,21 +106,25 @@ impl fmt::Display for CliqueError {
                      has {attempted_words} words > capacity {capacity_words}"
                 )
             }
-            CliqueError::RoundProtocol { message } => {
-                write!(f, "round protocol violation: {message}")
-            }
             CliqueError::InvalidConfig { message } => {
                 write!(f, "invalid clique configuration: {message}")
             }
+            CliqueError::Substrate(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl Error for CliqueError {}
+impl Error for CliqueError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliqueError::Substrate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<CliqueError> for mmvc_substrate::SubstrateError {
+impl From<CliqueError> for SubstrateError {
     fn from(e: CliqueError) -> Self {
-        use mmvc_substrate::SubstrateError;
         const SUBSTRATE: &str = "congested-clique";
         match e {
             CliqueError::BandwidthExceeded {
@@ -148,14 +157,26 @@ impl From<CliqueError> for mmvc_substrate::SubstrateError {
                 address: player,
                 limit: n,
             },
-            CliqueError::RoundProtocol { message } => SubstrateError::RoundProtocol {
-                substrate: SUBSTRATE,
-                message,
-            },
             CliqueError::InvalidConfig { message } => SubstrateError::InvalidConfig {
                 substrate: SUBSTRATE,
                 message,
             },
+            CliqueError::Substrate(e) => e,
+        }
+    }
+}
+
+impl From<SubstrateError> for CliqueError {
+    /// Re-enters the clique vocabulary where one exists (an invalid
+    /// address *is* a missing player); every other case is carried through
+    /// as [`CliqueError::Substrate`].
+    fn from(e: SubstrateError) -> Self {
+        match e {
+            SubstrateError::InvalidAddress { address, limit, .. } => CliqueError::NoSuchPlayer {
+                player: address,
+                n: limit,
+            },
+            other => CliqueError::Substrate(other),
         }
     }
 }
@@ -184,11 +205,16 @@ mod tests {
         assert!(CliqueError::NoSuchPlayer { player: 3, n: 2 }
             .to_string()
             .contains("player 3"));
+        assert!(CliqueError::Substrate(SubstrateError::RoundProtocol {
+            substrate: "congested-clique",
+            message: "round already open"
+        })
+        .to_string()
+        .contains("already open"));
     }
 
     #[test]
     fn converts_to_substrate_error() {
-        use mmvc_substrate::SubstrateError;
         let e: SubstrateError = CliqueError::BandwidthExceeded {
             from: 1,
             to: 2,
@@ -227,12 +253,39 @@ mod tests {
                 ..
             }
         ));
-        let e: SubstrateError = CliqueError::RoundProtocol { message: "m" }.into();
-        assert!(matches!(e, SubstrateError::RoundProtocol { .. }));
         let e: SubstrateError = CliqueError::InvalidConfig {
             message: "c".into(),
         }
         .into();
         assert!(matches!(e, SubstrateError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn substrate_variant_chains_its_cause() {
+        let e = CliqueError::Substrate(SubstrateError::RoundProtocol {
+            substrate: "congested-clique",
+            message: "x",
+        });
+        let source = Error::source(&e).expect("Substrate variant chains its cause");
+        assert!(source.downcast_ref::<SubstrateError>().is_some());
+        assert!(Error::source(&CliqueError::NoSuchPlayer { player: 0, n: 1 }).is_none());
+    }
+
+    #[test]
+    fn round_trips_through_substrate_error() {
+        let shared = SubstrateError::RoundProtocol {
+            substrate: "congested-clique",
+            message: "m",
+        };
+        let e: CliqueError = shared.clone().into();
+        assert_eq!(e, CliqueError::Substrate(shared.clone()));
+        assert_eq!(SubstrateError::from(e), shared);
+        let e: CliqueError = SubstrateError::InvalidAddress {
+            substrate: "congested-clique",
+            address: 7,
+            limit: 4,
+        }
+        .into();
+        assert_eq!(e, CliqueError::NoSuchPlayer { player: 7, n: 4 });
     }
 }

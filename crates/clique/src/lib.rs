@@ -18,7 +18,7 @@
 //!   [`CliqueError::RoutingOverload`] when an algorithm violates it.
 //!
 //! ```
-//! use mmvc_clique::CliqueNetwork;
+//! use mmvc_clique::{CliqueNetwork, Substrate};
 //!
 //! let mut net = CliqueNetwork::new(16)?;
 //! // Leader 0 collects one word from everyone via Lenzen routing.
@@ -36,9 +36,11 @@ mod network;
 
 pub use error::{CliqueError, RoutingRole};
 pub use network::{CliqueNetwork, CliqueRoundCtx, LENZEN_ROUTING_ROUNDS};
-// The trace types are shared with the MPC substrate and live in
-// `mmvc-substrate`; re-exported here for convenience.
-pub use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate, SubstrateError};
+// The trace types and the round engine are shared with the MPC substrate
+// and live in `mmvc-substrate`; re-exported here for convenience.
+pub use mmvc_substrate::{
+    ExecutionTrace, ExecutorConfig, RoundLedger, RoundSummary, Substrate, SubstrateError,
+};
 
 #[cfg(test)]
 mod proptests {

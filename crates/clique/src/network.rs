@@ -1,7 +1,13 @@
 //! The simulated CONGESTED-CLIQUE network.
+//!
+//! The round lifecycle (open/charge/close, protocol guards) is the shared
+//! [`RoundLedger`] of `mmvc-substrate`; this type adds the clique
+//! *policy* — a slot is a player, the charge of a `send` is the words the
+//! receiving player takes in, and every link `(from, to)` is additionally
+//! checked against the per-round per-pair bandwidth.
 
 use crate::error::{CliqueError, RoutingRole};
-use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
+use mmvc_substrate::{ExecutionTrace, RoundLedger, Substrate};
 use std::collections::HashMap;
 
 /// Number of rounds charged for one invocation of Lenzen's routing scheme.
@@ -24,7 +30,7 @@ pub const LENZEN_ROUTING_ROUNDS: usize = 2;
 /// # Examples
 ///
 /// ```
-/// use mmvc_clique::CliqueNetwork;
+/// use mmvc_clique::{CliqueNetwork, Substrate};
 ///
 /// let mut net = CliqueNetwork::new(8)?;
 /// net.round(|r| {
@@ -38,15 +44,10 @@ pub const LENZEN_ROUTING_ROUNDS: usize = 2;
 pub struct CliqueNetwork {
     n: usize,
     words_per_pair: usize,
-    trace: ExecutionTrace,
-    open: Option<RoundState>,
-}
-
-#[derive(Debug, Clone, Default)]
-struct RoundState {
-    link_usage: HashMap<(u32, u32), usize>,
-    in_words: Vec<usize>,
-    words_this_round: usize,
+    ledger: RoundLedger,
+    /// Per-link usage of the open round; cleared by `begin_round`, only
+    /// meaningful while the ledger has an open round.
+    open_links: HashMap<(u32, u32), usize>,
 }
 
 /// Handle for sending within one open round; created by
@@ -88,8 +89,8 @@ impl CliqueNetwork {
         Ok(CliqueNetwork {
             n,
             words_per_pair,
-            trace: ExecutionTrace::new(),
-            open: None,
+            ledger: RoundLedger::new("congested-clique", n),
+            open_links: HashMap::new(),
         })
     }
 
@@ -101,56 +102,6 @@ impl CliqueNetwork {
     /// Per-round, per-ordered-pair bandwidth in words.
     pub fn words_per_pair(&self) -> usize {
         self.words_per_pair
-    }
-
-    /// The per-round record of the execution so far.
-    pub fn trace(&self) -> &ExecutionTrace {
-        &self.trace
-    }
-
-    /// Rounds elapsed.
-    pub fn rounds(&self) -> usize {
-        self.trace.rounds()
-    }
-
-    /// Total words communicated so far.
-    pub fn total_words(&self) -> usize {
-        self.trace.total_words()
-    }
-
-    /// The largest number of words any single player received in one round.
-    pub fn max_player_in_words(&self) -> usize {
-        self.trace.max_load_words()
-    }
-
-    /// Records `k` completed rounds, attributing `total_words` and a
-    /// per-player peak of `max_in_words` to the first of them (the
-    /// convention for abstracted constant-round primitives, whose traffic
-    /// the model charges as a block).
-    fn record_rounds(&mut self, k: usize, total_words: usize, max_in_words: usize) {
-        for i in 0..k {
-            let (total, max_in) = if i == 0 {
-                (total_words, max_in_words)
-            } else {
-                (0, 0)
-            };
-            self.trace.record(RoundSummary {
-                round: self.trace.rounds() + 1,
-                max_load_words: max_in,
-                total_words: total,
-            });
-        }
-    }
-
-    /// Fails with [`CliqueError::RoundProtocol`] if a round is open —
-    /// the precondition of the whole-round primitives.
-    fn ensure_no_open_round(&self) -> Result<(), CliqueError> {
-        if self.open.is_some() {
-            return Err(CliqueError::RoundProtocol {
-                message: "round already open",
-            });
-        }
-        Ok(())
     }
 
     fn check_player(&self, player: usize) -> Result<(), CliqueError> {
@@ -165,18 +116,11 @@ impl CliqueNetwork {
     ///
     /// # Errors
     ///
-    /// [`CliqueError::RoundProtocol`] if a round is already open.
+    /// [`CliqueError::Substrate`] (round protocol) if a round is already
+    /// open.
     pub fn begin_round(&mut self) -> Result<(), CliqueError> {
-        if self.open.is_some() {
-            return Err(CliqueError::RoundProtocol {
-                message: "round already open",
-            });
-        }
-        self.open = Some(RoundState {
-            link_usage: HashMap::new(),
-            in_words: vec![0; self.n],
-            words_this_round: 0,
-        });
+        self.ledger.begin_round()?;
+        self.open_links.clear();
         Ok(())
     }
 
@@ -184,34 +128,26 @@ impl CliqueNetwork {
     ///
     /// # Errors
     ///
-    /// * [`CliqueError::RoundProtocol`] if no round is open.
+    /// * [`CliqueError::Substrate`] (round protocol) if no round is open.
     /// * [`CliqueError::NoSuchPlayer`] for invalid ids.
     /// * [`CliqueError::BandwidthExceeded`] if the link budget overflows.
     pub fn send(&mut self, from: usize, to: usize, words: usize) -> Result<(), CliqueError> {
         self.check_player(from)?;
         self.check_player(to)?;
-        let round = self.trace.rounds() + 1;
-        let budget = self.words_per_pair;
-        let Some(state) = self.open.as_mut() else {
-            return Err(CliqueError::RoundProtocol {
-                message: "send outside a round",
-            });
-        };
-        let key = (from as u32, to as u32);
-        let used = state.link_usage.entry(key).or_insert(0);
+        self.ledger.ensure_open()?;
+        let used = self.open_links.entry((from as u32, to as u32)).or_insert(0);
         let attempted = *used + words;
-        if attempted > budget {
+        if attempted > self.words_per_pair {
             return Err(CliqueError::BandwidthExceeded {
                 from,
                 to,
-                round,
+                round: self.ledger.current_round(),
                 attempted_words: attempted,
-                budget_words: budget,
+                budget_words: self.words_per_pair,
             });
         }
         *used = attempted;
-        state.in_words[to] += words;
-        state.words_this_round += words;
+        self.ledger.charge(to, words)?;
         Ok(())
     }
 
@@ -219,18 +155,9 @@ impl CliqueNetwork {
     ///
     /// # Errors
     ///
-    /// [`CliqueError::RoundProtocol`] if no round is open.
+    /// [`CliqueError::Substrate`] (round protocol) if no round is open.
     pub fn end_round(&mut self) -> Result<(), CliqueError> {
-        let Some(state) = self.open.take() else {
-            return Err(CliqueError::RoundProtocol {
-                message: "end_round without begin_round",
-            });
-        };
-        self.trace.record(RoundSummary {
-            round: self.trace.rounds() + 1,
-            max_load_words: state.in_words.iter().copied().max().unwrap_or(0),
-            total_words: state.words_this_round,
-        });
+        self.ledger.end_round()?;
         Ok(())
     }
 
@@ -253,7 +180,7 @@ impl CliqueNetwork {
                 Ok(v)
             }
             Err(e) => {
-                self.open = None;
+                self.ledger.abandon_round();
                 Err(e)
             }
         }
@@ -269,7 +196,8 @@ impl CliqueNetwork {
     /// # Errors
     ///
     /// * [`CliqueError::NoSuchPlayer`] for an invalid id.
-    /// * [`CliqueError::RoundProtocol`] if a round is already open.
+    /// * [`CliqueError::Substrate`] (round protocol) if a round is already
+    ///   open.
     pub fn broadcast(&mut self, from: usize, words: usize) -> Result<usize, CliqueError> {
         self.check_player(from)?;
         let rounds_needed = words.div_ceil(self.words_per_pair);
@@ -299,15 +227,17 @@ impl CliqueNetwork {
     ///
     /// # Errors
     ///
-    /// [`CliqueError::RoundProtocol`] if a round is already open.
+    /// [`CliqueError::Substrate`] (round protocol) if a round is already
+    /// open.
     pub fn all_to_all(&mut self, words: usize) -> Result<usize, CliqueError> {
-        self.ensure_no_open_round()?;
+        self.ledger.ensure_no_open_round()?;
         let rounds_needed = words.div_ceil(self.words_per_pair);
         let pairs = self.n * self.n.saturating_sub(1);
         let mut remaining = words;
         for _ in 0..rounds_needed {
             let chunk = remaining.min(self.words_per_pair);
-            self.record_rounds(1, pairs * chunk, self.n.saturating_sub(1) * chunk);
+            self.ledger
+                .record_completed(1, pairs * chunk, self.n.saturating_sub(1) * chunk)?;
             remaining -= chunk;
         }
         Ok(rounds_needed)
@@ -358,12 +288,12 @@ impl CliqueNetwork {
                 });
             }
         }
-        self.ensure_no_open_round()?;
         // The scheme itself is abstracted: charge its constant round cost
         // and account the traffic.
         let total: usize = messages.iter().map(|&(_, _, w)| w).sum();
         let max_in = inc.iter().copied().max().unwrap_or(0);
-        self.record_rounds(LENZEN_ROUTING_ROUNDS, total, max_in);
+        self.ledger
+            .record_completed(LENZEN_ROUTING_ROUNDS, total, max_in)?;
         Ok(LENZEN_ROUTING_ROUNDS)
     }
 
@@ -372,7 +302,8 @@ impl CliqueNetwork {
     ///
     /// # Errors
     ///
-    /// [`CliqueError::RoundProtocol`] if a round is already open.
+    /// [`CliqueError::Substrate`] (round protocol) if a round is already
+    /// open.
     pub fn charge_rounds(&mut self, k: usize) -> Result<(), CliqueError> {
         for _ in 0..k {
             self.begin_round()?;
@@ -403,8 +334,8 @@ impl CliqueNetwork {
                 capacity_words: self.n,
             });
         }
-        self.ensure_no_open_round()?;
-        self.record_rounds(LENZEN_ROUTING_ROUNDS, values.len(), 1.min(values.len()));
+        self.ledger
+            .record_completed(LENZEN_ROUTING_ROUNDS, values.len(), 1.min(values.len()))?;
         let mut sorted = values.to_vec();
         sorted.sort_unstable();
         Ok(sorted)
@@ -417,7 +348,7 @@ impl Substrate for CliqueNetwork {
     }
 
     fn execution_trace(&self) -> &ExecutionTrace {
-        &self.trace
+        self.ledger.trace()
     }
 }
 
@@ -440,6 +371,14 @@ impl CliqueRoundCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmvc_substrate::SubstrateError;
+
+    fn is_round_protocol(e: &CliqueError) -> bool {
+        matches!(
+            e,
+            CliqueError::Substrate(SubstrateError::RoundProtocol { .. })
+        )
+    }
 
     #[test]
     fn send_within_budget() {
@@ -452,7 +391,7 @@ mod tests {
         .unwrap();
         assert_eq!(net.rounds(), 1);
         assert_eq!(net.total_words(), 3);
-        assert_eq!(net.max_player_in_words(), 1);
+        assert_eq!(net.max_load_words(), 1);
     }
 
     #[test]
@@ -491,6 +430,16 @@ mod tests {
     }
 
     #[test]
+    fn link_budget_resets_between_rounds() {
+        let mut net = CliqueNetwork::new(3).unwrap();
+        net.round(|r| r.send(0, 1, 1)).unwrap();
+        // Same link again in the next round must be allowed.
+        net.round(|r| r.send(0, 1, 1)).unwrap();
+        assert_eq!(net.rounds(), 2);
+        assert_eq!(net.total_words(), 2);
+    }
+
+    #[test]
     fn invalid_players_rejected() {
         let mut net = CliqueNetwork::new(3).unwrap();
         assert!(matches!(
@@ -506,19 +455,10 @@ mod tests {
     #[test]
     fn protocol_violations() {
         let mut net = CliqueNetwork::new(3).unwrap();
-        assert!(matches!(
-            net.send(0, 1, 1),
-            Err(CliqueError::RoundProtocol { .. })
-        ));
-        assert!(matches!(
-            net.end_round(),
-            Err(CliqueError::RoundProtocol { .. })
-        ));
+        assert!(is_round_protocol(&net.send(0, 1, 1).unwrap_err()));
+        assert!(is_round_protocol(&net.end_round().unwrap_err()));
         net.begin_round().unwrap();
-        assert!(matches!(
-            net.begin_round(),
-            Err(CliqueError::RoundProtocol { .. })
-        ));
+        assert!(is_round_protocol(&net.begin_round().unwrap_err()));
     }
 
     #[test]
@@ -583,7 +523,7 @@ mod tests {
         assert_eq!(rounds, 3);
         assert_eq!(net.rounds(), 3);
         assert_eq!(net.total_words(), 5 * 4 * 3);
-        assert_eq!(net.max_player_in_words(), 4);
+        assert_eq!(net.max_load_words(), 4);
         assert_eq!(net.all_to_all(0).unwrap(), 0);
     }
 
@@ -591,10 +531,7 @@ mod tests {
     fn all_to_all_requires_closed_round() {
         let mut net = CliqueNetwork::new(3).unwrap();
         net.begin_round().unwrap();
-        assert!(matches!(
-            net.all_to_all(1),
-            Err(CliqueError::RoundProtocol { .. })
-        ));
+        assert!(is_round_protocol(&net.all_to_all(1).unwrap_err()));
     }
 
     #[test]
@@ -612,7 +549,7 @@ mod tests {
         assert_eq!(s.substrate_name(), "congested-clique");
         assert_eq!(s.rounds(), 2);
         assert_eq!(s.total_words(), 2 * 4);
-        assert_eq!(s.max_load_words(), net.max_player_in_words());
+        assert_eq!(s.max_load_words(), 1, "one word per player per round");
         assert_eq!(s.execution_trace().per_round().len(), 2);
     }
 
@@ -620,14 +557,10 @@ mod tests {
     fn lenzen_route_rejects_open_round() {
         let mut net = CliqueNetwork::new(4).unwrap();
         net.begin_round().unwrap();
-        assert!(matches!(
-            net.lenzen_route(&[(0, 1, 1)]),
-            Err(CliqueError::RoundProtocol { .. })
+        assert!(is_round_protocol(
+            &net.lenzen_route(&[(0, 1, 1)]).unwrap_err()
         ));
-        assert!(matches!(
-            net.lenzen_sort(&[1, 2]),
-            Err(CliqueError::RoundProtocol { .. })
-        ));
+        assert!(is_round_protocol(&net.lenzen_sort(&[1, 2]).unwrap_err()));
     }
 
     #[test]

@@ -92,11 +92,19 @@ mod tests {
         assert!(e.to_string().contains("0.9"));
         assert!(e.source().is_none());
 
-        let e: CoreError = MpcError::RoundProtocol { message: "x" }.into();
+        let e: CoreError = MpcError::Substrate(mmvc_substrate::SubstrateError::RoundProtocol {
+            substrate: "mpc",
+            message: "x",
+        })
+        .into();
         assert!(e.to_string().contains("MPC"));
         assert!(e.source().is_some());
 
-        let e: CoreError = CliqueError::RoundProtocol { message: "y" }.into();
+        let e: CoreError = CliqueError::Substrate(mmvc_substrate::SubstrateError::RoundProtocol {
+            substrate: "congested-clique",
+            message: "y",
+        })
+        .into();
         assert!(e.source().is_some());
 
         let e: CoreError = GraphError::SelfLoop { vertex: 1 }.into();

@@ -14,9 +14,11 @@
 //! comparison experiment (E7).
 
 use crate::error::CoreError;
+use crate::PAR_CHUNK;
 use mmvc_graph::matching::Matching;
 use mmvc_graph::Graph;
 use mmvc_mpc::{Cluster, MpcConfig};
+use mmvc_substrate::{ExecutorConfig, Substrate};
 
 /// Configuration for [`filtering_maximal_matching`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,14 +27,18 @@ pub struct FilteringConfig {
     pub seed: u64,
     /// Per-machine memory is `space_factor · n` words.
     pub space_factor: f64,
+    /// How per-machine local work executes (results are identical for any
+    /// executor; see [`ExecutorConfig`]).
+    pub executor: ExecutorConfig,
 }
 
 impl FilteringConfig {
-    /// Default configuration: `8n` words per machine.
+    /// Default configuration: `8n` words per machine, threaded executor.
     pub fn new(seed: u64) -> Self {
         FilteringConfig {
             seed,
             space_factor: 8.0,
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -81,7 +87,8 @@ pub fn filtering_maximal_matching(
     let n = g.num_vertices();
     let budget = ((config.space_factor * n.max(1) as f64).ceil() as usize).max(64);
     let machines = (4 * g.edge_words()).div_ceil(budget).max(2);
-    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?);
+    let exec = config.executor;
+    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?).with_executor(exec);
 
     let mut matching = Matching::empty(n);
     // Surviving edge indices (both endpoints unmatched).
@@ -96,12 +103,22 @@ pub fn filtering_maximal_matching(
         // so the expected sample size is budget/4 words — w.h.p. within
         // budget.
         let p = budget as f64 / (4.0 * 2.0 * alive.len() as f64);
-        let sample: Vec<u32> = alive
-            .iter()
-            .copied()
-            .filter(|&ei| {
-                mmvc_graph::rng::hash3_unit(config.seed, filter_rounds as u64, ei as u64) < p
+        // Per-machine local work: every machine samples its share of the
+        // surviving edges with the stateless per-edge hash. Flattening the
+        // fixed chunks in order reproduces the sequential sample exactly.
+        let sample: Vec<u32> = exec
+            .run_chunked(alive.len(), PAR_CHUNK, |range| {
+                alive[range]
+                    .iter()
+                    .copied()
+                    .filter(|&ei| {
+                        mmvc_graph::rng::hash3_unit(config.seed, filter_rounds as u64, ei as u64)
+                            < p
+                    })
+                    .collect::<Vec<_>>()
             })
+            .into_iter()
+            .flatten()
             .collect();
 
         // One MPC round: machine 0 receives the sampled edges.
@@ -121,11 +138,21 @@ pub fn filtering_maximal_matching(
         cluster.round(|r| r.broadcast(newly.min(budget)))?;
         matching.absorb(&local);
 
-        // Drop edges with a matched endpoint.
-        alive.retain(|&ei| {
-            let e = g.edges()[ei as usize];
-            !matching.covers(e.u()) && !matching.covers(e.v())
-        });
+        // Drop edges with a matched endpoint (same chunked filter).
+        alive = exec
+            .run_chunked(alive.len(), PAR_CHUNK, |range| {
+                alive[range]
+                    .iter()
+                    .copied()
+                    .filter(|&ei| {
+                        let e = g.edges()[ei as usize];
+                        !matching.covers(e.u()) && !matching.covers(e.v())
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         filter_rounds += 1;
     }
 
@@ -142,7 +169,7 @@ pub fn filtering_maximal_matching(
     Ok(FilteringOutcome {
         matching,
         filter_rounds,
-        trace: cluster.trace().clone(),
+        trace: cluster.execution_trace().clone(),
     })
 }
 
@@ -219,8 +246,8 @@ mod tests {
     fn rejects_bad_space_factor() {
         let g = generators::path(3);
         let cfg = FilteringConfig {
-            seed: 0,
             space_factor: -1.0,
+            ..FilteringConfig::new(0)
         };
         assert!(matches!(
             filtering_maximal_matching(&g, &cfg),

@@ -59,3 +59,12 @@ pub mod vertex_cover;
 
 pub use epsilon::Epsilon;
 pub use error::CoreError;
+
+/// Index-chunk granularity for executor-parallel vertex/edge scans.
+///
+/// Chunk boundaries depend only on the item count and this constant —
+/// never on the thread count — so per-chunk results reduce to the same
+/// value under any [`mmvc_substrate::ExecutorConfig`] (sequential,
+/// threaded, any pool size). Large enough that a task amortises its
+/// scheduling cost, small enough that mid-sized inputs still fan out.
+pub(crate) const PAR_CHUNK: usize = 1024;

@@ -48,10 +48,12 @@ use crate::epsilon::Epsilon;
 use crate::error::CoreError;
 use crate::matching::central::{ThresholdRule, NEVER_FROZEN};
 use crate::matching::fractional::FractionalMatching;
+use crate::PAR_CHUNK;
 use mmvc_graph::rng::hash2;
 use mmvc_graph::vertex_cover::VertexCover;
 use mmvc_graph::{Graph, VertexId};
 use mmvc_mpc::{random_vertex_partition, Cluster, MpcConfig};
+use mmvc_substrate::{ExecutorConfig, Substrate};
 
 /// Iterations-per-phase and loop-exit schedule; see the module docs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -114,11 +116,14 @@ pub struct MpcMatchingConfig {
     /// (paper: `c = 1`). Larger `c` shrinks per-machine subgraphs but
     /// *increases* estimate noise `∝ √(m/deg)` — ablation E12.
     pub machine_factor: f64,
+    /// How per-machine local work executes (results are identical for any
+    /// executor; see [`ExecutorConfig`]).
+    pub executor: ExecutorConfig,
 }
 
 impl MpcMatchingConfig {
     /// Default configuration: practical schedule, 8n words per machine,
-    /// random thresholds, `m = √d`, no diagnostics.
+    /// random thresholds, `m = √d`, no diagnostics, threaded executor.
     pub fn new(eps: Epsilon, seed: u64) -> Self {
         MpcMatchingConfig {
             eps,
@@ -128,6 +133,7 @@ impl MpcMatchingConfig {
             diagnostics: false,
             threshold_mode: ThresholdMode::Random,
             machine_factor: 1.0,
+            executor: ExecutorConfig::default(),
         }
     }
 
@@ -154,6 +160,7 @@ impl MpcMatchingConfig {
             diagnostics: false,
             threshold_mode: ThresholdMode::Random,
             machine_factor: reduction.sqrt(),
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -230,6 +237,8 @@ struct SimState<'g> {
     removed: Vec<bool>,
     /// Global iteration counter `t`.
     t: u32,
+    /// Executor for per-machine local scans (deterministic chunking).
+    exec: ExecutorConfig,
 }
 
 impl SimState<'_> {
@@ -268,18 +277,28 @@ impl SimState<'_> {
         y
     }
 
-    /// Maximum degree among active edges (both endpoints active).
+    /// Maximum degree among active edges (both endpoints active): every
+    /// (simulated) machine scans its vertex chunk and the chunk maxima
+    /// combine — an integer max, schedule-independent under any executor.
     fn max_active_degree(&self) -> usize {
         let n = self.g.num_vertices();
-        let mut deg = vec![0usize; n];
-        for e in self.g.edges() {
-            let (u, v) = (e.u() as usize, e.v() as usize);
-            if self.is_active_vertex(u) && self.is_active_vertex(v) {
-                deg[u] += 1;
-                deg[v] += 1;
-            }
-        }
-        deg.into_iter().max().unwrap_or(0)
+        self.exec
+            .run_chunked(n, PAR_CHUNK, |range| {
+                range
+                    .filter(|&v| self.is_active_vertex(v))
+                    .map(|v| {
+                        self.g
+                            .neighbors(v as u32)
+                            .iter()
+                            .filter(|&&u| self.is_active_vertex(u as usize))
+                            .count()
+                    })
+                    .max()
+                    .unwrap_or(0)
+            })
+            .into_iter()
+            .max()
+            .unwrap_or(0)
     }
 
     fn seed_base(&self) -> u64 {
@@ -334,7 +353,8 @@ pub fn mpc_simulation(
     // Cluster sized for the first (largest) phase: m = ceil(c·sqrt(n)).
     let max_machines = ((config.machine_factor * (n.max(4) as f64).sqrt()).ceil() as usize).max(2);
     let words = ((config.space_factor * n.max(1) as f64).ceil() as usize).max(16);
-    let mut cluster = Cluster::new(MpcConfig::new(max_machines, words)?);
+    let mut cluster =
+        Cluster::new(MpcConfig::new(max_machines, words)?).with_executor(config.executor);
 
     let thresholds = match config.threshold_mode {
         ThresholdMode::Random => ThresholdRule::Random { seed: config.seed },
@@ -349,6 +369,7 @@ pub fn mpc_simulation(
         freeze: vec![NEVER_FROZEN; n],
         removed: vec![false; n],
         t: 0,
+        exec: config.executor,
     };
     let mut diagnostics = config.diagnostics.then(SimDiagnostics::default);
 
@@ -427,28 +448,48 @@ pub fn mpc_simulation(
     let tail_cap = eps.iterations_to_grow(w0, 1.0) + 2;
     let t_min_threshold = state.thresholds.min_threshold(eps);
     loop {
-        let mut active_edges = 0usize;
-        for e in g.edges() {
-            let (u, v) = (e.u() as usize, e.v() as usize);
-            if state.is_active_vertex(u) && state.is_active_vertex(v) {
-                active_edges += 1;
-            }
-        }
+        // Every machine counts the active edges of its chunk (integer sum
+        // over fixed chunks — schedule-independent).
+        let active_edges: usize = state
+            .exec
+            .run_chunked(g.num_edges(), PAR_CHUNK, |range| {
+                g.edges()[range]
+                    .iter()
+                    .filter(|e| {
+                        state.is_active_vertex(e.u() as usize)
+                            && state.is_active_vertex(e.v() as usize)
+                    })
+                    .count()
+            })
+            .into_iter()
+            .sum();
         if active_edges == 0 || (state.t as usize) >= tail_cap {
             break;
         }
         let y = state.vertex_weights();
-        let could_freeze = (0..n).any(|v| state.is_active_vertex(v) && y[v] >= t_min_threshold);
+        let could_freeze = state
+            .exec
+            .run_chunked(n, PAR_CHUNK, |range| {
+                range
+                    .clone()
+                    .any(|v| state.is_active_vertex(v) && y[v] >= t_min_threshold)
+            })
+            .into_iter()
+            .any(|b| b);
         if could_freeze {
-            let mut to_freeze = Vec::new();
-            #[allow(clippy::needless_range_loop)] // indexes parallel state arrays
-            for v in 0..n {
-                if state.is_active_vertex(v)
-                    && y[v] >= state.thresholds.threshold(eps, v as u32, state.t)
-                {
-                    to_freeze.push(v);
-                }
-            }
+            let to_freeze: Vec<usize> = state
+                .exec
+                .run_chunked(n, PAR_CHUNK, |range| {
+                    range
+                        .filter(|&v| {
+                            state.is_active_vertex(v)
+                                && y[v] >= state.thresholds.threshold(eps, v as u32, state.t)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
             for v in to_freeze {
                 state.freeze[v] = state.t;
             }
@@ -601,29 +642,43 @@ fn run_phase(
         // it are provably no-ops and can be fast-forwarded (Practical
         // plan; the Paper plan simulates them literally but they cost no
         // extra MPC rounds either way).
-        let mut max_y_hat = 0.0f64;
-        let mut min_skip = u32::MAX;
-        for &v in &active_list {
-            let vu = v as usize;
-            if !state.is_active_vertex(vu) {
-                continue;
-            }
-            let local_part = m as f64 * w_t * local_deg[vu] as f64;
-            let y_hat = local_part + y_old[vu];
-            if y_hat > max_y_hat {
-                max_y_hat = y_hat;
-            }
-            // Iterations until this vertex's estimate could reach 1-4ε.
-            if local_deg[vu] > 0 {
-                let need = t_min_threshold - y_old[vu];
-                if need > 0.0 && local_part > 0.0 {
-                    let k = ((need / local_part).ln() / state.growth.ln())
-                        .ceil()
-                        .max(1.0);
-                    min_skip = min_skip.min(k as u32);
-                }
-            }
-        }
+        // Per-machine estimate scan: each chunk reports (local max ŷ,
+        // local min skip); `f64::max` / `u32::min` combine to the same
+        // values regardless of chunk interleaving, so the result is
+        // identical under any executor.
+        let (max_y_hat, min_skip) = {
+            let st = &*state;
+            st.exec
+                .run_chunked(active_list.len(), PAR_CHUNK, |range| {
+                    let mut max_y = 0.0f64;
+                    let mut skip = u32::MAX;
+                    for &v in &active_list[range] {
+                        let vu = v as usize;
+                        if !st.is_active_vertex(vu) {
+                            continue;
+                        }
+                        let local_part = m as f64 * w_t * local_deg[vu] as f64;
+                        let y_hat = local_part + y_old[vu];
+                        if y_hat > max_y {
+                            max_y = y_hat;
+                        }
+                        // Iterations until this vertex's estimate could
+                        // reach 1-4ε.
+                        if local_deg[vu] > 0 {
+                            let need = t_min_threshold - y_old[vu];
+                            if need > 0.0 && local_part > 0.0 {
+                                let k = ((need / local_part).ln() / st.growth.ln()).ceil().max(1.0);
+                                skip = skip.min(k as u32);
+                            }
+                        }
+                    }
+                    (max_y, skip)
+                })
+                .into_iter()
+                .fold((0.0f64, u32::MAX), |(my, ms), (cy, cs)| {
+                    (my.max(cy), ms.min(cs))
+                })
+        };
 
         if max_y_hat < t_min_threshold {
             // Fast-forward: no freeze possible this iteration.
@@ -686,27 +741,53 @@ fn run_phase(
         });
 
         // Line (e)(A): simultaneous freeze decisions from the snapshot.
-        let mut to_freeze: Vec<u32> = Vec::new();
-        for &v in &active_list {
-            let vu = v as usize;
-            if !state.is_active_vertex(vu) {
-                continue;
-            }
-            let y_hat = m as f64 * w_t * local_deg[vu] as f64 + y_old[vu];
-            if let (Some(diag), Some(ref_y), Some(rf)) =
-                (diagnostics.as_mut(), ref_y.as_ref(), ref_freeze.as_ref())
-            {
-                if rf[vu] == NEVER_FROZEN {
-                    let err = (ref_y[vu] - y_hat).abs();
-                    if err > diag.max_estimate_error {
-                        diag.max_estimate_error = err;
+        // Without diagnostics this is a pure per-machine filter over the
+        // pre-iteration state — chunked, flattened in chunk order, so the
+        // freeze set is identical under any executor. The diagnostics path
+        // accumulates into `&mut diag` and stays sequential (it computes
+        // the very same decisions).
+        let to_freeze: Vec<u32> = if diagnostics.is_none() {
+            let st = &*state;
+            st.exec
+                .run_chunked(active_list.len(), PAR_CHUNK, |range| {
+                    active_list[range]
+                        .iter()
+                        .copied()
+                        .filter(|&v| {
+                            let vu = v as usize;
+                            st.is_active_vertex(vu)
+                                && m as f64 * w_t * local_deg[vu] as f64 + y_old[vu]
+                                    >= st.thresholds.threshold(eps, v, tt)
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            let mut to_freeze = Vec::new();
+            for &v in &active_list {
+                let vu = v as usize;
+                if !state.is_active_vertex(vu) {
+                    continue;
+                }
+                let y_hat = m as f64 * w_t * local_deg[vu] as f64 + y_old[vu];
+                if let (Some(diag), Some(ref_y), Some(rf)) =
+                    (diagnostics.as_mut(), ref_y.as_ref(), ref_freeze.as_ref())
+                {
+                    if rf[vu] == NEVER_FROZEN {
+                        let err = (ref_y[vu] - y_hat).abs();
+                        if err > diag.max_estimate_error {
+                            diag.max_estimate_error = err;
+                        }
                     }
                 }
+                if y_hat >= state.thresholds.threshold(eps, v, tt) {
+                    to_freeze.push(v);
+                }
             }
-            if y_hat >= state.thresholds.threshold(eps, v, tt) {
-                to_freeze.push(v);
-            }
-        }
+            to_freeze
+        };
         for v in to_freeze {
             state.freeze[v as usize] = tt;
             // Local edges to v become inactive.
@@ -790,7 +871,7 @@ fn finish(
         tail_iterations,
         removed: state.removed,
         freeze_iteration: state.freeze,
-        trace: cluster.trace().clone(),
+        trace: cluster.execution_trace().clone(),
         diagnostics,
     }
 }

@@ -25,10 +25,12 @@
 use crate::error::CoreError;
 use crate::mis::ghaffari_local::{ghaffari_local_mis, LocalMisConfig};
 use crate::mis::greedy_mpc::SparsifyThreshold;
+use crate::PAR_CHUNK;
 use mmvc_clique::CliqueNetwork;
 use mmvc_graph::mis::IndependentSet;
 use mmvc_graph::rng::{hash2, invert_permutation, random_permutation};
 use mmvc_graph::{Graph, VertexId};
+use mmvc_substrate::{ExecutorConfig, Substrate};
 
 /// Configuration for [`clique_mis`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,15 +41,20 @@ pub struct CliqueMisConfig {
     pub alpha: f64,
     /// Degree at which prefix phases hand off to the sparsified MIS.
     pub sparsify: SparsifyThreshold,
+    /// How per-player local work executes (results are identical for any
+    /// executor; see [`ExecutorConfig`]).
+    pub executor: ExecutorConfig,
 }
 
 impl CliqueMisConfig {
-    /// Default configuration (`α = 3/4`, practical handoff threshold).
+    /// Default configuration (`α = 3/4`, practical handoff threshold,
+    /// threaded executor).
     pub fn new(seed: u64) -> Self {
         CliqueMisConfig {
             seed,
             alpha: 0.75,
             sparsify: SparsifyThreshold::Practical,
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -140,6 +147,7 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
         });
     }
     let mut net = CliqueNetwork::new(n)?;
+    let exec = config.executor;
     const LEADER: usize = 0;
 
     // Step 1: agree on the random order. Player 0 draws it and tells each
@@ -180,19 +188,30 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
                     }
                     mask
                 };
-                // Each batch player ships its in-batch residual edges to
-                // the leader (2 words per edge), via batched Lenzen routing.
-                let mut messages: Vec<(usize, usize, usize)> = Vec::new();
-                for &v in &batch {
-                    let edge_words = 2 * g
-                        .neighbors(v)
-                        .iter()
-                        .filter(|&&u| in_batch[u as usize] && alive[u as usize] && u > v)
-                        .count();
-                    if edge_words > 0 {
-                        messages.push((v as usize, LEADER, edge_words));
-                    }
-                }
+                // Per-player batch construction: every batch player counts
+                // its in-batch residual edges (2 words per edge) and
+                // addresses them to the leader. Run over fixed vertex
+                // chunks and flattened in chunk order, the message list is
+                // identical under any executor.
+                let messages: Vec<(usize, usize, usize)> = exec
+                    .run_chunked(batch.len(), PAR_CHUNK, |range| {
+                        batch[range]
+                            .iter()
+                            .filter_map(|&v| {
+                                let edge_words = 2 * g
+                                    .neighbors(v)
+                                    .iter()
+                                    .filter(|&&u| {
+                                        in_batch[u as usize] && alive[u as usize] && u > v
+                                    })
+                                    .count();
+                                (edge_words > 0).then_some((v as usize, LEADER, edge_words))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
                 route_batched(&mut net, &messages)?;
 
                 // Leader computes the greedy additions in rank order.
@@ -230,14 +249,22 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
 
             prefix_phases += 1;
             prev_rank = rank_bound;
-            let residual_degree = (0..n as u32)
-                .filter(|&v| alive[v as usize])
-                .map(|v| {
-                    g.neighbors(v)
-                        .iter()
-                        .filter(|&&u| alive[u as usize])
-                        .count()
+            // Every player measures its residual degree; integer max over
+            // fixed chunks is schedule-independent.
+            let residual_degree = exec
+                .run_chunked(n, PAR_CHUNK, |range| {
+                    range
+                        .filter(|&v| alive[v])
+                        .map(|v| {
+                            g.neighbors(v as u32)
+                                .iter()
+                                .filter(|&&u| alive[u as usize])
+                                .count()
+                        })
+                        .max()
+                        .unwrap_or(0)
                 })
+                .into_iter()
                 .max()
                 .unwrap_or(0);
             if residual_degree <= tau || prev_rank >= n {
@@ -268,17 +295,23 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
     // Final residue (O(n) edges) to the leader, finish greedily, answer.
     let remaining: Vec<VertexId> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
     if !remaining.is_empty() {
-        let mut messages: Vec<(usize, usize, usize)> = Vec::new();
-        for &v in &remaining {
-            let words = 2 * g
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| alive[u as usize] && u > v)
-                .count();
-            if words > 0 {
-                messages.push((v as usize, LEADER, words));
-            }
-        }
+        let messages: Vec<(usize, usize, usize)> = exec
+            .run_chunked(remaining.len(), PAR_CHUNK, |range| {
+                remaining[range]
+                    .iter()
+                    .filter_map(|&v| {
+                        let words = 2 * g
+                            .neighbors(v)
+                            .iter()
+                            .filter(|&&u| alive[u as usize] && u > v)
+                            .count();
+                        (words > 0).then_some((v as usize, LEADER, words))
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
         route_batched(&mut net, &messages)?;
         let mut order = remaining.clone();
         order.sort_unstable_by_key(|&v| ranks[v as usize]);
@@ -303,7 +336,7 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
         mis,
         prefix_phases,
         local_rounds: local.rounds,
-        trace: net.trace().clone(),
+        trace: net.execution_trace().clone(),
     })
 }
 
@@ -341,7 +374,7 @@ mod tests {
 
     #[test]
     fn lenzen_precondition_never_violated() {
-        // max_player_in_words <= n per routing call is enforced internally;
+        // max_load_words <= n per routing call is enforced internally;
         // success of the run certifies it.
         let g = generators::gnp(300, 0.3, 2).unwrap();
         let out = clique_mis(&g, &CliqueMisConfig::new(2)).unwrap();

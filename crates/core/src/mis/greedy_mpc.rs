@@ -23,10 +23,12 @@
 
 use crate::error::CoreError;
 use crate::mis::ghaffari_local::{ghaffari_local_mis, LocalMisConfig};
+use crate::PAR_CHUNK;
 use mmvc_graph::mis::IndependentSet;
 use mmvc_graph::rng::{hash2, invert_permutation, random_permutation};
 use mmvc_graph::{Graph, VertexId};
 use mmvc_mpc::{Cluster, MpcConfig};
+use mmvc_substrate::{ExecutorConfig, Substrate};
 
 /// Where the rank-prefix phases hand off to the sparsified subroutine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,16 +66,21 @@ pub struct GreedyMisConfig {
     pub space_factor: f64,
     /// Degree at which prefix phases hand off to the sparsified MIS.
     pub sparsify: SparsifyThreshold,
+    /// How per-machine local work executes (results are identical for any
+    /// executor; see [`ExecutorConfig`]).
+    pub executor: ExecutorConfig,
 }
 
 impl GreedyMisConfig {
-    /// Default configuration: `α = 3/4`, `8n` words, practical handoff.
+    /// Default configuration: `α = 3/4`, `8n` words, practical handoff,
+    /// threaded executor.
     pub fn new(seed: u64) -> Self {
         GreedyMisConfig {
             seed,
             alpha: 0.75,
             space_factor: 8.0,
             sparsify: SparsifyThreshold::Practical,
+            executor: ExecutorConfig::default(),
         }
     }
 }
@@ -132,7 +139,8 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
     let n = g.num_vertices();
     let budget = ((config.space_factor * n.max(1) as f64).ceil() as usize).max(64);
     let machines = (4 * g.edge_words()).div_ceil(budget).max(2);
-    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?);
+    let exec = config.executor;
+    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?).with_executor(exec);
 
     // The uniform ranking π (Section 3.1).
     let perm = random_permutation(n, config.seed);
@@ -174,14 +182,26 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
                     }
                     mask
                 };
-                let mut edges = 0usize;
-                for &v in &batch {
-                    for &u in g.neighbors(v) {
-                        if in_batch[u as usize] && alive[u as usize] && v < u {
-                            edges += 1;
-                        }
-                    }
-                }
+                // Per-machine local work: every machine counts the
+                // in-batch residual edges of its vertex share. Chunk
+                // boundaries are thread-count-independent, so the summed
+                // total is identical under any executor.
+                let edges: usize = exec
+                    .run_chunked(batch.len(), PAR_CHUNK, |range| {
+                        batch[range]
+                            .iter()
+                            .map(|&v| {
+                                g.neighbors(v)
+                                    .iter()
+                                    .filter(|&&u| {
+                                        in_batch[u as usize] && alive[u as usize] && v < u
+                                    })
+                                    .count()
+                            })
+                            .sum::<usize>()
+                    })
+                    .into_iter()
+                    .sum();
                 let words = batch.len() + 2 * edges;
                 phase_edge_words.push(words);
                 cluster.round(|r| r.receive(0, words))?;
@@ -221,15 +241,22 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
             prev_rank = rank_bound;
 
             // Measured residual degree (the simulator can observe what
-            // Lemma 3.1 proves).
-            let residual_degree = (0..n as u32)
-                .filter(|&v| alive[v as usize])
-                .map(|v| {
-                    g.neighbors(v)
-                        .iter()
-                        .filter(|&&u| alive[u as usize])
-                        .count()
+            // Lemma 3.1 proves). Integer max over fixed vertex chunks:
+            // schedule-independent under any executor.
+            let residual_degree = exec
+                .run_chunked(n, PAR_CHUNK, |range| {
+                    range
+                        .filter(|&v| alive[v])
+                        .map(|v| {
+                            g.neighbors(v as u32)
+                                .iter()
+                                .filter(|&&u| alive[u as usize])
+                                .count()
+                        })
+                        .max()
+                        .unwrap_or(0)
                 })
+                .into_iter()
                 .max()
                 .unwrap_or(0);
             if residual_degree <= tau || prev_rank >= n {
@@ -261,15 +288,21 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
     // Final gather: remaining graph on one machine, finish greedily.
     let remaining: Vec<VertexId> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
     if !remaining.is_empty() {
-        let mut words = remaining.len();
-        for &v in &remaining {
-            words += g
-                .neighbors(v)
-                .iter()
-                .filter(|&&u| alive[u as usize] && u > v)
-                .count()
-                * 2;
-        }
+        let words = remaining.len()
+            + 2 * exec
+                .run_chunked(remaining.len(), PAR_CHUNK, |range| {
+                    remaining[range]
+                        .iter()
+                        .map(|&v| {
+                            g.neighbors(v)
+                                .iter()
+                                .filter(|&&u| alive[u as usize] && u > v)
+                                .count()
+                        })
+                        .sum::<usize>()
+                })
+                .into_iter()
+                .sum::<usize>();
         cluster.round(|r| r.receive(0, words))?;
         let mut order = remaining.clone();
         order.sort_unstable_by_key(|&v| ranks[v as usize]);
@@ -291,7 +324,7 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
         prefix_phases,
         local_rounds: local.rounds,
         phase_edge_words,
-        trace: cluster.trace().clone(),
+        trace: cluster.execution_trace().clone(),
     })
 }
 

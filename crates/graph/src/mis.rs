@@ -97,7 +97,8 @@ impl IndependentSet {
             .all(|v| self.contains(v) || g.neighbors(v).iter().any(|&w| self.contains(w)))
     }
 
-    /// The complement vertex set as a [`VertexCover`] — the classical
+    /// The complement vertex set as a
+    /// [`VertexCover`](crate::vertex_cover::VertexCover) — the classical
     /// duality: `S` is an independent set of `G` iff `V ∖ S` is a vertex
     /// cover of `G`. A *maximum* independent set complements to a
     /// *minimum* vertex cover.

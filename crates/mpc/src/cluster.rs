@@ -7,10 +7,17 @@
 //! budget, and the trace records rounds, loads, and total communication.
 //! Exceeding a budget is a hard [`MpcError::MemoryExceeded`] error, so the
 //! paper's "O(n) memory per machine" claims are *checked*, not assumed.
+//!
+//! The round lifecycle itself (open/charge/close, protocol guards) is the
+//! shared [`RoundLedger`] of `mmvc-substrate`; this type adds the MPC
+//! *policy* — a slot is a machine, and every charge is checked against the
+//! per-machine memory budget. Per-machine local computation runs through
+//! the deterministic [`ExecutorConfig`] (see
+//! [`Cluster::parallel_round`]).
 
 use crate::config::MpcConfig;
 use crate::error::MpcError;
-use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
+use mmvc_substrate::{ExecutionTrace, ExecutorConfig, RoundLedger, RoundSummary, Substrate};
 
 /// A simulated MPC cluster (paper, Section 1.1.1).
 ///
@@ -21,7 +28,7 @@ use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
 /// # Examples
 ///
 /// ```
-/// use mmvc_mpc::{Cluster, MpcConfig};
+/// use mmvc_mpc::{Cluster, MpcConfig, Substrate};
 ///
 /// let mut cluster = Cluster::new(MpcConfig::new(4, 1000)?);
 /// cluster.round(|r| {
@@ -29,15 +36,15 @@ use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate};
 ///     r.broadcast(10)?;   // every machine receives 10 words
 ///     Ok(())
 /// })?;
-/// assert_eq!(cluster.trace().rounds(), 1);
-/// assert_eq!(cluster.trace().max_load_words(), 810);
+/// assert_eq!(cluster.rounds(), 1);
+/// assert_eq!(cluster.max_load_words(), 810);
 /// # Ok::<(), mmvc_mpc::MpcError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Cluster {
     config: MpcConfig,
-    trace: ExecutionTrace,
-    open: Option<Vec<usize>>,
+    ledger: RoundLedger,
+    executor: ExecutorConfig,
 }
 
 /// Handle for charging memory within one open round; created by
@@ -48,13 +55,24 @@ pub struct RoundCtx<'a> {
 }
 
 impl Cluster {
-    /// Creates a cluster with the given configuration.
+    /// Creates a cluster with the given configuration and the default
+    /// (threaded, auto-sized) executor.
     pub fn new(config: MpcConfig) -> Self {
         Cluster {
+            ledger: RoundLedger::new("mpc", config.num_machines()),
             config,
-            trace: ExecutionTrace::new(),
-            open: None,
+            executor: ExecutorConfig::default(),
         }
+    }
+
+    /// Replaces the executor used by [`Cluster::parallel_round`].
+    ///
+    /// The thread count is resolved when the [`ExecutorConfig`] is built,
+    /// never per round, and results are identical for any executor.
+    #[must_use]
+    pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        self.executor = executor;
+        self
     }
 
     /// The cluster configuration.
@@ -62,28 +80,19 @@ impl Cluster {
         &self.config
     }
 
-    /// The execution trace so far.
-    pub fn trace(&self) -> &ExecutionTrace {
-        &self.trace
-    }
-
-    /// Number of completed rounds.
-    pub fn rounds(&self) -> usize {
-        self.trace.rounds()
+    /// The executor running per-machine closures.
+    pub fn executor(&self) -> ExecutorConfig {
+        self.executor
     }
 
     /// Opens a new round.
     ///
     /// # Errors
     ///
-    /// [`MpcError::RoundProtocol`] if a round is already open.
+    /// [`MpcError::Substrate`] (round protocol) if a round is already
+    /// open.
     pub fn begin_round(&mut self) -> Result<(), MpcError> {
-        if self.open.is_some() {
-            return Err(MpcError::RoundProtocol {
-                message: "round already open",
-            });
-        }
-        self.open = Some(vec![0; self.config.num_machines()]);
+        self.ledger.begin_round()?;
         Ok(())
     }
 
@@ -91,35 +100,22 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// * [`MpcError::RoundProtocol`] if no round is open.
+    /// * [`MpcError::Substrate`] (round protocol) if no round is open.
     /// * [`MpcError::NoSuchMachine`] for an invalid machine id.
     /// * [`MpcError::MemoryExceeded`] if the charge would exceed the
     ///   machine's budget.
     pub fn receive(&mut self, machine: usize, words: usize) -> Result<(), MpcError> {
-        let round = self.trace.rounds() + 1;
         let budget = self.config.words_per_machine();
-        let num_machines = self.config.num_machines();
-        let Some(loads) = self.open.as_mut() else {
-            return Err(MpcError::RoundProtocol {
-                message: "receive outside a round",
-            });
-        };
-        if machine >= num_machines {
-            return Err(MpcError::NoSuchMachine {
-                machine,
-                num_machines,
-            });
-        }
-        let attempted = loads[machine] + words;
+        let attempted = self.ledger.load(machine)? + words;
         if attempted > budget {
             return Err(MpcError::MemoryExceeded {
                 machine,
-                round,
+                round: self.ledger.current_round(),
                 attempted_words: attempted,
                 budget_words: budget,
             });
         }
-        loads[machine] = attempted;
+        self.ledger.charge(machine, words)?;
         Ok(())
     }
 
@@ -139,20 +135,9 @@ impl Cluster {
     ///
     /// # Errors
     ///
-    /// [`MpcError::RoundProtocol`] if no round is open.
+    /// [`MpcError::Substrate`] (round protocol) if no round is open.
     pub fn end_round(&mut self) -> Result<RoundSummary, MpcError> {
-        let Some(loads) = self.open.take() else {
-            return Err(MpcError::RoundProtocol {
-                message: "end_round without begin_round",
-            });
-        };
-        let summary = RoundSummary {
-            round: self.trace.rounds() + 1,
-            max_load_words: loads.iter().copied().max().unwrap_or(0),
-            total_words: loads.iter().sum(),
-        };
-        self.trace.record(summary);
-        Ok(summary)
+        Ok(self.ledger.end_round()?)
     }
 
     /// Runs `f` inside a fresh round, closing it afterwards.
@@ -175,7 +160,7 @@ impl Cluster {
                 Ok(value)
             }
             Err(e) => {
-                self.open = None;
+                self.ledger.abandon_round();
                 Err(e)
             }
         }
@@ -188,7 +173,8 @@ impl Cluster {
     /// # Errors
     ///
     /// [`MpcError::MemoryExceeded`] if `load_words` exceeds the budget;
-    /// [`MpcError::RoundProtocol`] if a round is already open.
+    /// [`MpcError::Substrate`] (round protocol) if a round is already
+    /// open.
     pub fn charge_rounds(&mut self, k: usize, load_words: usize) -> Result<(), MpcError> {
         for _ in 0..k {
             self.begin_round()?;
@@ -201,37 +187,39 @@ impl Cluster {
     /// Merges the trace of a nested computation (e.g. a subroutine run on
     /// its own cluster handle) into this cluster's trace.
     pub fn absorb_trace(&mut self, other: &ExecutionTrace) {
-        self.trace.absorb(other);
+        self.ledger.absorb(other);
     }
 
     /// Executes one round in which every machine `0..k` runs `work`
-    /// concurrently on OS threads, then charges each machine the words its
-    /// closure reports.
+    /// through the cluster's [`ExecutorConfig`], then charges each machine
+    /// the words its closure reports.
     ///
     /// `work(machine)` returns `(output, words_received)`. This is the
     /// "local computation" step of the MPC model executed with real
-    /// parallelism (`std::thread::scope`); metering semantics are
-    /// identical to calling [`Cluster::receive`] per machine inside a
-    /// [`Cluster::round`].
+    /// parallelism; metering semantics are identical to calling
+    /// [`Cluster::receive`] per machine inside a [`Cluster::round`], and
+    /// the outputs are identical for any executor (results land in
+    /// machine-indexed slots; tiny rounds degrade to the sequential path).
     ///
     /// # Errors
     ///
     /// * [`MpcError::NoSuchMachine`] if `k` exceeds the cluster size.
     /// * [`MpcError::MemoryExceeded`] if any reported load overflows its
     ///   machine's budget — the round is then abandoned (not recorded).
-    /// * [`MpcError::RoundProtocol`] if a round is already open.
+    /// * [`MpcError::Substrate`] (round protocol) if a round is already
+    ///   open.
     ///
     /// # Examples
     ///
     /// ```
-    /// use mmvc_mpc::{Cluster, MpcConfig};
+    /// use mmvc_mpc::{Cluster, MpcConfig, Substrate};
     /// let mut cluster = Cluster::new(MpcConfig::new(4, 1000)?);
     /// let sums = cluster.parallel_round(4, |m| {
     ///     let local_sum: usize = (0..100).map(|i| i * (m + 1)).sum();
     ///     (local_sum, 100) // each machine received 100 words
     /// })?;
     /// assert_eq!(sums.len(), 4);
-    /// assert_eq!(cluster.trace().max_load_words(), 100);
+    /// assert_eq!(cluster.max_load_words(), 100);
     /// # Ok::<(), mmvc_mpc::MpcError>(())
     /// ```
     pub fn parallel_round<T, F>(&mut self, k: usize, work: F) -> Result<Vec<T>, MpcError>
@@ -245,32 +233,13 @@ impl Cluster {
                 num_machines: self.config.num_machines(),
             });
         }
-        if self.open.is_some() {
-            return Err(MpcError::RoundProtocol {
-                message: "round already open",
-            });
-        }
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1);
-        let chunk = k.div_ceil(threads.max(1)).max(1);
-        let mut results: Vec<Option<(T, usize)>> = (0..k).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            for (slot_chunk, base) in results.chunks_mut(chunk).zip((0..k).step_by(chunk)) {
-                let work = &work;
-                scope.spawn(move || {
-                    for (offset, slot) in slot_chunk.iter_mut().enumerate() {
-                        *slot = Some(work(base + offset));
-                    }
-                });
-            }
-        });
+        self.ledger.ensure_no_open_round()?;
+        let results = self.executor.run(k, &work);
         self.begin_round()?;
         let mut outputs = Vec::with_capacity(k);
-        for (machine, slot) in results.into_iter().enumerate() {
-            let (out, words) = slot.expect("every machine slot filled");
+        for (machine, (out, words)) in results.into_iter().enumerate() {
             if let Err(e) = self.receive(machine, words) {
-                self.open = None; // abandon the partially charged round
+                self.ledger.abandon_round(); // abandon the partially charged round
                 return Err(e);
             }
             outputs.push(out);
@@ -286,7 +255,7 @@ impl Substrate for Cluster {
     }
 
     fn execution_trace(&self) -> &ExecutionTrace {
-        &self.trace
+        self.ledger.trace()
     }
 }
 
@@ -318,9 +287,14 @@ impl RoundCtx<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmvc_substrate::SubstrateError;
 
     fn small() -> Cluster {
         Cluster::new(MpcConfig::new(3, 100).unwrap())
+    }
+
+    fn is_round_protocol(e: &MpcError) -> bool {
+        matches!(e, MpcError::Substrate(SubstrateError::RoundProtocol { .. }))
     }
 
     #[test]
@@ -357,16 +331,10 @@ mod tests {
     #[test]
     fn protocol_violations() {
         let mut c = small();
-        assert!(matches!(
-            c.receive(0, 1),
-            Err(MpcError::RoundProtocol { .. })
-        ));
-        assert!(matches!(c.end_round(), Err(MpcError::RoundProtocol { .. })));
+        assert!(is_round_protocol(&c.receive(0, 1).unwrap_err()));
+        assert!(is_round_protocol(&c.end_round().unwrap_err()));
         c.begin_round().unwrap();
-        assert!(matches!(
-            c.begin_round(),
-            Err(MpcError::RoundProtocol { .. })
-        ));
+        assert!(is_round_protocol(&c.begin_round().unwrap_err()));
     }
 
     #[test]
@@ -408,7 +376,7 @@ mod tests {
     fn broadcast_charges_everyone() {
         let mut c = small();
         c.round(|r| r.broadcast(30)).unwrap();
-        let s = c.trace().per_round()[0];
+        let s = c.execution_trace().per_round()[0];
         assert_eq!(s.max_load_words, 30);
         assert_eq!(s.total_words, 90);
     }
@@ -418,7 +386,7 @@ mod tests {
         let mut c = small();
         c.charge_rounds(4, 10).unwrap();
         assert_eq!(c.rounds(), 4);
-        assert_eq!(c.trace().total_words(), 4 * 3 * 10);
+        assert_eq!(c.total_words(), 4 * 3 * 10);
     }
 
     #[test]
@@ -435,9 +403,31 @@ mod tests {
         let mut c = Cluster::new(MpcConfig::new(8, 100).unwrap());
         let out = c.parallel_round(8, |m| (m * 10, m)).unwrap();
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
-        let s = c.trace().per_round()[0];
+        let s = c.execution_trace().per_round()[0];
         assert_eq!(s.max_load_words, 7);
         assert_eq!(s.total_words, 28);
+    }
+
+    #[test]
+    fn parallel_round_identical_for_any_executor() {
+        let work = |m: usize| (m.wrapping_mul(0x9E37_79B9), m % 5);
+        let mut expect: Option<(Vec<usize>, ExecutionTrace)> = None;
+        for exec in [
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(2),
+            ExecutorConfig::with_threads(8),
+        ] {
+            let mut c = Cluster::new(MpcConfig::new(16, 100).unwrap()).with_executor(exec);
+            let out = c.parallel_round(16, work).unwrap();
+            let trace = c.execution_trace().clone();
+            match &expect {
+                None => expect = Some((out, trace)),
+                Some((o, t)) => {
+                    assert_eq!(&out, o);
+                    assert_eq!(&trace, t);
+                }
+            }
+        }
     }
 
     #[test]

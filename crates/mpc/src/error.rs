@@ -1,5 +1,6 @@
 //! Errors reported by the MPC simulator.
 
+use mmvc_substrate::SubstrateError;
 use std::error::Error;
 use std::fmt;
 
@@ -9,6 +10,10 @@ use std::fmt;
 /// claims are of the form "this fits in O(n) words per machine", and the
 /// simulator *verifies* rather than assumes them — an algorithm that ships
 /// too much data to one machine fails loudly.
+///
+/// Failures that are not specific to the MPC model — round-protocol misuse
+/// detected by the shared [`mmvc_substrate::RoundLedger`] — surface as
+/// [`MpcError::Substrate`], carrying the [`SubstrateError`] unchanged.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum MpcError {
@@ -30,17 +35,16 @@ pub enum MpcError {
         /// Number of machines in the cluster.
         num_machines: usize,
     },
-    /// An operation requiring an open round was invoked outside one, or a
-    /// round was opened twice.
-    RoundProtocol {
-        /// Description of the misuse.
-        message: &'static str,
-    },
     /// A configuration parameter was invalid.
     InvalidConfig {
         /// Description of the violated constraint.
         message: String,
     },
+    /// A substrate-level failure shared with every metered model — most
+    /// commonly [`SubstrateError::RoundProtocol`] (an operation requiring
+    /// an open round was invoked outside one, or a round was opened
+    /// twice), reported by the shared round ledger.
+    Substrate(SubstrateError),
 }
 
 impl fmt::Display for MpcError {
@@ -65,19 +69,25 @@ impl fmt::Display for MpcError {
                     "machine {machine} does not exist (cluster has {num_machines})"
                 )
             }
-            MpcError::RoundProtocol { message } => write!(f, "round protocol violation: {message}"),
             MpcError::InvalidConfig { message } => {
                 write!(f, "invalid MPC configuration: {message}")
             }
+            MpcError::Substrate(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl Error for MpcError {}
+impl Error for MpcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MpcError::Substrate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
-impl From<MpcError> for mmvc_substrate::SubstrateError {
+impl From<MpcError> for SubstrateError {
     fn from(e: MpcError) -> Self {
-        use mmvc_substrate::SubstrateError;
         const SUBSTRATE: &str = "mpc";
         match e {
             MpcError::MemoryExceeded {
@@ -100,14 +110,26 @@ impl From<MpcError> for mmvc_substrate::SubstrateError {
                 address: machine,
                 limit: num_machines,
             },
-            MpcError::RoundProtocol { message } => SubstrateError::RoundProtocol {
-                substrate: SUBSTRATE,
-                message,
-            },
             MpcError::InvalidConfig { message } => SubstrateError::InvalidConfig {
                 substrate: SUBSTRATE,
                 message,
             },
+            MpcError::Substrate(e) => e,
+        }
+    }
+}
+
+impl From<SubstrateError> for MpcError {
+    /// Re-enters the MPC vocabulary where one exists (an invalid address
+    /// *is* a missing machine); every other case is carried through as
+    /// [`MpcError::Substrate`].
+    fn from(e: SubstrateError) -> Self {
+        match e {
+            SubstrateError::InvalidAddress { address, limit, .. } => MpcError::NoSuchMachine {
+                machine: address,
+                num_machines: limit,
+            },
+            other => MpcError::Substrate(other),
         }
     }
 }
@@ -132,17 +154,35 @@ mod tests {
         }
         .to_string()
         .contains("machine 9"));
+        assert!(MpcError::Substrate(SubstrateError::RoundProtocol {
+            substrate: "mpc",
+            message: "round already open"
+        })
+        .to_string()
+        .contains("already open"));
     }
 
     #[test]
     fn is_error_trait_object() {
-        let e: Box<dyn Error + Send + Sync> = Box::new(MpcError::RoundProtocol { message: "x" });
+        let e: Box<dyn Error + Send + Sync> =
+            Box::new(MpcError::Substrate(SubstrateError::RoundProtocol {
+                substrate: "mpc",
+                message: "x",
+            }));
         assert!(e.to_string().contains("x"));
+        // The wrapped SubstrateError stays reachable through the chain.
+        let source = e.source().expect("Substrate variant chains its cause");
+        assert!(source.downcast_ref::<SubstrateError>().is_some());
+        assert!(MpcError::NoSuchMachine {
+            machine: 0,
+            num_machines: 1
+        }
+        .source()
+        .is_none());
     }
 
     #[test]
     fn converts_to_substrate_error() {
-        use mmvc_substrate::SubstrateError;
         let e: SubstrateError = MpcError::MemoryExceeded {
             machine: 3,
             round: 7,
@@ -173,12 +213,36 @@ mod tests {
                 ..
             }
         ));
-        let e: SubstrateError = MpcError::RoundProtocol { message: "m" }.into();
-        assert!(matches!(e, SubstrateError::RoundProtocol { .. }));
         let e: SubstrateError = MpcError::InvalidConfig {
             message: "c".into(),
         }
         .into();
         assert!(matches!(e, SubstrateError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn round_trips_through_substrate_error() {
+        // The shared cases pass through unchanged in both directions…
+        let shared = SubstrateError::RoundProtocol {
+            substrate: "mpc",
+            message: "m",
+        };
+        let e: MpcError = shared.clone().into();
+        assert_eq!(e, MpcError::Substrate(shared.clone()));
+        assert_eq!(SubstrateError::from(e), shared);
+        // …and an invalid address re-enters the MPC vocabulary.
+        let e: MpcError = SubstrateError::InvalidAddress {
+            substrate: "mpc",
+            address: 3,
+            limit: 2,
+        }
+        .into();
+        assert_eq!(
+            e,
+            MpcError::NoSuchMachine {
+                machine: 3,
+                num_machines: 2
+            }
+        );
     }
 }

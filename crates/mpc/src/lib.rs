@@ -17,7 +17,7 @@
 //! partitioning both of the paper's algorithms rely on.
 //!
 //! ```
-//! use mmvc_mpc::{Cluster, MpcConfig, random_vertex_partition};
+//! use mmvc_mpc::{Cluster, MpcConfig, Substrate, random_vertex_partition};
 //!
 //! // 16 machines, 10_000 words each.
 //! let mut cluster = Cluster::new(MpcConfig::new(16, 10_000)?);
@@ -49,10 +49,12 @@ pub use config::MpcConfig;
 pub use error::MpcError;
 pub use partition::{machine_of_vertex, random_vertex_partition};
 pub use primitives::{mpc_aggregate_by_key, mpc_prefix_sum, mpc_sort};
-// The trace types are shared with the CONGESTED-CLIQUE substrate and live
-// in `mmvc-substrate`; re-exported here so `mmvc_mpc::ExecutionTrace`
-// keeps working.
-pub use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate, SubstrateError};
+// The trace types and the round engine are shared with the
+// CONGESTED-CLIQUE substrate and live in `mmvc-substrate`; re-exported
+// here so `mmvc_mpc::ExecutionTrace` (etc.) keeps working.
+pub use mmvc_substrate::{
+    ExecutionTrace, ExecutorConfig, RoundLedger, RoundSummary, Substrate, SubstrateError,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -44,7 +44,7 @@ fn chunk_lengths(n: usize, machines: usize) -> Vec<usize> {
 /// # Examples
 ///
 /// ```
-/// use mmvc_mpc::{mpc_sort, Cluster, MpcConfig};
+/// use mmvc_mpc::{mpc_sort, Cluster, MpcConfig, Substrate};
 /// let mut cluster = Cluster::new(MpcConfig::new(8, 4096)?);
 /// let items: Vec<u64> = (0..10_000).rev().collect();
 /// let sorted = mpc_sort(&mut cluster, &items)?;
@@ -194,6 +194,7 @@ pub fn mpc_aggregate_by_key(
 mod tests {
     use super::*;
     use crate::config::MpcConfig;
+    use mmvc_substrate::Substrate;
 
     fn cluster(machines: usize, words: usize) -> Cluster {
         Cluster::new(MpcConfig::new(machines, words).unwrap())

@@ -1,0 +1,265 @@
+//! Deterministic parallel execution of per-machine / per-player work.
+//!
+//! Both substrates simulate "every machine computes locally" steps. This
+//! module runs those closures on real OS threads while keeping results
+//! **byte-identical to sequential execution**, so the regression pins and
+//! the paper's seeded reproducibility survive any thread count:
+//!
+//! * the caller fixes the task decomposition (one task per machine, or
+//!   fixed-size index chunks via [`ExecutorConfig::run_chunked`]) —
+//!   task boundaries never depend on the thread count;
+//! * each task writes its result into its own indexed slot, and results
+//!   are returned in task order;
+//! * tasks must be pure functions of their index and captured shared
+//!   state (the paper's algorithms already split their randomness per
+//!   vertex/machine up front via stateless hashing, so there is no
+//!   cross-task RNG to race on).
+//!
+//! Under those rules, `Sequential` and `Threaded` with *any* thread count
+//! produce the same output vector, and any order-independent reduction
+//! (integer sums/counts, `min`/`max`, concatenation in task order) of
+//! that vector is schedule-independent too. Floating-point *sums* are the
+//! one reduction that is order-sensitive; callers keep those in a fixed
+//! order (the algorithms accumulate `f64` totals sequentially over the
+//! returned per-task values).
+//!
+//! The thread count is resolved **once**, when the config is built —
+//! never per round — and tiny rounds degrade to the sequential path
+//! instead of spawning threads.
+//!
+//! ```
+//! use mmvc_substrate::ExecutorConfig;
+//!
+//! let exec = ExecutorConfig::threaded(); // resolved thread count
+//! let squares = exec.run(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//!
+//! // Identical results on the sequential path.
+//! assert_eq!(ExecutorConfig::sequential().run(8, |i| i * i), squares);
+//! ```
+
+/// Task counts below this run sequentially by default — spawning a thread
+/// costs more than a trivial round saves.
+const DEFAULT_SEQUENTIAL_BELOW: usize = 2;
+
+/// How per-machine / per-player closures execute within a round: on the
+/// calling thread, or fanned out over a fixed pool of scoped OS threads.
+///
+/// Results are deterministic and schedule-independent by construction —
+/// see the module-level docs for the rules that guarantee it. The
+/// config is `Copy` and cheap to pass around; build it once at the top of
+/// a run (it resolves [`std::thread::available_parallelism`] at
+/// construction, not per round) and thread it through algorithm configs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorConfig {
+    threads: usize,
+    sequential_below: usize,
+}
+
+impl ExecutorConfig {
+    /// Runs every task on the calling thread.
+    pub fn sequential() -> Self {
+        ExecutorConfig {
+            threads: 1,
+            sequential_below: DEFAULT_SEQUENTIAL_BELOW,
+        }
+    }
+
+    /// Threaded execution with the machine's available parallelism,
+    /// resolved now (once), not per round.
+    pub fn threaded() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        Self::with_threads(threads)
+    }
+
+    /// Threaded execution with an explicit thread count (clamped to at
+    /// least 1; `with_threads(1)` is equivalent to
+    /// [`sequential`](Self::sequential)).
+    pub fn with_threads(threads: usize) -> Self {
+        ExecutorConfig {
+            threads: threads.max(1),
+            sequential_below: DEFAULT_SEQUENTIAL_BELOW,
+        }
+    }
+
+    /// Sets the task count below which a round short-circuits to the
+    /// sequential path (default: 2, i.e. single-task rounds never spawn).
+    #[must_use]
+    pub fn sequential_below(mut self, tasks: usize) -> Self {
+        self.sequential_below = tasks;
+        self
+    }
+
+    /// The resolved thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this config always takes the sequential path.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Runs `tasks` closure invocations (task index `0..tasks`) and
+    /// returns their results in task order.
+    ///
+    /// Tasks run concurrently when the config is threaded and the round
+    /// is large enough; the output is identical either way. Each task's
+    /// result is written to its own indexed slot — no locks, no
+    /// reordering.
+    pub fn run<T, F>(&self, tasks: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if tasks == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.min(tasks);
+        if threads <= 1 || tasks < self.sequential_below {
+            return (0..tasks).map(work).collect();
+        }
+        let mut slots: Vec<Option<T>> = (0..tasks).map(|_| None).collect();
+        let chunk = tasks.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+                let work = &work;
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    for (offset, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(work(base + offset));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every task slot filled"))
+            .collect()
+    }
+
+    /// Splits `0..items` into fixed-size chunks of `chunk_size` indices,
+    /// runs `work` on each chunk range, and returns the per-chunk results
+    /// in chunk order.
+    ///
+    /// Chunk boundaries depend only on `items` and `chunk_size` — never
+    /// on the thread count — so reducing the returned vector in order is
+    /// schedule-independent. This is the workhorse for "scan all
+    /// vertices/edges in parallel" steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn run_chunked<T, F>(&self, items: usize, chunk_size: usize, work: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(std::ops::Range<usize>) -> T + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let tasks = items.div_ceil(chunk_size);
+        self.run(tasks, |t| {
+            let start = t * chunk_size;
+            work(start..(start + chunk_size).min(items))
+        })
+    }
+}
+
+impl Default for ExecutorConfig {
+    /// The default is [`threaded`](ExecutorConfig::threaded): every
+    /// algorithm is multicore by construction, and determinism is
+    /// guaranteed by the execution rules rather than by staying
+    /// single-threaded.
+    fn default() -> Self {
+        Self::threaded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let work = |i: usize| i.wrapping_mul(0x9E37_79B9) ^ (i << 3);
+        let expect: Vec<usize> = (0..1000).map(work).collect();
+        for exec in [
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(1),
+            ExecutorConfig::with_threads(2),
+            ExecutorConfig::with_threads(3),
+            ExecutorConfig::with_threads(8),
+            ExecutorConfig::threaded(),
+        ] {
+            assert_eq!(exec.run(1000, work), expect);
+        }
+    }
+
+    #[test]
+    fn zero_and_one_task() {
+        let exec = ExecutorConfig::with_threads(4);
+        assert!(exec.run(0, |i| i).is_empty());
+        assert_eq!(exec.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let exec = ExecutorConfig::with_threads(4).sequential_below(0);
+        let out = exec.run(37, |i| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            i
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 37);
+        assert_eq!(out, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_rounds_degrade_to_sequential() {
+        // With the threshold above the task count the work runs on the
+        // calling thread; observable via thread id equality.
+        let exec = ExecutorConfig::with_threads(8).sequential_below(100);
+        let main_id = std::thread::current().id();
+        let ids = exec.run(10, |_| std::thread::current().id());
+        assert!(ids.iter().all(|&id| id == main_id));
+    }
+
+    #[test]
+    fn run_chunked_covers_every_index_once() {
+        let exec = ExecutorConfig::with_threads(3);
+        for items in [0usize, 1, 9, 10, 11, 100] {
+            let chunks = exec.run_chunked(items, 10, |r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..items).collect::<Vec<_>>(), "items={items}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_independent_of_threads() {
+        // The per-chunk results must be identical across thread counts —
+        // the property every deterministic reduction relies on.
+        let sums =
+            |exec: ExecutorConfig| exec.run_chunked(1000, 64, |r| r.map(|i| i * i).sum::<usize>());
+        let base = sums(ExecutorConfig::sequential());
+        for t in [2, 3, 8, 16] {
+            assert_eq!(sums(ExecutorConfig::with_threads(t)), base);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_size")]
+    fn zero_chunk_size_panics() {
+        ExecutorConfig::sequential().run_chunked(10, 0, |_| ());
+    }
+
+    #[test]
+    fn accessors() {
+        assert!(ExecutorConfig::sequential().is_sequential());
+        assert_eq!(ExecutorConfig::with_threads(0).threads(), 1);
+        assert_eq!(ExecutorConfig::with_threads(5).threads(), 5);
+        assert!(!ExecutorConfig::with_threads(5).is_sequential());
+        assert!(ExecutorConfig::default().threads() >= 1);
+    }
+}

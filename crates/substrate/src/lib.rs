@@ -16,6 +16,12 @@
 //!   `max_load_words()`, `total_words()`, and access to the full
 //!   [`ExecutionTrace`];
 //! * [`ExecutionTrace`] / [`RoundSummary`] — the unified per-round record;
+//! * [`RoundLedger`] — the shared open-round state machine (begin /
+//!   charge / end, protocol guards) both simulators are thin policy
+//!   wrappers over;
+//! * [`ExecutorConfig`] — deterministic sequential/threaded execution of
+//!   per-machine and per-player closures (results byte-identical for any
+//!   thread count);
 //! * [`SubstrateError`] — the substrate-agnostic failure type every
 //!   model-specific error converts into.
 //!
@@ -35,10 +41,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod engine;
 mod error;
+mod executor;
 mod trace;
 
+pub use engine::RoundLedger;
 pub use error::SubstrateError;
+pub use executor::ExecutorConfig;
 pub use trace::{ExecutionTrace, RoundSummary};
 
 /// A metered execution substrate.
@@ -78,6 +88,57 @@ impl Substrate for ExecutionTrace {
 
     fn execution_trace(&self) -> &ExecutionTrace {
         self
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn executor_results_independent_of_thread_count(
+            tasks in 0usize..200,
+            threads in 1usize..12,
+            salt: u64
+        ) {
+            let work = |i: usize| (i as u64).wrapping_mul(salt ^ 0x9E37_79B9_7F4A_7C15);
+            let seq = ExecutorConfig::sequential().run(tasks, work);
+            let par = ExecutorConfig::with_threads(threads).run(tasks, work);
+            prop_assert_eq!(seq, par);
+        }
+
+        #[test]
+        fn chunked_reductions_independent_of_thread_count(
+            items in 0usize..2000,
+            chunk in 1usize..300,
+            threads in 1usize..12
+        ) {
+            // Per-chunk partials must match the sequential decomposition
+            // exactly — the property every deterministic port relies on.
+            let work = |r: std::ops::Range<usize>| r.map(|i| i * 3 + 1).sum::<usize>();
+            let seq = ExecutorConfig::sequential().run_chunked(items, chunk, work);
+            let par = ExecutorConfig::with_threads(threads).run_chunked(items, chunk, work);
+            prop_assert_eq!(&seq, &par);
+            prop_assert_eq!(seq.len(), items.div_ceil(chunk));
+        }
+
+        #[test]
+        fn ledger_totals_match_charges(
+            charges in proptest::collection::vec((0usize..4, 0usize..50), 0..40)
+        ) {
+            let mut l = RoundLedger::new("prop", 4);
+            l.begin_round().unwrap();
+            let mut expect = 0usize;
+            for &(slot, words) in &charges {
+                l.charge(slot, words).unwrap();
+                expect += words;
+            }
+            let s = l.end_round().unwrap();
+            prop_assert_eq!(s.total_words, expect);
+            prop_assert!(s.max_load_words <= expect);
+        }
     }
 }
 

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! mmvc stats    <graph.txt>
-//! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq]
+//! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
 //! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
 //! mmvc cover    <graph.txt> [--seed S] [--eps E]
 //! mmvc gen      gnp|powerlaw <n> <param> [--seed S]   # writes to stdout
@@ -30,7 +30,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mmvc stats    <graph.txt>
-  mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq]
+  mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
   mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
   mmvc cover    <graph.txt> [--seed S] [--eps E]
   mmvc gen gnp      <n> <p>          [--seed S]
@@ -53,6 +53,21 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// `--threads N` picks the round engine's executor (`0`/absent = auto
+/// threaded, `1` = sequential). Results are identical either way — the
+/// engine's determinism contract — only wall-time changes.
+fn parse_executor(args: &[String]) -> Result<mmvc::substrate::ExecutorConfig, String> {
+    use mmvc::substrate::ExecutorConfig;
+    match flag_value(args, "--threads") {
+        None => Ok(ExecutorConfig::threaded()),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(0) => Ok(ExecutorConfig::threaded()),
+            Ok(k) => Ok(ExecutorConfig::with_threads(k)),
+            Err(_) => Err(format!("invalid --threads `{raw}`")),
+        },
+    }
 }
 
 fn parse_seed(args: &[String]) -> Result<u64, String> {
@@ -95,17 +110,22 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_mis(args: &[String]) -> Result<(), String> {
     let g = load_graph(args)?;
     let seed = parse_seed(args)?;
+    let executor = parse_executor(args)?;
     let model = flag_value(args, "--model").unwrap_or_else(|| "mpc".into());
     match model.as_str() {
         "mpc" => {
-            let out = greedy_mpc_mis(&g, &GreedyMisConfig::new(seed)).map_err(|e| e.to_string())?;
+            let mut cfg = GreedyMisConfig::new(seed);
+            cfg.executor = executor;
+            let out = greedy_mpc_mis(&g, &cfg).map_err(|e| e.to_string())?;
             println!("mis_size    : {}", out.mis.len());
             println!("mpc_rounds  : {}", out.trace.rounds());
             println!("phases      : {}", out.prefix_phases);
             println!("max_load    : {} words", out.trace.max_load_words());
         }
         "clique" => {
-            let out = clique_mis(&g, &CliqueMisConfig::new(seed)).map_err(|e| e.to_string())?;
+            let mut cfg = CliqueMisConfig::new(seed);
+            cfg.executor = executor;
+            let out = clique_mis(&g, &cfg).map_err(|e| e.to_string())?;
             println!("mis_size      : {}", out.mis.len());
             println!("clique_rounds : {}", out.trace.rounds());
             println!("max_inflow    : {} words", out.trace.max_load_words());

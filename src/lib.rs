@@ -62,5 +62,7 @@ pub mod prelude {
     pub use mmvc_core::{CoreError, Epsilon};
     pub use mmvc_graph::{generators, matching, mis, vertex_cover, weighted, Graph, GraphBuilder};
     pub use mmvc_mpc::{Cluster, MpcConfig};
-    pub use mmvc_substrate::{ExecutionTrace, RoundSummary, Substrate, SubstrateError};
+    pub use mmvc_substrate::{
+        ExecutionTrace, ExecutorConfig, RoundLedger, RoundSummary, Substrate, SubstrateError,
+    };
 }

@@ -3,14 +3,27 @@
 //! them, and must fail loudly when an algorithm is run outside the
 //! claimed regime.
 
+use mmvc::core::filtering::{filtering_maximal_matching, FilteringConfig};
 use mmvc::core::matching::{mpc_simulation, MpcMatchingConfig, PhaseSchedule};
-use mmvc::core::mis::{greedy_mpc_mis, GreedyMisConfig};
+use mmvc::core::mis::{clique_mis, greedy_mpc_mis, CliqueMisConfig, GreedyMisConfig};
 use mmvc::core::{CoreError, Epsilon};
 use mmvc::graph::generators;
 use mmvc::mpc::MpcError;
+use mmvc::substrate::ExecutorConfig;
 
 fn eps() -> Epsilon {
     Epsilon::new(0.1).expect("valid eps")
+}
+
+/// The round engine's determinism contract: `Sequential` and
+/// `Threaded{1,2,8}` executors on every ported algorithm.
+fn executors() -> [ExecutorConfig; 4] {
+    [
+        ExecutorConfig::sequential(),
+        ExecutorConfig::with_threads(1),
+        ExecutorConfig::with_threads(2),
+        ExecutorConfig::with_threads(8),
+    ]
 }
 
 #[test]
@@ -107,6 +120,83 @@ fn trace_per_round_is_consistent() {
             .map(|r| r.total_words)
             .sum::<usize>()
     );
+}
+
+#[test]
+fn engine_determinism_mis_on_both_substrates() {
+    // Byte-identical outcomes AND byte-identical traces for every
+    // executor, on a graph dense enough that the prefix-phase loop (the
+    // parallelised per-machine work) genuinely runs.
+    let g = generators::gnp(1024, 0.2, 7).unwrap();
+
+    let mut mpc_baseline = None;
+    let mut clique_baseline = None;
+    for exec in executors() {
+        let mut cfg = GreedyMisConfig::new(7);
+        cfg.executor = exec;
+        let out = greedy_mpc_mis(&g, &cfg).unwrap();
+        assert!(out.prefix_phases >= 1, "phase loop must run");
+        let key = (
+            out.mis.members().to_vec(),
+            out.prefix_phases,
+            out.phase_edge_words.clone(),
+            out.trace.clone(),
+        );
+        match &mpc_baseline {
+            None => mpc_baseline = Some(key),
+            Some(base) => assert_eq!(&key, base, "MPC MIS diverged under {exec:?}"),
+        }
+
+        let mut cfg = CliqueMisConfig::new(7);
+        cfg.executor = exec;
+        let out = clique_mis(&g, &cfg).unwrap();
+        let key = (out.mis.members().to_vec(), out.prefix_phases, out.trace);
+        match &clique_baseline {
+            None => clique_baseline = Some(key),
+            Some(base) => assert_eq!(&key, base, "clique MIS diverged under {exec:?}"),
+        }
+    }
+}
+
+#[test]
+fn engine_determinism_matching_and_filtering() {
+    // Same contract for MPC-Simulation (with phases) and the LMSV
+    // filtering baseline: identical freeze schedules, fractional
+    // matchings, matchings, and traces under every executor.
+    let g = generators::gnp(1024, 0.2, 11).unwrap();
+
+    let mut sim_baseline = None;
+    let mut filter_baseline = None;
+    for exec in executors() {
+        let mut cfg = MpcMatchingConfig::new(eps(), 11);
+        cfg.executor = exec;
+        let out = mpc_simulation(&g, &cfg).unwrap();
+        assert!(out.phases >= 1, "phase loop must run");
+        let key = (
+            out.freeze_iteration.clone(),
+            out.removed.clone(),
+            out.fractional.clone(),
+            out.trace.clone(),
+        );
+        match &sim_baseline {
+            None => sim_baseline = Some(key),
+            Some(base) => assert_eq!(&key, base, "MPC-Simulation diverged under {exec:?}"),
+        }
+
+        let mut cfg = FilteringConfig::new(11);
+        cfg.executor = exec;
+        let out = filtering_maximal_matching(&g, &cfg).unwrap();
+        assert!(out.filter_rounds >= 1, "filtering must iterate");
+        let key = (
+            out.matching.edges().to_vec(),
+            out.filter_rounds,
+            out.trace.clone(),
+        );
+        match &filter_baseline {
+            None => filter_baseline = Some(key),
+            Some(base) => assert_eq!(&key, base, "filtering diverged under {exec:?}"),
+        }
+    }
 }
 
 #[test]

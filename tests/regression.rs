@@ -65,6 +65,46 @@ fn pin_mpc_simulation() {
 }
 
 #[test]
+fn pin_mpc_mis_invariant_under_executor() {
+    // The engine's determinism contract meets the pins: the exact values
+    // pinned above must hold under every executor, not just the default.
+    use mmvc::substrate::ExecutorConfig;
+    for exec in [
+        ExecutorConfig::sequential(),
+        ExecutorConfig::with_threads(2),
+        ExecutorConfig::with_threads(8),
+    ] {
+        let mut cfg = GreedyMisConfig::new(SEED);
+        cfg.executor = exec;
+        let out = greedy_mpc_mis(&fixture(), &cfg).unwrap();
+        assert_eq!(out.mis.len(), 66, "pin moved under {exec:?}");
+    }
+}
+
+#[test]
+fn pin_clique_mis_invariant_under_executor() {
+    use mmvc::substrate::ExecutorConfig;
+    let mut baseline = None;
+    for exec in [
+        ExecutorConfig::sequential(),
+        ExecutorConfig::with_threads(2),
+        ExecutorConfig::with_threads(8),
+    ] {
+        let mut cfg = CliqueMisConfig::new(SEED);
+        cfg.executor = exec;
+        let out = clique_mis(&fixture(), &cfg).unwrap();
+        assert_eq!(out.mis.len(), 72);
+        match &baseline {
+            None => baseline = Some((out.mis.members().to_vec(), out.trace)),
+            Some((members, trace)) => {
+                assert_eq!(out.mis.members(), &members[..], "members moved");
+                assert_eq!(&out.trace, trace, "trace moved under {exec:?}");
+            }
+        }
+    }
+}
+
+#[test]
 fn pin_integral_matching() {
     let eps = Epsilon::new(0.1).unwrap();
     let out = integral_matching(&fixture(), &IntegralMatchingConfig::new(eps, SEED)).unwrap();

@@ -51,6 +51,14 @@ fn quickstart_path_end_to_end() {
     assert_eq!(mis.trace, mis2.trace);
     let out2 = integral_matching(&g, &IntegralMatchingConfig::new(eps, SEED)).expect("fits budget");
     assert_eq!(out.matching.len(), out2.matching.len());
+
+    // …including across executors (the README's ExecutorConfig example):
+    // a sequential run is byte-identical to the threaded default.
+    let mut cfg = GreedyMisConfig::new(SEED);
+    cfg.executor = ExecutorConfig::sequential();
+    let same = greedy_mpc_mis(&g, &cfg).expect("fits budget");
+    assert_eq!(same.mis.members(), mis.mis.members());
+    assert_eq!(same.trace, mis.trace);
 }
 
 #[test]

@@ -3,7 +3,7 @@
 //! "standard techniques" must interoperate with real graph data.
 
 use mmvc::graph::{generators, io, stats};
-use mmvc::mpc::{mpc_aggregate_by_key, mpc_prefix_sum, mpc_sort, Cluster, MpcConfig};
+use mmvc::mpc::{mpc_aggregate_by_key, mpc_prefix_sum, mpc_sort, Cluster, MpcConfig, Substrate};
 
 #[test]
 fn sort_edge_list_by_degree_key() {
@@ -18,7 +18,7 @@ fn sort_edge_list_by_degree_key() {
     let sorted = mpc_sort(&mut cluster, &keys).unwrap();
     assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
     assert_eq!(cluster.rounds(), 3, "sample sort is 3 metered rounds");
-    assert!(cluster.trace().max_load_words() <= cluster.config().words_per_machine());
+    assert!(cluster.max_load_words() <= cluster.config().words_per_machine());
 }
 
 #[test]
