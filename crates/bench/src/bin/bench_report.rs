@@ -1,0 +1,70 @@
+//! `bench_report` — the algorithm×scenario sweep behind the perf
+//! trajectory.
+//!
+//! Runs every [`mmvc_core::run::AlgorithmKind`] against every registered
+//! scenario through the run driver and writes the reports (including
+//! wall-time) as `BENCH_run.json`:
+//!
+//! ```text
+//! cargo run --release -p mmvc-bench --bin bench_report -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every workload to tiny sizes (the CI mode; exits
+//! nonzero if any run fails validation or errors). The full mode records
+//! substrate-rejected configurations as error rows instead of failing —
+//! an infeasible (algorithm, scenario) pairing at scale is a finding to
+//! keep, not to hide. `mmvc bench` drives the same
+//! [`mmvc_bench::execute_sweep`] code path with the same semantics.
+
+use mmvc_bench::execute_sweep;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_report [--smoke] [--out PATH]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_run.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out_path = v.clone();
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --out requires a path value");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let summary = match execute_sweep(smoke, &out_path) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if smoke && summary.failures > 0 {
+        eprintln!(
+            "error: smoke sweep must be clean, got {} failures",
+            summary.failures
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

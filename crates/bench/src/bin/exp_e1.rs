@@ -2,50 +2,59 @@
 //!
 //! Sweeps `n` at (roughly) fixed average degree and sweeps `Δ` at fixed
 //! `n`, reporting prefix phases, sparsified-stage rounds, and total MPC
-//! rounds against the `log₂ log₂ Δ` reference curve.
+//! rounds against the `log₂ log₂ Δ` reference curve. Both sweeps are
+//! declarations over the run driver; the first is the registry scenario
+//! `gnp-mid` at increasing sizes.
 
-use mmvc_bench::{executor_from_env, header, log_log2, row, SubstrateReport};
-use mmvc_core::mis::{greedy_mpc_mis, GreedyMisConfig};
+use mmvc_bench::{executor_from_env, finish_experiment, substrate_cells, Table};
+use mmvc_core::run::{run, run_on, AlgorithmKind, RunReport, RunSpec};
 use mmvc_graph::generators;
 
-fn run(n: usize, avg_deg: f64, seed: u64) {
-    let p = (avg_deg / (n as f64 - 1.0)).min(1.0);
-    let g = generators::gnp(n, p, seed).expect("valid p");
-    let mut cfg = GreedyMisConfig::new(seed);
-    cfg.executor = executor_from_env();
-    let out = greedy_mpc_mis(&g, &cfg).expect("simulation fits budget");
-    assert!(out.mis.is_maximal(&g));
-    let report = SubstrateReport::measure(&out.trace, log_log2(g.max_degree().max(4)));
-    let mut cells = vec![
-        n.to_string(),
-        g.num_edges().to_string(),
-        g.max_degree().to_string(),
-        out.prefix_phases.to_string(),
-        out.local_rounds.to_string(),
-    ];
-    cells.extend(report.cells());
-    cells.push(out.mis.len().to_string());
-    row(&cells);
+fn spec(scenario: &str, seed: u64) -> RunSpec {
+    let mut spec = RunSpec::new(AlgorithmKind::GreedyMis, scenario);
+    spec.seed = seed;
+    spec.executor = executor_from_env();
+    spec
 }
 
-fn sweep_header() {
-    let mut cols = vec!["n", "edges", "maxdeg", "phases", "local_rounds"];
-    cols.extend(SubstrateReport::COLUMNS);
-    cols.push("mis");
-    header(&cols);
+fn cells(report: &RunReport) -> Vec<String> {
+    assert!(report.ok(), "witness or budget failure");
+    let mut cells = vec![
+        report.n.to_string(),
+        report.num_edges.to_string(),
+        report.max_degree.to_string(),
+        report.metric("prefix_phases").expect("emitted").to_string(),
+        report.metric("local_rounds").expect("emitted").to_string(),
+    ];
+    cells.extend(substrate_cells(&report.substrate));
+    cells.push(report.witnesses[0].size.to_string());
+    cells
 }
+
+const BEFORE: [&str; 5] = ["n", "edges", "maxdeg", "phases", "local_rounds"];
 
 fn main() {
     println!("# E1: Theorem 1.1 — MIS rounds vs n and Δ (MPC, practical schedule)");
-    println!("## sweep n at average degree 64");
-    sweep_header();
+    // Sweep 1 is the registry scenario itself (gnp-mid = average degree
+    // 64), so the table can never drift from the family it is named for.
+    let mut by_n =
+        Table::with_substrate("sweep n at average degree 64 (gnp-mid)", &BEFORE, &["mis"]);
     for k in 10..=16 {
-        run(1 << k, 64.0, k as u64);
+        let mut s = spec("gnp-mid", k as u64);
+        s.n = Some(1 << k);
+        let report = run(&s).expect("simulation fits budget");
+        by_n.push(cells(&report));
     }
-    println!();
-    println!("## sweep Δ at n = 16384");
-    sweep_header();
+    // Sweep 2 varies the degree at fixed n — an ad-hoc parameter sweep
+    // outside the registry, driven through run_on.
+    let mut by_deg = Table::with_substrate("sweep Δ at n = 16384", &BEFORE, &["mis"]);
     for (i, deg) in [16.0, 64.0, 256.0, 1024.0, 4096.0].into_iter().enumerate() {
-        run(16384, deg, 100 + i as u64);
+        let n = 16384usize;
+        let seed = 100 + i as u64;
+        let p = (deg / (n as f64 - 1.0)).min(1.0);
+        let g = generators::gnp(n, p, seed).expect("valid p");
+        let report = run_on(&g, "gnp", &spec("gnp", seed)).expect("simulation fits budget");
+        by_deg.push(cells(&report));
     }
+    finish_experiment("exp_e1", &[by_n, by_deg]);
 }

@@ -3,36 +3,39 @@
 //! Sweeps `n`, reporting total clique rounds against `log₂ log₂ Δ` and
 //! the per-round inbound word maximum, which must stay at or below `n`
 //! (the precondition of Lenzen's routing scheme — violating it would
-//! abort the simulation).
+//! abort the simulation). The budget is declared on the spec, so the
+//! driver itself fails the run if routing ever exceeds `n` words.
 
-use mmvc_bench::{executor_from_env, header, log_log2, row, SubstrateReport};
-use mmvc_core::mis::{clique_mis, CliqueMisConfig};
+use mmvc_bench::{executor_from_env, finish_experiment, substrate_cells, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
 use mmvc_graph::generators;
 
 fn main() {
     println!("# E10: Theorem 1.1 in CONGESTED-CLIQUE (G(n, deg 64))");
-    let mut cols = vec!["n", "maxdeg", "phases", "local_rounds"];
-    cols.extend(SubstrateReport::COLUMNS);
-    cols.push("inflow_budget");
-    header(&cols);
+    let mut table = Table::with_substrate(
+        "sweep n",
+        &["n", "maxdeg", "phases", "local_rounds"],
+        &["inflow_budget"],
+    );
     let executor = executor_from_env();
     for k in 9..=13 {
         let n = 1usize << k;
         let g = generators::gnp(n, 64.0 / n as f64, k as u64).expect("valid p");
-        let mut cfg = CliqueMisConfig::new(k as u64);
-        cfg.executor = executor;
-        let out = clique_mis(&g, &cfg).expect("feasible routing");
-        assert!(out.mis.is_maximal(&g));
-        let report = SubstrateReport::measure(&out.trace, log_log2(g.max_degree().max(4)));
-        assert!(report.max_load_words <= n);
+        let mut spec = RunSpec::new(AlgorithmKind::CliqueMis, "gnp");
+        spec.seed = k as u64;
+        spec.executor = executor;
+        spec.budget.max_load_words = Some(n);
+        let report = run_on(&g, "gnp", &spec).expect("feasible routing");
+        assert!(report.ok(), "witness or Lenzen budget failure");
         let mut cells = vec![
             n.to_string(),
-            g.max_degree().to_string(),
-            out.prefix_phases.to_string(),
-            out.local_rounds.to_string(),
+            report.max_degree.to_string(),
+            report.metric("prefix_phases").expect("emitted").to_string(),
+            report.metric("local_rounds").expect("emitted").to_string(),
         ];
-        cells.extend(report.cells());
+        cells.extend(substrate_cells(&report.substrate));
         cells.push(n.to_string());
-        row(&cells);
+        table.push(cells);
     }
+    finish_experiment("exp_e10", &[table]);
 }

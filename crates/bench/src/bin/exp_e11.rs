@@ -5,46 +5,53 @@
 //! flips freeze decisions for many vertices at once, and the deviations
 //! compound. Section 4.3's random thresholds `T(v,t) ~ U[1−4ε, 1−2ε]`
 //! make a flip probability proportional to the estimate error
-//! (Lemma 4.11). This ablation runs `MPC-Simulation` both ways with the
-//! coupled-reference diagnostics and compares the bad-vertex fraction and
-//! the removal (weight > 1) escape-hatch usage.
+//! (Lemma 4.11). This ablation runs the driver both ways (the
+//! `threshold_mode` override) with coupled-reference diagnostics and
+//! compares the bad-vertex fraction and the removal (weight > 1)
+//! escape-hatch usage.
 
-use mmvc_bench::{header, row};
-use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig, ThresholdMode};
-use mmvc_core::Epsilon;
+use mmvc_bench::{finish_experiment, Table};
+use mmvc_core::matching::ThresholdMode;
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
 use mmvc_graph::generators;
 
 fn main() {
     println!("# E11: threshold ablation — fixed (naive §4.2) vs random (§4.3)");
-    header(&[
-        "n",
-        "mode",
-        "bad_fraction",
-        "max_est_error",
-        "removed",
-        "frac_weight",
-        "cover",
-    ]);
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let mut table = Table::new(
+        "threshold ablation (eps = 0.1, G(n, 0.2))",
+        &[
+            "n",
+            "mode",
+            "bad_fraction",
+            "max_est_error",
+            "removed",
+            "frac_weight",
+            "cover",
+        ],
+    );
     for k in [10usize, 11, 12] {
         let n = 1 << k;
         let g = generators::gnp(n, 0.2, k as u64).expect("valid p");
         for mode in [ThresholdMode::Random, ThresholdMode::Fixed] {
-            let mut cfg = MpcMatchingConfig::new(eps, k as u64);
-            cfg.diagnostics = true;
-            cfg.threshold_mode = mode;
-            let out = mpc_simulation(&g, &cfg).expect("fits budget");
-            let diag = out.diagnostics.expect("requested");
-            let removed = out.removed.iter().filter(|&&r| r).count();
-            row(&[
+            let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp");
+            spec.seed = k as u64;
+            spec.overrides.diagnostics = true;
+            spec.overrides.threshold_mode = Some(mode);
+            let report = run_on(&g, "gnp", &spec).expect("fits budget");
+            assert!(report.ok(), "cover must cover");
+            table.push(vec![
                 n.to_string(),
                 format!("{mode:?}"),
-                format!("{:.4}", diag.bad_fraction()),
-                format!("{:.4}", diag.max_estimate_error),
-                removed.to_string(),
-                format!("{:.1}", out.fractional.weight()),
-                out.cover.len().to_string(),
+                format!("{:.4}", report.metric_f64("bad_fraction").expect("emitted")),
+                format!(
+                    "{:.4}",
+                    report.metric_f64("max_estimate_error").expect("emitted")
+                ),
+                report.metric("removed").expect("emitted").to_string(),
+                format!("{:.1}", report.metric_f64("frac_weight").expect("emitted")),
+                report.witnesses[0].size.to_string(),
             ]);
         }
     }
+    finish_experiment("exp_e11", &[table]);
 }

@@ -4,47 +4,53 @@
 //! machine's induced subgraph has `O(n)` edges (Lemma 4.7). The estimate
 //! noise scales like `√(m/deg)`, so more machines mean cheaper memory but
 //! noisier estimates. This ablation sweeps a multiplier `c` in
-//! `m = c·√d`, reporting estimate fidelity and the per-machine memory
-//! high-water mark — the two sides of the trade-off the paper's choice
-//! balances.
+//! `m = c·√d` (the `machine_factor` override), reporting estimate
+//! fidelity and the per-machine memory high-water mark — the two sides
+//! of the trade-off the paper's choice balances.
 
-use mmvc_bench::{header, row};
-use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
-use mmvc_core::Epsilon;
+use mmvc_bench::{finish_experiment, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
 use mmvc_graph::generators;
 
 fn main() {
     println!("# E12: machine-count ablation, m = c·sqrt(d)  (n = 4096, G(n, 0.2))");
-    header(&[
-        "c",
-        "bad_fraction",
-        "max_est_error",
-        "removed",
-        "max_load_words",
-        "budget",
-        "frac_weight",
-    ]);
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let mut table = Table::new(
+        "machine-count ablation",
+        &[
+            "c",
+            "bad_fraction",
+            "max_est_error",
+            "removed",
+            "max_load_words",
+            "budget",
+            "frac_weight",
+        ],
+    );
     let n = 4096;
     let g = generators::gnp(n, 0.2, 12).expect("valid p");
     for c in [0.25, 0.5, 1.0, 2.0, 4.0] {
-        let mut cfg = MpcMatchingConfig::new(eps, 12);
-        cfg.diagnostics = true;
-        cfg.machine_factor = c;
+        let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp");
+        spec.seed = 12;
+        spec.overrides.diagnostics = true;
+        spec.overrides.machine_factor = Some(c);
         // Give the small-m settings the memory they need so the ablation
         // isolates the noise effect.
-        cfg.space_factor = 64.0 / c.min(1.0);
-        let out = mpc_simulation(&g, &cfg).expect("fits budget");
-        let diag = out.diagnostics.expect("requested");
-        let removed = out.removed.iter().filter(|&&r| r).count();
-        row(&[
+        let space_factor = 64.0 / c.min(1.0);
+        spec.overrides.space_factor = Some(space_factor);
+        let report = run_on(&g, "gnp", &spec).expect("fits budget");
+        assert!(report.ok(), "cover must cover");
+        table.push(vec![
             format!("{c}"),
-            format!("{:.4}", diag.bad_fraction()),
-            format!("{:.4}", diag.max_estimate_error),
-            removed.to_string(),
-            out.trace.max_load_words().to_string(),
-            ((cfg.space_factor * n as f64) as usize).to_string(),
-            format!("{:.1}", out.fractional.weight()),
+            format!("{:.4}", report.metric_f64("bad_fraction").expect("emitted")),
+            format!(
+                "{:.4}",
+                report.metric_f64("max_estimate_error").expect("emitted")
+            ),
+            report.metric("removed").expect("emitted").to_string(),
+            report.substrate.max_load_words.to_string(),
+            ((space_factor * n as f64) as usize).to_string(),
+            format!("{:.1}", report.metric_f64("frac_weight").expect("emitted")),
         ]);
     }
+    finish_experiment("exp_e12", &[table]);
 }

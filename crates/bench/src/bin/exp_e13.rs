@@ -5,43 +5,48 @@
 //! be adjusted to still run in O(log log n) MPC rounds even when the
 //! memory per machine is O(n/polylog n)". The adjustment: `√reduction`
 //! more machines per phase so the induced subgraphs shrink with the
-//! budget. This experiment sweeps the reduction factor and reports
-//! rounds, measured per-machine load, and quality — rounds must stay
-//! flat while memory shrinks.
+//! budget. This experiment sweeps the `memory_reduction` override and
+//! reports rounds, measured per-machine load, and quality — rounds must
+//! stay flat while memory shrinks.
 
-use mmvc_bench::{approx_ratio, executor_from_env, header, row, SubstrateReport};
-use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
-use mmvc_core::Epsilon;
-use mmvc_graph::{generators, matching};
+use mmvc_bench::{approx_ratio, executor_from_env, finish_experiment, substrate_cells, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
+use mmvc_graph::{matching, scenarios};
 
 fn main() {
     println!("# E13: sublinear memory regime (n = 4096, G(n, 0.125))");
-    let mut cols = vec!["reduction", "budget_words", "phases"];
-    cols.extend(SubstrateReport::COLUMNS);
-    cols.extend(["frac_weight", "matching_ratio", "removed"]);
-    header(&cols);
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let mut table = Table::with_substrate(
+        "memory reduction sweep on gnp-dense",
+        &["reduction", "budget_words", "phases"],
+        &["frac_weight", "matching_ratio", "removed"],
+    );
     let n = 4096;
-    let g = generators::gnp(n, 0.125, 13).expect("valid p");
+    let g = scenarios::get("gnp-dense")
+        .expect("registered")
+        .build_with(n, 13)
+        .expect("valid scenario");
     let opt = matching::blossom(&g).len() as f64;
     let executor = executor_from_env();
     for reduction in [1.0, 2.0, 4.0, 8.0, 16.0] {
-        let mut cfg = MpcMatchingConfig::sublinear(eps, 13, reduction);
-        cfg.executor = executor;
-        let out = mpc_simulation(&g, &cfg).expect("fits budget");
-        let removed = out.removed.iter().filter(|&&r| r).count();
-        let report = SubstrateReport::measure(&out.trace, mmvc_bench::log_log2(n));
+        let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp-dense");
+        spec.seed = 13;
+        spec.executor = executor;
+        spec.overrides.memory_reduction = Some(reduction);
+        let report = run_on(&g, "gnp-dense", &spec).expect("fits budget");
+        assert!(report.ok(), "cover must cover");
+        let frac_weight = report.metric_f64("frac_weight").expect("emitted");
         let mut cells = vec![
             format!("{reduction}"),
             ((8.0 / reduction * n as f64).ceil() as usize).to_string(),
-            out.phases.to_string(),
+            report.metric("phases").expect("emitted").to_string(),
         ];
-        cells.extend(report.cells());
+        cells.extend(substrate_cells(&report.substrate));
         cells.extend([
-            format!("{:.1}", out.fractional.weight()),
-            format!("{:.3}", approx_ratio(opt, out.fractional.weight())),
-            removed.to_string(),
+            format!("{frac_weight:.1}"),
+            format!("{:.3}", approx_ratio(opt, frac_weight)),
+            report.metric("removed").expect("emitted").to_string(),
         ]);
-        row(&cells);
+        table.push(cells);
     }
+    finish_experiment("exp_e13", &[table]);
 }

@@ -3,39 +3,45 @@
 //!
 //! Reports, per graph, the largest number of words any phase shipped and
 //! its ratio to `n` — the paper's claim is that this ratio is bounded by
-//! a constant independent of `n` and `Δ`.
+//! a constant independent of `n` and `Δ`. Declared over the run driver
+//! on the registry's dense family (`gnp-dense`, average degree `n/8`,
+//! the stress case for Lemma 3.1).
 
-use mmvc_bench::{header, row};
-use mmvc_core::mis::{greedy_mpc_mis, GreedyMisConfig};
-use mmvc_graph::generators;
+use mmvc_bench::{executor_from_env, finish_experiment, Table};
+use mmvc_core::run::{run, AlgorithmKind, RunSpec};
 
 fn main() {
     println!("# E2: per-phase shipped words vs n (claim: O(n), i.e. bounded ratio)");
-    header(&[
-        "n",
-        "edges",
-        "maxdeg",
-        "phases",
-        "max_phase_words",
-        "words_over_n",
-        "budget_8n",
-    ]);
+    let mut table = Table::new(
+        "sweep n on gnp-dense",
+        &[
+            "n",
+            "edges",
+            "maxdeg",
+            "phases",
+            "max_phase_words",
+            "words_over_n",
+            "budget_8n",
+        ],
+    );
     for k in 10..=15 {
         let n = 1usize << k;
-        // Dense regime: average degree n/8 keeps Δ growing with n, the
-        // stress case for Lemma 3.1.
-        let p = 1.0 / 8.0;
-        let g = generators::gnp(n, p, k as u64).expect("valid p");
-        let out = greedy_mpc_mis(&g, &GreedyMisConfig::new(k as u64)).expect("fits budget");
-        let max_words = out.phase_edge_words.iter().copied().max().unwrap_or(0);
-        row(&[
-            n.to_string(),
-            g.num_edges().to_string(),
-            g.max_degree().to_string(),
-            out.prefix_phases.to_string(),
+        let mut spec = RunSpec::new(AlgorithmKind::GreedyMis, "gnp-dense");
+        spec.n = Some(n);
+        spec.seed = k as u64;
+        spec.executor = executor_from_env();
+        let report = run(&spec).expect("fits budget");
+        assert!(report.ok(), "witness or budget failure");
+        let max_words = report.metric_f64("max_phase_words").expect("emitted") as usize;
+        table.push(vec![
+            report.n.to_string(),
+            report.num_edges.to_string(),
+            report.max_degree.to_string(),
+            report.metric("prefix_phases").expect("emitted").to_string(),
             max_words.to_string(),
             format!("{:.3}", max_words as f64 / n as f64),
             (8 * n).to_string(),
         ]);
     }
+    finish_experiment("exp_e2", &[table]);
 }

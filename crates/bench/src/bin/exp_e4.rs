@@ -1,40 +1,42 @@
 //! E4 — Theorem 1.2 / Lemma 4.2: `MPC-Simulation` runs in `O(log log n)`
 //! rounds and yields `(2+50ε)`-approximate fractional matching and cover.
 //!
-//! Sweeps `n` at edge probability giving degree `~n/8` (so the phase loop
-//! genuinely runs) and reports phases, communicating rounds, covered
-//! iterations, and the measured approximation ratios (against blossom up
-//! to n = 4096, against the greedy-matching lower bound above that).
+//! Sweeps the registry's dense family (`gnp-dense`, degree `~n/8`, so the
+//! phase loop genuinely runs) and reports phases, communicating rounds,
+//! covered iterations, and the measured approximation ratios (against
+//! blossom up to n = 4096, against the greedy-matching lower bound above
+//! that). A declaration over the run driver.
 
-use mmvc_bench::{approx_ratio, executor_from_env, header, log_log2, row, SubstrateReport};
-use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
-use mmvc_core::Epsilon;
-use mmvc_graph::{generators, matching};
+use mmvc_bench::{approx_ratio, executor_from_env, finish_experiment, substrate_cells, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
+use mmvc_graph::{matching, scenarios};
 
 fn main() {
     println!("# E4: Lemma 4.2 — MPC-Simulation rounds and quality (eps = 0.1, G(n, n/8 degree))");
-    let mut cols = vec!["n", "edges", "phases"];
-    cols.extend(SubstrateReport::COLUMNS);
-    cols.extend([
-        "tail_rounds",
-        "iterations",
-        "frac_weight",
-        "opt_lb",
-        "matching_ratio",
-        "cover",
-        "cover_vs_lb",
-        "removed",
-    ]);
-    header(&cols);
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let mut table = Table::with_substrate(
+        "sweep n on gnp-dense",
+        &["n", "edges", "phases"],
+        &[
+            "tail_rounds",
+            "iterations",
+            "frac_weight",
+            "opt_lb",
+            "matching_ratio",
+            "cover",
+            "cover_vs_lb",
+            "removed",
+        ],
+    );
+    let scenario = scenarios::get("gnp-dense").expect("registered");
     let executor = executor_from_env();
     for k in 9..=14 {
         let n = 1usize << k;
-        let g = generators::gnp(n, 0.125, k as u64).expect("valid p");
-        let mut cfg = MpcMatchingConfig::new(eps, k as u64);
-        cfg.executor = executor;
-        let out = mpc_simulation(&g, &cfg).expect("simulation fits budget");
-        assert!(out.cover.covers(&g));
+        let g = scenario.build_with(n, k as u64).expect("valid scenario");
+        let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp-dense");
+        spec.seed = k as u64;
+        spec.executor = executor;
+        let report = run_on(&g, "gnp-dense", &spec).expect("simulation fits budget");
+        assert!(report.ok(), "cover must cover");
         // Exact optimum is affordable up to 4096 vertices; beyond that use
         // the maximal-matching lower bound (within 2x of optimum).
         let (opt, exact) = if n <= 4096 {
@@ -42,24 +44,28 @@ fn main() {
         } else {
             (matching::greedy_maximal_matching(&g).len() as f64, false)
         };
-        let removed = out.removed.iter().filter(|&&r| r).count();
-        let report = SubstrateReport::measure(&out.trace, log_log2(n));
+        let frac_weight = report.metric_f64("frac_weight").expect("emitted");
+        let cover = report.witnesses[0].size;
         let mut cells = vec![
             n.to_string(),
-            g.num_edges().to_string(),
-            out.phases.to_string(),
+            report.num_edges.to_string(),
+            report.metric("phases").expect("emitted").to_string(),
         ];
-        cells.extend(report.cells());
+        cells.extend(substrate_cells(&report.substrate));
         cells.extend([
-            out.tail_iterations.to_string(),
-            out.iterations.to_string(),
-            format!("{:.1}", out.fractional.weight()),
+            report
+                .metric("tail_iterations")
+                .expect("emitted")
+                .to_string(),
+            report.metric("iterations").expect("emitted").to_string(),
+            format!("{frac_weight:.1}"),
             format!("{}{}", if exact { "" } else { ">=" }, opt),
-            format!("{:.3}", approx_ratio(opt, out.fractional.weight())),
-            out.cover.len().to_string(),
-            format!("{:.3}", out.cover.len() as f64 / opt.max(1.0)),
-            removed.to_string(),
+            format!("{:.3}", approx_ratio(opt, frac_weight)),
+            cover.to_string(),
+            format!("{:.3}", cover as f64 / opt.max(1.0)),
+            report.metric("removed").expect("emitted").to_string(),
         ]);
-        row(&cells);
+        table.push(cells);
     }
+    finish_experiment("exp_e4", &[table]);
 }

@@ -1,33 +1,42 @@
 //! E5 — Lemma 5.1: rounding a fractional matching yields an integral one
 //! of size `≥ |C̃|/50` with probability `≥ 1 − 2·exp(−|C̃|/5000)`.
 //!
-//! Runs `MPC-Simulation` once, then rounds the same fractional matching
-//! under many independent seeds, reporting the distribution of
-//! `|M| / |C̃|` and the number of trials below the lemma's 1/50 bound.
+//! Runs `MPC-Simulation` once through the driver, then rounds the same
+//! fractional matching (from the run artifacts) under many independent
+//! seeds, reporting the distribution of `|M| / |C̃|` and the number of
+//! trials below the lemma's 1/50 bound.
 
-use mmvc_bench::{header, max, mean, min, row};
-use mmvc_core::matching::{mpc_simulation, round_fractional, MpcMatchingConfig};
-use mmvc_core::Epsilon;
+use mmvc_bench::{finish_experiment, max, mean, min, Table};
+use mmvc_core::matching::round_fractional;
+use mmvc_core::run::{run_detailed, AlgorithmKind, RunArtifacts, RunSpec};
 use mmvc_graph::generators;
 
 fn main() {
     println!("# E5: Lemma 5.1 — rounded matching size vs |C~| over 200 seeds");
-    header(&[
-        "n",
-        "candidates",
-        "mean_ratio",
-        "min_ratio",
-        "max_ratio",
-        "lemma_bound",
-        "below_bound",
-        "fail_prob_bound",
-    ]);
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let mut table = Table::new(
+        "sweep n (eps = 0.1, G(n, 32/n))",
+        &[
+            "n",
+            "candidates",
+            "mean_ratio",
+            "min_ratio",
+            "max_ratio",
+            "lemma_bound",
+            "below_bound",
+            "fail_prob_bound",
+        ],
+    );
     for k in 10..=13 {
         let n = 1usize << k;
         let g = generators::gnp(n, 32.0 / n as f64, k as u64).expect("valid p");
-        let out = mpc_simulation(&g, &MpcMatchingConfig::new(eps, k as u64)).expect("fits budget");
-        let candidates = out.heavy_certificate.clone();
+        let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp");
+        spec.seed = k as u64;
+        let (report, artifacts) = run_detailed(&g, "gnp", &spec).expect("fits budget");
+        assert!(report.ok(), "cover must cover");
+        let RunArtifacts::MpcMatching(out) = artifacts else {
+            panic!("driver returned wrong artifacts");
+        };
+        let candidates = out.heavy_certificate;
         if candidates.is_empty() {
             continue;
         }
@@ -39,7 +48,7 @@ fn main() {
             })
             .collect();
         let below = ratios.iter().filter(|&&r| r < 1.0 / 50.0).count();
-        row(&[
+        table.push(vec![
             n.to_string(),
             candidates.len().to_string(),
             format!("{:.4}", mean(&ratios)),
@@ -50,4 +59,5 @@ fn main() {
             format!("{:.2e}", 2.0 * (-(candidates.len() as f64) / 5000.0).exp()),
         ]);
     }
+    finish_experiment("exp_e5", &[table]);
 }

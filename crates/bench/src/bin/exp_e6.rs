@@ -1,59 +1,60 @@
 //! E6 — Corollary 1.3: `(1+ε)`-approximate maximum matching.
 //!
-//! Sweeps `ε` on bipartite and general graphs, reporting the measured
-//! ratio against the exact optimum (Hopcroft–Karp / blossom) and the
-//! augmentation effort.
+//! Sweeps `ε` on bipartite and general graphs through the run driver,
+//! reporting the measured ratio against the exact optimum (Hopcroft–Karp
+//! / blossom) and the augmentation effort.
 
-use mmvc_bench::{approx_ratio, header, row};
-use mmvc_core::matching::{one_plus_eps_matching, AugmentConfig};
+use mmvc_bench::{approx_ratio, finish_experiment, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
 use mmvc_core::Epsilon;
-use mmvc_graph::{generators, matching};
+use mmvc_graph::{generators, matching, Graph};
+
+fn run_row(table: &mut Table, label: &str, g: &Graph, opt: f64, eps_v: f64, seed: u64) {
+    let mut spec = RunSpec::new(AlgorithmKind::OnePlusEpsMatching, label);
+    spec.eps = Epsilon::new(eps_v).expect("valid eps");
+    spec.seed = seed;
+    let report = run_on(g, label, &spec).expect("runs");
+    assert!(report.ok(), "matching must validate");
+    let matched = report.witnesses[0].size;
+    table.push(vec![
+        label.to_string(),
+        g.num_vertices().to_string(),
+        format!("{eps_v}"),
+        report.metric("path_limit").expect("emitted").to_string(),
+        matched.to_string(),
+        format!("{opt:.0}"),
+        format!("{:.4}", approx_ratio(opt, matched as f64)),
+        format!("{:.2}", 1.0 + eps_v),
+        report.metric("passes").expect("emitted").to_string(),
+    ]);
+}
 
 fn main() {
     println!("# E6: Corollary 1.3 — (1+eps) matching vs exact optimum");
-    header(&[
-        "graph",
-        "n",
-        "eps",
-        "path_limit",
-        "matched",
-        "optimum",
-        "ratio",
-        "claimed",
-        "passes",
-    ]);
+    let mut table = Table::new(
+        "sweep eps on bipartite and general graphs",
+        &[
+            "graph",
+            "n",
+            "eps",
+            "path_limit",
+            "matched",
+            "optimum",
+            "ratio",
+            "claimed",
+            "passes",
+        ],
+    );
     for (i, eps_v) in [0.1, 0.05, 0.02].into_iter().enumerate() {
-        let eps = Epsilon::new(eps_v).expect("valid eps");
         let seed = 60 + i as u64;
 
         let bip = generators::bipartite_gnp(1024, 1024, 12.0 / 1024.0, seed).expect("valid p");
-        let out = one_plus_eps_matching(&bip, &AugmentConfig::new(eps, seed)).expect("runs");
         let opt = matching::hopcroft_karp(&bip).expect("bipartite").len() as f64;
-        row(&[
-            "bipartite".into(),
-            bip.num_vertices().to_string(),
-            format!("{eps_v}"),
-            out.path_limit.to_string(),
-            out.matching.len().to_string(),
-            format!("{opt:.0}"),
-            format!("{:.4}", approx_ratio(opt, out.matching.len() as f64)),
-            format!("{:.2}", 1.0 + eps_v),
-            out.passes.to_string(),
-        ]);
+        run_row(&mut table, "bipartite", &bip, opt, eps_v, seed);
 
         let gen = generators::gnp(1500, 14.0 / 1500.0, seed ^ 0xF00).expect("valid p");
-        let out = one_plus_eps_matching(&gen, &AugmentConfig::new(eps, seed)).expect("runs");
         let opt = matching::blossom(&gen).len() as f64;
-        row(&[
-            "general".into(),
-            gen.num_vertices().to_string(),
-            format!("{eps_v}"),
-            out.path_limit.to_string(),
-            out.matching.len().to_string(),
-            format!("{opt:.0}"),
-            format!("{:.4}", approx_ratio(opt, out.matching.len() as f64)),
-            format!("{:.2}", 1.0 + eps_v),
-            out.passes.to_string(),
-        ]);
+        run_row(&mut table, "general", &gen, opt, eps_v, seed);
     }
+    finish_experiment("exp_e6", &[table]);
 }

@@ -4,39 +4,52 @@
 //!
 //! MIS: Theorem 1.1 simulation vs Luby. Matching: `MPC-Simulation` +
 //! rounding rounds vs LMSV filtering rounds vs `Central`'s iteration
-//! count (each `Central` iteration is at best one MPC round).
+//! count (each `Central` iteration is at best one MPC round). Every
+//! contender is one driver run on the shared graph.
 
-use mmvc_bench::{ascii_chart, header, row};
-use mmvc_core::baselines::luby_mis;
-use mmvc_core::filtering::{filtering_maximal_matching, FilteringConfig};
-use mmvc_core::matching::{central, integral_matching, IntegralMatchingConfig};
-use mmvc_core::mis::{greedy_mpc_mis, GreedyMisConfig};
-use mmvc_core::Epsilon;
-use mmvc_graph::generators;
+use mmvc_bench::{ascii_chart, Table};
+use mmvc_core::matching::ThresholdMode;
+use mmvc_core::run::{run_on, AlgorithmKind, RunReport, RunSpec};
+use mmvc_graph::{scenarios, Graph};
+
+fn driver_run(g: &Graph, kind: AlgorithmKind, seed: u64, fixed_central: bool) -> RunReport {
+    let mut spec = RunSpec::new(kind, "gnp-dense");
+    spec.seed = seed;
+    if fixed_central {
+        spec.overrides.threshold_mode = Some(ThresholdMode::Fixed);
+    }
+    let report = run_on(g, "gnp-dense", &spec).expect("fits budget");
+    assert!(report.ok(), "{kind} failed validation");
+    report
+}
 
 fn main() {
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let scenario = scenarios::get("gnp-dense").expect("registered");
 
     println!("# E7a: MIS rounds — Theorem 1.1 vs Luby [Lub86]");
-    header(&["n", "maxdeg", "ours_rounds", "luby_rounds"]);
+    let mut mis_table = Table::new(
+        "MIS rounds vs n on gnp-dense",
+        &["n", "maxdeg", "ours_rounds", "luby_rounds"],
+    );
     let mut labels = Vec::new();
     let mut ours_series = Vec::new();
     let mut luby_series = Vec::new();
     for k in 10..=15 {
         let n = 1usize << k;
-        let g = generators::gnp(n, 0.125, k as u64).expect("valid p");
-        let ours = greedy_mpc_mis(&g, &GreedyMisConfig::new(k as u64)).expect("fits");
-        let luby = luby_mis(&g, k as u64);
-        row(&[
+        let g = scenario.build_with(n, k as u64).expect("valid scenario");
+        let ours = driver_run(&g, AlgorithmKind::GreedyMis, k as u64, false);
+        let luby = driver_run(&g, AlgorithmKind::LubyMis, k as u64, false);
+        mis_table.push(vec![
             n.to_string(),
             g.max_degree().to_string(),
-            ours.trace.rounds().to_string(),
-            luby.rounds.to_string(),
+            ours.substrate.rounds.to_string(),
+            luby.substrate.rounds.to_string(),
         ]);
         labels.push(format!("2^{k}"));
-        ours_series.push(ours.trace.rounds() as f64);
-        luby_series.push(luby.rounds as f64);
+        ours_series.push(ours.substrate.rounds as f64);
+        luby_series.push(luby.substrate.rounds as f64);
     }
+    mis_table.print();
     println!();
     println!("## Figure E7a: rounds vs n");
     print!(
@@ -47,29 +60,42 @@ fn main() {
             10,
         )
     );
-
     println!();
+
     println!("# E7b: matching rounds — Theorem 1.2 vs LMSV filtering vs Central iterations");
-    header(&[
-        "n",
-        "edges",
-        "thm12_rounds",
-        "filtering_rounds",
-        "central_iterations",
-    ]);
+    let mut match_table = Table::new(
+        "matching rounds vs n on gnp-dense",
+        &[
+            "n",
+            "edges",
+            "thm12_rounds",
+            "filtering_rounds",
+            "central_iterations",
+        ],
+    );
     for k in 10..=13 {
         let n = 1usize << k;
-        let g = generators::gnp(n, 0.125, 70 + k as u64).expect("valid p");
-        let ours = integral_matching(&g, &IntegralMatchingConfig::new(eps, k as u64))
-            .expect("fits budget");
-        let filt = filtering_maximal_matching(&g, &FilteringConfig::new(k as u64)).expect("fits");
-        let cen = central(&g, eps);
-        row(&[
+        let g = scenario
+            .build_with(n, 70 + k as u64)
+            .expect("valid scenario");
+        let ours = driver_run(&g, AlgorithmKind::IntegralMatching, k as u64, false);
+        let filt = driver_run(&g, AlgorithmKind::Filtering, k as u64, false);
+        let cen = driver_run(&g, AlgorithmKind::Central, k as u64, true);
+        match_table.push(vec![
             n.to_string(),
             g.num_edges().to_string(),
-            ours.total_rounds.to_string(),
-            filt.trace.rounds().to_string(),
-            cen.iterations.to_string(),
+            ours.substrate.rounds.to_string(),
+            filt.substrate.rounds.to_string(),
+            cen.substrate.rounds.to_string(),
         ]);
+    }
+    match_table.print();
+    // Tables were already printed interleaved with the figure; only the
+    // sidecar remains.
+    if let Some(path) =
+        mmvc_bench::report::write_experiment_sidecar("exp_e7", &[mis_table, match_table])
+            .expect("sidecar write failed")
+    {
+        eprintln!("wrote {}", path.display());
     }
 }

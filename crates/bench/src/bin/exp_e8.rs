@@ -5,44 +5,54 @@
 //! ends), the maximum observed `|y − ỹ|`, and the fraction of vertices
 //! removed for exceeding weight 1 (line (i) — the escape hatch for
 //! estimate failures). The estimate noise scales like `~0.7·d^(-1/4)`,
-//! so all three should shrink as the graphs grow.
+//! so all three should shrink as the graphs grow. One driver run per
+//! size with the diagnostics override.
 
-use mmvc_bench::{header, row};
-use mmvc_core::matching::{mpc_simulation, MpcMatchingConfig};
-use mmvc_core::Epsilon;
+use mmvc_bench::{finish_experiment, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
 use mmvc_graph::generators;
 
 fn main() {
     println!("# E8: estimate fidelity vs scale (eps = 0.1, G(n, 0.2))");
-    header(&[
-        "n",
-        "maxdeg",
-        "phases",
-        "compared",
-        "bad_fraction",
-        "max_est_error",
-        "noise_model",
-        "removed_fraction",
-    ]);
-    let eps = Epsilon::new(0.1).expect("valid eps");
+    let mut table = Table::new(
+        "sweep n",
+        &[
+            "n",
+            "maxdeg",
+            "phases",
+            "compared",
+            "bad_fraction",
+            "max_est_error",
+            "noise_model",
+            "removed_fraction",
+        ],
+    );
     for k in 9..=13 {
         let n = 1usize << k;
         let g = generators::gnp(n, 0.2, k as u64).expect("valid p");
-        let mut cfg = MpcMatchingConfig::new(eps, k as u64);
-        cfg.diagnostics = true;
-        let out = mpc_simulation(&g, &cfg).expect("fits budget");
-        let diag = out.diagnostics.expect("requested");
-        let removed = out.removed.iter().filter(|&&r| r).count();
-        let d = g.max_degree() as f64;
-        row(&[
+        let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp");
+        spec.seed = k as u64;
+        spec.overrides.diagnostics = true;
+        let report = run_on(&g, "gnp", &spec).expect("fits budget");
+        assert!(report.ok(), "cover must cover");
+        let d = report.max_degree as f64;
+        let removed = report.metric_f64("removed").expect("emitted");
+        table.push(vec![
             n.to_string(),
-            g.max_degree().to_string(),
-            out.phases.to_string(),
-            diag.compared_vertices.to_string(),
-            format!("{:.4}", diag.bad_fraction()),
-            format!("{:.4}", diag.max_estimate_error),
+            report.max_degree.to_string(),
+            report.metric("phases").expect("emitted").to_string(),
+            report
+                .metric("compared_vertices")
+                .expect("diagnostics requested")
+                .to_string(),
+            format!("{:.4}", report.metric_f64("bad_fraction").expect("emitted")),
+            format!(
+                "{:.4}",
+                report.metric_f64("max_estimate_error").expect("emitted")
+            ),
             format!("{:.4}", 0.7 * d.powf(-0.25)),
-            format!("{:.4}", removed as f64 / n as f64),
+            format!("{:.4}", removed / n as f64),
         ]);
     }
+    finish_experiment("exp_e8", &[table]);
 }

@@ -3,17 +3,40 @@
 //! Part 1 verifies the ratio against the exact optimum on tiny graphs
 //! (exhaustive search); part 2 reports, at realistic sizes, the weight
 //! against the heaviest-first greedy reference and the class/round
-//! profile as the weight range widens.
+//! profile as the weight range widens. Driver runs; the weighted
+//! instance comes back in the run artifacts so the references score the
+//! exact same weights.
 
-use mmvc_bench::{header, max as fmax, mean, row};
-use mmvc_core::matching::{weighted_matching, WeightedMatchingConfig};
-use mmvc_core::Epsilon;
+use mmvc_bench::{max as fmax, mean, Table};
+use mmvc_core::run::{run_detailed, AlgorithmKind, RunArtifacts, RunSpec};
 use mmvc_graph::weighted::WeightedGraph;
-use mmvc_graph::{generators, matching};
+use mmvc_graph::{generators, matching, Graph};
+
+fn weighted_run(
+    g: &Graph,
+    seed: u64,
+    w_max: f64,
+) -> (
+    mmvc_core::run::RunReport,
+    mmvc_core::matching::WeightedMatchingOutcome,
+    WeightedGraph,
+) {
+    let mut spec = RunSpec::new(AlgorithmKind::WeightedMatching, "gnp");
+    spec.seed = seed;
+    spec.overrides.weight_range = (1.0, w_max);
+    let (report, artifacts) = run_detailed(g, "gnp", &spec).expect("runs");
+    assert!(report.ok(), "matching must validate");
+    let RunArtifacts::WeightedMatching(out, wg) = artifacts else {
+        panic!("driver returned wrong artifacts");
+    };
+    (report, out, wg)
+}
 
 fn main() {
-    let eps = Epsilon::new(0.1).expect("valid eps");
-
+    // The ε every weighted_run actually uses (the spec default), so the
+    // printed claimed bound stays coupled to the bound the runs were
+    // held to.
+    let eps = RunSpec::new(AlgorithmKind::WeightedMatching, "gnp").eps;
     println!("# E9a: ratio vs exact optimum on tiny graphs (60 instances)");
     let mut ratios = Vec::new();
     for seed in 0..60u64 {
@@ -21,50 +44,60 @@ fn main() {
         if g.num_edges() == 0 || g.num_edges() > 20 {
             continue;
         }
-        let wg = WeightedGraph::with_random_weights(g, 1.0, 100.0, seed).expect("valid range");
-        let out = weighted_matching(&wg, &WeightedMatchingConfig::new(eps, seed)).expect("runs");
+        let (_, out, wg) = weighted_run(&g, seed, 100.0);
         let opt = wg.brute_force_max_weight_matching();
         if out.total_weight > 0.0 {
             ratios.push(opt / out.total_weight);
         }
     }
-    header(&["instances", "mean_ratio", "worst_ratio", "claimed"]);
-    row(&[
+    let mut tiny = Table::new(
+        "tiny-instance ratios",
+        &["instances", "mean_ratio", "worst_ratio", "claimed"],
+    );
+    tiny.push(vec![
         ratios.len().to_string(),
         format!("{:.3}", mean(&ratios)),
         format!("{:.3}", fmax(&ratios)),
         format!("{:.1}", 2.0 * (1.0 + eps.get())),
     ]);
-
+    tiny.print();
     println!();
+
     println!("# E9b: weight range sweep at n = 2048 (vs heaviest-first greedy)");
-    header(&[
-        "w_max",
-        "classes",
-        "class_rounds",
-        "our_weight",
-        "greedy_weight",
-        "our/greedy",
-    ]);
+    let mut sweep = Table::new(
+        "weight range sweep",
+        &[
+            "w_max",
+            "classes",
+            "class_rounds",
+            "our_weight",
+            "greedy_weight",
+            "our/greedy",
+        ],
+    );
     for (i, w_max) in [2.0, 10.0, 100.0, 10_000.0].into_iter().enumerate() {
         let seed = 90 + i as u64;
         let g = generators::gnp(2048, 12.0 / 2048.0, seed).expect("valid p");
-        let wg =
-            WeightedGraph::with_random_weights(g, 1.0, w_max, seed ^ 0x9).expect("valid range");
-        let out = weighted_matching(&wg, &WeightedMatchingConfig::new(eps, seed)).expect("runs");
+        let (report, out, wg) = weighted_run(&g, seed, w_max);
         let greedy = {
             let mut order: Vec<usize> = (0..wg.graph().num_edges()).collect();
             order.sort_by(|&a, &b| wg.weight(b).total_cmp(&wg.weight(a)));
             let m = matching::greedy_maximal_matching_ordered(wg.graph(), &order);
             wg.matching_weight(&m)
         };
-        row(&[
+        sweep.push(vec![
             format!("{w_max}"),
-            out.classes.to_string(),
-            out.total_rounds.to_string(),
+            report.metric("classes").expect("emitted").to_string(),
+            report.substrate.rounds.to_string(),
             format!("{:.1}", out.total_weight),
             format!("{greedy:.1}"),
             format!("{:.3}", out.total_weight / greedy.max(1e-9)),
         ]);
+    }
+    sweep.print();
+    if let Some(path) = mmvc_bench::report::write_experiment_sidecar("exp_e9", &[tiny, sweep])
+        .expect("sidecar write failed")
+    {
+        eprintln!("wrote {}", path.display());
     }
 }

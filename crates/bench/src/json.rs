@@ -1,0 +1,169 @@
+//! A minimal hand-rolled JSON document model and deterministic writer.
+//!
+//! The vendored dependency shims carry no serde, so the harness writes
+//! its machine-readable artifacts (`BENCH_run.json`, the per-experiment
+//! sidecars, `mmvc run --json`) through this module instead. Rendering
+//! is fully deterministic: objects keep insertion order, floats use
+//! Rust's shortest round-trip formatting, and non-finite floats (which
+//! JSON cannot represent) become `null`.
+
+/// A JSON value with insertion-ordered objects.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (kept exact; JSON numbers are decimal anyway).
+    Int(i64),
+    /// A float, rendered shortest-round-trip; non-finite renders `null`.
+    Float(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; keys keep insertion order for byte-stable output.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for object literals.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders as a pretty-printed document (2-space indent, trailing
+    /// newline) — byte-identical for equal values.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    // Shortest representation that round-trips; ensure it
+                    // still parses as a JSON number (no bare `1e5` issues:
+                    // Rust emits `1e5` style only via {:e}, never {}).
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(-3).render(), "-3\n");
+        assert_eq!(Json::Float(0.5).render(), "0.5\n");
+        assert_eq!(Json::Float(f64::NAN).render(), "null\n");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null\n");
+        assert_eq!(
+            Json::Str("a\"b\\c\nd".into()).render(),
+            "\"a\\\"b\\\\c\\nd\"\n"
+        );
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"\n");
+    }
+
+    #[test]
+    fn renders_nested_deterministically() {
+        let doc = Json::obj(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(2), Json::Null])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let expect = "{\n  \"b\": 1,\n  \"a\": [\n    2,\n    null\n  ],\n  \"empty_arr\": [],\n  \"empty_obj\": {}\n}\n";
+        assert_eq!(doc.render(), expect);
+        assert_eq!(doc.render(), doc.clone().render(), "byte stable");
+    }
+
+    #[test]
+    fn float_formatting_round_trips() {
+        for v in [0.1, 1.0 / 3.0, 1e-9, 123456.789, -0.0] {
+            let rendered = Json::Float(v).render();
+            let parsed: f64 = rendered.trim().parse().unwrap();
+            assert_eq!(parsed.to_bits(), v.to_bits(), "{v} did not round trip");
+        }
+    }
+}

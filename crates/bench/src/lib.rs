@@ -1,18 +1,28 @@
-//! Shared helpers for the experiment binaries (`src/bin/exp_*.rs`) and
-//! criterion benches of the `mmvc` workspace.
+//! Shared helpers for the experiment binaries (`src/bin/exp_*.rs`), the
+//! `bench_report` sweep, and the criterion benches of the `mmvc`
+//! workspace.
 //!
-//! Each experiment binary regenerates one table of `EXPERIMENTS.md`; run
-//! them as `cargo run --release -p mmvc-bench --bin exp_e1` (etc.). The
-//! experiment index lives in `DESIGN.md` §5.
+//! Each experiment binary regenerates one table of `EXPERIMENTS.md` by
+//! declaring [`mmvc_core::run::RunSpec`]s and rendering the resulting
+//! [`mmvc_core::run::RunReport`]s through the [`report`] layer — run
+//! them as `cargo run --release -p mmvc-bench --bin exp_e1` (etc.), with
+//! `MMVC_JSON_DIR=<dir>` to also capture JSON sidecars. The experiment
+//! index lives in `DESIGN.md` §5.
 //!
-//! Substrate-derived columns (measured rounds, claimed rounds, their
-//! ratio, peak load) go through [`SubstrateReport`], which consumes any
-//! [`mmvc_substrate::Substrate`] — a live `Cluster`, a live
-//! `CliqueNetwork`, or the `ExecutionTrace` an algorithm outcome carries —
-//! so every experiment reports claimed-vs-measured numbers through one
-//! code path.
+//! The [`json`] module is the hand-rolled (no-serde) document model
+//! behind every machine-readable artifact: `BENCH_run.json`, the
+//! per-experiment sidecars, and `mmvc run --json`.
 
-use mmvc_substrate::{ExecutorConfig, Substrate};
+pub mod json;
+pub mod report;
+
+pub use json::Json;
+pub use report::{
+    bench_sweep, execute_sweep, finish_experiment, report_json, substrate_cells, sweep_json,
+    SweepSummary, Table, SUBSTRATE_COLUMNS,
+};
+
+use mmvc_substrate::ExecutorConfig;
 
 /// Resolves the executor the experiment binaries thread into algorithm
 /// configs, from the `MMVC_EXECUTOR` environment variable:
@@ -39,79 +49,6 @@ pub fn executor_from_env() -> ExecutorConfig {
             Err(_) => panic!("MMVC_EXECUTOR must be `seq`, `auto`, or a thread count, got `{v}`"),
         },
     }
-}
-
-/// The substrate-derived portion of an experiment row: measured
-/// quantities next to the paper's claimed round bound.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SubstrateReport {
-    /// Which substrate was measured (`"mpc"`, `"congested-clique"`, or
-    /// `"trace"` for a stored [`mmvc_substrate::ExecutionTrace`]).
-    pub substrate: &'static str,
-    /// Measured rounds.
-    pub rounds: usize,
-    /// Measured peak per-machine / per-player load in words.
-    pub max_load_words: usize,
-    /// Measured total communication in words.
-    pub total_words: usize,
-    /// The claimed round bound being tested (e.g. `log₂ log₂ Δ`).
-    pub claimed_rounds: f64,
-}
-
-impl SubstrateReport {
-    /// Header labels matching [`SubstrateReport::cells`].
-    pub const COLUMNS: [&'static str; 4] =
-        ["rounds", "claimed_rounds", "round_ratio", "max_load_words"];
-
-    /// Measures `substrate` against a claimed round bound.
-    pub fn measure(substrate: &dyn Substrate, claimed_rounds: f64) -> Self {
-        SubstrateReport {
-            substrate: substrate.substrate_name(),
-            rounds: substrate.rounds(),
-            max_load_words: substrate.max_load_words(),
-            total_words: substrate.total_words(),
-            claimed_rounds,
-        }
-    }
-
-    /// `measured / claimed` — the figure of merit for the paper's round
-    /// bounds (`inf` when the claim is zero but rounds were used; 1 when
-    /// both are zero).
-    pub fn round_ratio(&self) -> f64 {
-        if self.claimed_rounds > 0.0 {
-            self.rounds as f64 / self.claimed_rounds
-        } else if self.rounds == 0 {
-            1.0
-        } else {
-            f64::INFINITY
-        }
-    }
-
-    /// The TSV cells for this report, in [`SubstrateReport::COLUMNS`]
-    /// order.
-    pub fn cells(&self) -> Vec<String> {
-        vec![
-            self.rounds.to_string(),
-            format!("{:.2}", self.claimed_rounds),
-            format!("{:.2}", self.round_ratio()),
-            self.max_load_words.to_string(),
-        ]
-    }
-}
-
-/// Prints a TSV header row.
-pub fn header(cols: &[&str]) {
-    println!("{}", cols.join("\t"));
-}
-
-/// Prints a TSV data row.
-pub fn row(cols: &[String]) {
-    println!("{}", cols.join("\t"));
-}
-
-/// `log₂ log₂ n`, the reference curve for the paper's round bounds.
-pub fn log_log2(n: usize) -> f64 {
-    (n.max(4) as f64).log2().log2()
 }
 
 /// Ratio `opt / got`, reported as the achieved approximation factor
@@ -230,32 +167,6 @@ pub fn ascii_chart(x_labels: &[String], series: &[(&str, Vec<f64>)], height: usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmvc_substrate::{ExecutionTrace, RoundSummary};
-
-    #[test]
-    fn substrate_report_measures_any_substrate() {
-        let mut t = ExecutionTrace::new();
-        t.record(RoundSummary {
-            round: 1,
-            max_load_words: 7,
-            total_words: 20,
-        });
-        t.record(RoundSummary {
-            round: 2,
-            max_load_words: 3,
-            total_words: 4,
-        });
-        let r = SubstrateReport::measure(&t, 4.0);
-        assert_eq!(r.substrate, "trace");
-        assert_eq!(r.rounds, 2);
-        assert_eq!(r.max_load_words, 7);
-        assert_eq!(r.total_words, 24);
-        assert!((r.round_ratio() - 0.5).abs() < 1e-12);
-        let cells = r.cells();
-        assert_eq!(cells.len(), SubstrateReport::COLUMNS.len());
-        assert_eq!(cells[0], "2");
-        assert_eq!(cells[2], "0.50");
-    }
 
     #[test]
     fn executor_env_parsing() {
@@ -273,27 +184,6 @@ mod tests {
         std::env::set_var("MMVC_EXECUTOR", "auto");
         assert!(executor_from_env().threads() >= 1);
         std::env::remove_var("MMVC_EXECUTOR");
-    }
-
-    #[test]
-    fn round_ratio_edge_cases() {
-        let empty = SubstrateReport::measure(&ExecutionTrace::new(), 0.0);
-        assert_eq!(empty.round_ratio(), 1.0);
-        let mut t = ExecutionTrace::new();
-        t.record(RoundSummary {
-            round: 1,
-            max_load_words: 0,
-            total_words: 0,
-        });
-        let r = SubstrateReport::measure(&t, 0.0);
-        assert_eq!(r.round_ratio(), f64::INFINITY);
-    }
-
-    #[test]
-    fn log_log_values() {
-        assert!((log_log2(16) - 2.0).abs() < 1e-12);
-        assert!((log_log2(65536) - 4.0).abs() < 1e-12);
-        assert!(log_log2(0) > 0.0, "clamped to n=4");
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod matching;
 pub mod mis;
 #[cfg(test)]
 mod proptests;
+pub mod run;
 pub mod vertex_cover;
 
 pub use epsilon::Epsilon;

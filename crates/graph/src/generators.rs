@@ -330,6 +330,41 @@ pub fn disjoint_edges(k: usize) -> Graph {
     b.build()
 }
 
+/// Planted-matching graph: a perfect matching on `2⌊n/2⌋` vertices
+/// (edges `{2i, 2i+1}`) hidden under `G(n, noise_avg_degree/(n−1))`
+/// noise edges.
+///
+/// The planted matching pins the maximum-matching size at `⌊n/2⌋`, so
+/// matching algorithms can be scored against a known optimum without an
+/// exact solver; the noise keeps the instance non-trivial.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `noise_avg_degree` is
+/// negative or not finite.
+pub fn planted_matching(n: usize, noise_avg_degree: f64, seed: u64) -> Result<Graph, GraphError> {
+    if !noise_avg_degree.is_finite() || noise_avg_degree < 0.0 {
+        return Err(GraphError::InvalidParameter {
+            name: "noise_avg_degree",
+            message: format!("noise degree must be non-negative, got {noise_avg_degree}"),
+        });
+    }
+    let p = if n >= 2 {
+        (noise_avg_degree / (n - 1) as f64).min(1.0)
+    } else {
+        0.0
+    };
+    let noise = gnp(n, p, seed)?;
+    let mut b = GraphBuilder::with_capacity(n, noise.num_edges() + n / 2);
+    for i in 0..(n / 2) as u32 {
+        b.add_edge(2 * i, 2 * i + 1).expect("in range");
+    }
+    for e in noise.edges() {
+        b.add_edge(e.u(), e.v()).expect("in range");
+    }
+    Ok(b.build())
+}
+
 /// Barabási–Albert preferential attachment: starts from a small clique and
 /// attaches each new vertex to `m_attach` existing vertices chosen with
 /// probability proportional to their degree.
@@ -369,7 +404,12 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, Gr
             let t = endpoints[rng.gen_range(0..endpoints.len())];
             targets.insert(t);
         }
-        for &t in &targets {
+        // Sort before inserting: HashSet iteration order would otherwise
+        // leak into the endpoints list (and thus later samples), making
+        // the generator nondeterministic across processes.
+        let mut targets: Vec<VertexId> = targets.into_iter().collect();
+        targets.sort_unstable();
+        for t in targets {
             b.add_edge(v, t).expect("in range");
             endpoints.push(v);
             endpoints.push(t);
@@ -499,41 +539,49 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Graph, Graph
         .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
         .collect();
     // Grid-bucket the points so the expected running time is
-    // O(n + |E|) instead of O(n²).
-    let cell = radius.max(1e-9);
-    let cells_per_side = (1.0 / cell).ceil().max(1.0) as usize;
+    // O(n + |E|) instead of O(n²). The grid is a flat row-major
+    // `Vec<Vec<u32>>` indexed by cell coordinates — deterministic
+    // iteration order and no hashing on the hot path. The side length is
+    // capped near √n so the table stays O(n) cells even for tiny radii;
+    // a cell is then at least `radius` wide either way, so the 3×3
+    // neighborhood scan below remains exhaustive.
+    let side = ((1.0 / radius.max(1e-9)).floor() as usize).clamp(1, (n as f64).sqrt() as usize + 1);
     let cell_of = |x: f64, y: f64| -> (usize, usize) {
         (
-            ((x / cell) as usize).min(cells_per_side - 1),
-            ((y / cell) as usize).min(cells_per_side - 1),
+            ((x * side as f64) as usize).min(side - 1),
+            ((y * side as f64) as usize).min(side - 1),
         )
     };
-    let mut buckets: std::collections::HashMap<(usize, usize), Vec<u32>> =
-        std::collections::HashMap::new();
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); side * side];
     for (i, &(x, y)) in points.iter().enumerate() {
-        buckets.entry(cell_of(x, y)).or_default().push(i as u32);
+        let (cx, cy) = cell_of(x, y);
+        grid[cy * side + cx].push(i as u32);
     }
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
-    for (&(cx, cy), members) in &buckets {
-        for dx in -1i64..=1 {
+    for cy in 0..side {
+        for cx in 0..side {
+            let members = &grid[cy * side + cx];
+            if members.is_empty() {
+                continue;
+            }
             for dy in -1i64..=1 {
-                let nx = cx as i64 + dx;
-                let ny = cy as i64 + dy;
-                if nx < 0 || ny < 0 {
-                    continue;
-                }
-                let Some(neighbors) = buckets.get(&(nx as usize, ny as usize)) else {
-                    continue;
-                };
-                for &u in members {
-                    for &v in neighbors {
-                        if u < v {
-                            let (x1, y1) = points[u as usize];
-                            let (x2, y2) = points[v as usize];
-                            let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
-                            if d2 <= r2 {
-                                b.add_edge(u, v).expect("in range");
+                for dx in -1i64..=1 {
+                    let nx = cx as i64 + dx;
+                    let ny = cy as i64 + dy;
+                    if nx < 0 || ny < 0 || nx >= side as i64 || ny >= side as i64 {
+                        continue;
+                    }
+                    let neighbors = &grid[ny as usize * side + nx as usize];
+                    for &u in members {
+                        for &v in neighbors {
+                            if u < v {
+                                let (x1, y1) = points[u as usize];
+                                let (x2, y2) = points[v as usize];
+                                let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+                                if d2 <= r2 {
+                                    b.add_edge(u, v).expect("in range");
+                                }
                             }
                         }
                     }
@@ -648,6 +696,33 @@ mod tests {
         assert_eq!(complete_bipartite(3, 4).num_edges(), 12);
         assert_eq!(disjoint_edges(5).num_edges(), 5);
         assert_eq!(disjoint_edges(5).max_degree(), 1);
+    }
+
+    #[test]
+    fn planted_matching_holds_perfect_matching() {
+        let g = planted_matching(200, 4.0, 9).unwrap();
+        assert_eq!(g.num_vertices(), 200);
+        for i in 0..100u32 {
+            assert!(g.has_edge(2 * i, 2 * i + 1), "planted edge {i} missing");
+        }
+        // Noise roughly doubles the planted edge count at avg degree 4.
+        assert!(g.num_edges() > 200, "noise edges present");
+        assert_eq!(
+            planted_matching(200, 4.0, 9).unwrap(),
+            g,
+            "deterministic in seed"
+        );
+        assert!(planted_matching(10, -1.0, 0).is_err());
+        assert_eq!(planted_matching(0, 4.0, 0).unwrap().num_vertices(), 0);
+        assert_eq!(planted_matching(1, 4.0, 0).unwrap().num_edges(), 0);
+    }
+
+    #[test]
+    fn geometric_tiny_radius_grid_stays_small() {
+        // The flat grid is capped near √n cells per side; a tiny radius
+        // must neither allocate a huge table nor miss edges.
+        let g = random_geometric(64, 1e-6, 3).unwrap();
+        assert_eq!(g.num_edges(), 0);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   and line graphs (Luby's matching-via-MIS reduction).
 //! * [`generators`] — seeded `G(n,p)`, `G(n,m)`, bipartite, Chung–Lu
 //!   power-law, and structured graph generators.
+//! * [`scenarios`] — the named workload registry (`gnp-sparse`,
+//!   `planted-matching`, `clique-stress`, …) every algorithm can be
+//!   pointed at by name via the run driver and `mmvc run`.
 //! * [`matching`] — validated [`matching::Matching`]s, greedy baselines,
 //!   Hopcroft–Karp, and Edmonds' blossom algorithm.
 //! * [`mis`] — validated independent sets and the sequential randomized
@@ -49,6 +52,7 @@ pub mod io;
 pub mod matching;
 pub mod mis;
 pub mod rng;
+pub mod scenarios;
 pub mod stats;
 pub mod vertex_cover;
 pub mod weighted;

@@ -1,9 +1,14 @@
 //! `mmvc` — command-line front end for the workspace.
 //!
-//! Runs the paper's algorithms on edge-list files (one `u v` pair per
-//! line; `#` comments; optional `# vertices: n` header):
+//! Drives any registered algorithm × scenario pair through the unified
+//! run driver, and runs the paper's algorithms on edge-list files (one
+//! `u v` pair per line; `#` comments; optional `# vertices: n` header):
 //!
 //! ```text
+//! mmvc list                                    # algorithms and scenarios
+//! mmvc run <algorithm> <scenario> [--n N] [--seed S] [--eps E] [--threads K]
+//!          [--max-rounds R] [--max-load W] [--json]
+//! mmvc bench [--smoke] [--out PATH]            # algorithm×scenario sweep
 //! mmvc stats    <graph.txt>
 //! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
 //! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -11,7 +16,8 @@
 //! mmvc gen      gnp|powerlaw <n> <param> [--seed S]   # writes to stdout
 //! ```
 
-use mmvc::graph::{io, stats};
+use mmvc::core::run::{AlgorithmKind, RunSpec};
+use mmvc::graph::{io, scenarios, stats};
 use mmvc::prelude::*;
 use std::process::ExitCode;
 
@@ -29,6 +35,10 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
+  mmvc list
+  mmvc run <algorithm> <scenario> [--n N] [--seed S] [--eps E] [--threads K]
+           [--max-rounds R] [--max-load W] [--json]
+  mmvc bench [--smoke] [--out PATH]
   mmvc stats    <graph.txt>
   mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
   mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -39,12 +49,177 @@ const USAGE: &str = "usage:
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(args),
+        "bench" => cmd_bench(args),
         "stats" => cmd_stats(args),
         "mis" => cmd_mis(args),
         "matching" => cmd_matching(args),
         "cover" => cmd_cover(args),
         "gen" => cmd_gen(args),
         other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("algorithms:");
+    for kind in AlgorithmKind::ALL {
+        println!("  {:<18} {}", kind.name(), kind.description());
+    }
+    println!();
+    println!("scenarios:");
+    for sc in scenarios::all() {
+        println!("  {:<18} n={:<6} {}", sc.name, sc.default_n, sc.description);
+    }
+    println!();
+    println!("run any pair: mmvc run <algorithm> <scenario>");
+    Ok(())
+}
+
+fn parse_optional<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid {flag} `{raw}`")),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let algorithm = args
+        .get(1)
+        .and_then(|a| AlgorithmKind::parse(a))
+        .ok_or_else(|| {
+            format!(
+                "missing or unknown algorithm (one of: {})",
+                AlgorithmKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+    let scenario = args.get(2).ok_or_else(|| {
+        format!(
+            "missing scenario (one of: {})",
+            scenarios::names().join(", ")
+        )
+    })?;
+
+    // Strict flag validation: a mistyped `--max-round` silently dropping
+    // a budget would defeat the CI-enforcement use of this command.
+    const VALUE_FLAGS: [&str; 6] = [
+        "--n",
+        "--seed",
+        "--eps",
+        "--threads",
+        "--max-rounds",
+        "--max-load",
+    ];
+    let mut i = 3;
+    while i < args.len() {
+        let a = &args[i];
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            if args.get(i + 1).is_none() {
+                return Err(format!("{a} requires a value"));
+            }
+            i += 2;
+        } else if a == "--json" {
+            i += 1;
+        } else {
+            return Err(format!("unknown argument `{a}` for `mmvc run`"));
+        }
+    }
+
+    let mut spec = RunSpec::new(algorithm, scenario);
+    spec.n = parse_optional(args, "--n")?;
+    spec.seed = parse_seed(args)?;
+    spec.eps = parse_eps(args)?;
+    spec.executor = parse_executor(args)?;
+    spec.budget.max_rounds = parse_optional(args, "--max-rounds")?;
+    spec.budget.max_load_words = parse_optional(args, "--max-load")?;
+
+    let report = mmvc::core::run::run(&spec).map_err(|e| e.to_string())?;
+
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", mmvc_bench::report_json(&report).render());
+    } else {
+        println!("algorithm   : {}", report.algorithm.name());
+        println!(
+            "scenario    : {} (n = {}, edges = {}, maxdeg = {})",
+            report.scenario, report.n, report.num_edges, report.max_degree
+        );
+        for w in &report.witnesses {
+            println!(
+                "{:<12}: {} ({})",
+                w.kind,
+                w.size,
+                if w.valid { "validated" } else { "INVALID" }
+            );
+        }
+        println!(
+            "rounds      : {} on {} (claimed {:.2}, ratio {:.2})",
+            report.substrate.rounds,
+            report.substrate.substrate,
+            report.substrate.claimed_rounds,
+            report.substrate.round_ratio()
+        );
+        if report.substrate.max_load_words > 0 {
+            println!("max_load    : {} words", report.substrate.max_load_words);
+            println!("total_words : {}", report.substrate.total_words);
+        }
+        for (name, value) in &report.metrics {
+            println!("{name:<12}: {value}");
+        }
+        println!("wall        : {:.1} ms", report.wall_ms);
+        for v in &report.budget_violations {
+            println!("BUDGET      : {v}");
+        }
+    }
+
+    if report.ok() {
+        Ok(())
+    } else if report.witnesses_valid() {
+        Err("budget violated".to_string())
+    } else {
+        Err("witness validation failed".to_string())
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    // Same strict validation as `mmvc run`: a mistyped `--smok` silently
+    // running the lenient full sweep would defeat the smoke gate.
+    let mut i = 1;
+    let mut smoke = false;
+    let mut out = "BENCH_run.json".to_string();
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out = v.clone();
+                    i += 2;
+                }
+                _ => return Err("--out requires a path value".to_string()),
+            },
+            other => return Err(format!("unknown argument `{other}` for `mmvc bench`")),
+        }
+    }
+    // One code path (and one failure policy) with the bench_report
+    // binary: smoke must be clean; a full-size substrate rejection is a
+    // recorded finding, not an error.
+    let summary = mmvc_bench::execute_sweep(smoke, &out)?;
+    if smoke && summary.failures > 0 {
+        Err(format!(
+            "smoke sweep must be clean, got {} failures",
+            summary.failures
+        ))
+    } else {
+        Ok(())
     }
 }
 

@@ -19,7 +19,10 @@
 //!   MIS (Theorem 1.1), `Central`/`Central-Rand`/`MPC-Simulation`
 //!   (Section 4), Lemma 5.1 rounding, Theorem 1.2's `(2+ε)` integral
 //!   matching and vertex cover, Corollary 1.3's `(1+ε)` matching,
-//!   Corollary 1.4's weighted matching, plus baselines.
+//!   Corollary 1.4's weighted matching, plus baselines — and the unified
+//!   run driver (`mmvc_core::run`): every algorithm × every named
+//!   scenario (`mmvc_graph::scenarios`) through one `run(spec)` entry
+//!   point with validated witnesses and machine-readable reports.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! claimed-vs-measured results. The `examples/` directory contains
@@ -58,9 +61,14 @@ pub mod prelude {
         IntegralMatchingConfig, MpcMatchingConfig, WeightedMatchingConfig,
     };
     pub use mmvc_core::mis::{clique_mis, greedy_mpc_mis, CliqueMisConfig, GreedyMisConfig};
+    pub use mmvc_core::run::{
+        run, run_detailed, run_on, AlgorithmKind, RunArtifacts, RunReport, RunSpec,
+    };
     pub use mmvc_core::vertex_cover::{approx_min_vertex_cover, VertexCoverConfig};
     pub use mmvc_core::{CoreError, Epsilon};
-    pub use mmvc_graph::{generators, matching, mis, vertex_cover, weighted, Graph, GraphBuilder};
+    pub use mmvc_graph::{
+        generators, matching, mis, scenarios, vertex_cover, weighted, Graph, GraphBuilder,
+    };
     pub use mmvc_mpc::{Cluster, MpcConfig};
     pub use mmvc_substrate::{
         ExecutionTrace, ExecutorConfig, RoundLedger, RoundSummary, Substrate, SubstrateError,
