@@ -1,4 +1,5 @@
-//! A minimal hand-rolled JSON document model and deterministic writer.
+//! A minimal hand-rolled JSON document model, deterministic writer, and
+//! strict reader.
 //!
 //! The vendored dependency shims carry no serde, so the harness writes
 //! its machine-readable artifacts (`BENCH_run.json`, the per-experiment
@@ -6,6 +7,14 @@
 //! is fully deterministic: objects keep insertion order, floats use
 //! Rust's shortest round-trip formatting, and non-finite floats (which
 //! JSON cannot represent) become `null`.
+//!
+//! [`Json::parse`] is the matching reader — a strict recursive-descent
+//! parser over the same document model, used by `mmvc-serve` to decode
+//! `POST /run` bodies and by the load generator to read responses. It
+//! accepts exactly RFC 8259 documents (no trailing commas, no comments),
+//! keeps object keys in document order (so `parse(render(x))` preserves
+//! structure), and bounds nesting depth so adversarial request bodies
+//! cannot overflow the stack.
 
 /// A JSON value with insertion-ordered objects.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +53,140 @@ impl Json {
         self.write(&mut out, 0);
         out.push('\n');
         out
+    }
+
+    /// Renders as a single-line document with no whitespace — the form
+    /// used for content-addressed cache keys, where one value must map
+    /// to exactly one byte string.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Int(_) | Json::Float(_) | Json::Str(_) => {
+                self.write(out, 0)
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (strict RFC 8259: a single value followed
+    /// only by whitespace).
+    ///
+    /// Numbers without a fraction or exponent that fit `i64` become
+    /// [`Json::Int`]; every other number becomes [`Json::Float`]. Object
+    /// keys keep document order and duplicates are rejected — a cache
+    /// key must not have two spellings of the same document.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonParseError`] (with a byte offset) on any syntax error,
+    /// nesting deeper than 128 levels, duplicate object keys, invalid
+    /// escapes, or trailing garbage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mmvc_bench::Json;
+    /// let doc = Json::parse(r#"{"algorithm": "greedy-mis", "n": 256}"#)?;
+    /// assert_eq!(doc.get("n").and_then(Json::as_i64), Some(256));
+    /// # Ok::<(), mmvc_bench::json::JsonParseError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` ([`Json::Int`] only — floats do not coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (accepts [`Json::Int`] too, exactly as JSON
+    /// offers one number type).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(v) => Some(*v as f64),
+            Json::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object fields, in document/insertion order.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -126,6 +269,287 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// Error from [`Json::parse`]: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where the error was detected.
+    pub offset: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Deepest allowed nesting; request bodies come from the network, so the
+/// parser must fail gracefully instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{text}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn enter(&mut self) -> Result<(), JsonParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonParseError> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(format!("duplicate object key {key:?}")));
+            }
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: runs of plain bytes are copied as validated UTF-8.
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .expect("input is &str, so every byte run is valid UTF-8"),
+                );
+            }
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')
+                                        .map_err(|_| self.err("expected low surrogate"))?;
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(hi)
+                                    .ok_or_else(|| self.err("unpaired low surrogate"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                // A raw control byte (< 0x20) inside a string.
+                Some(_) => return Err(self.err("unescaped control character in string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code =
+            u32::from_str_radix(digits, 16).map_err(|_| self.err("invalid \\u escape digits"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: `0` alone, or a nonzero digit followed by digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits after decimal point"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("expected digits in exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII digits and punctuation");
+        if integral {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err(format!("unparseable number `{text}`")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +589,123 @@ mod tests {
             let parsed: f64 = rendered.trim().parse().unwrap();
             assert_eq!(parsed.to_bits(), v.to_bits(), "{v} did not round trip");
         }
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("0").unwrap(), Json::Int(0));
+        assert_eq!(Json::parse("0.5").unwrap(), Json::Float(0.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(Json::parse("2E-2").unwrap(), Json::Float(0.02));
+        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let doc = Json::parse(r#"{"a": [1, {"b": null}, 2.5], "c": "x"}"#).unwrap();
+        assert_eq!(doc.get("c").and_then(Json::as_str), Some("x"));
+        let arr = doc.get("a").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr[0].as_i64(), Some(1));
+        assert_eq!(arr[1].get("b"), Some(&Json::Null));
+        assert_eq!(arr[2].as_f64(), Some(2.5));
+        assert_eq!(doc.as_obj().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\tA\/""#).unwrap(),
+            Json::Str("a\"b\\c\nd\tA/".into())
+        );
+        // Surrogate pair: 🎉 (U+1F389).
+        assert_eq!(Json::parse(r#""🎉""#).unwrap(), Json::Str("🎉".into()));
+        assert!(Json::parse(r#""\ud83c""#).is_err(), "unpaired surrogate");
+        assert!(Json::parse(r#""\q""#).is_err(), "invalid escape");
+        assert!(Json::parse("\"raw\ncontrol\"").is_err(), "raw control");
+        assert!(Json::parse("\"open").is_err(), "unterminated");
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let doc = Json::obj(vec![
+            ("ints", Json::Arr(vec![Json::Int(i64::MAX), Json::Int(-1)])),
+            ("f", Json::Float(1.0 / 3.0)),
+            ("s", Json::Str("tab\there \u{1} 🎉".into())),
+            ("flag", Json::Bool(false)),
+            ("nothing", Json::Null),
+            ("nested", Json::obj(vec![("empty", Json::Arr(vec![]))])),
+        ]);
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.render_compact()).unwrap(), doc);
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_stable() {
+        let doc = Json::obj(vec![
+            ("b", Json::Int(1)),
+            ("a", Json::Arr(vec![Json::Int(2), Json::Null])),
+        ]);
+        assert_eq!(doc.render_compact(), r#"{"b":1,"a":[2,null]}"#);
+        assert!(!doc.render_compact().contains('\n'));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "  ",
+            "{",
+            "[1,",
+            "[1 2]",
+            "{\"a\" 1}",
+            "{\"a\":}",
+            "nul",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "-",
+            "+1",
+            "[1,]",
+            "{\"a\":1,}",
+            "\u{7f}",
+            "1 2",
+            "[1] x",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed {bad:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_and_deep_nesting() {
+        assert!(Json::parse(r#"{"a":1,"a":2}"#).is_err());
+        let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn big_integers_fall_back_to_float() {
+        // One past i64::MAX is still a valid JSON number.
+        let v = Json::parse("9223372036854775808").unwrap();
+        assert_eq!(v, Json::Float(9.223372036854776e18));
+        assert_eq!(
+            Json::parse("9223372036854775807").unwrap(),
+            Json::Int(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_error_reports_offset() {
+        let err = Json::parse("[1, oops]").unwrap_err();
+        assert_eq!(err.offset, 4);
+        assert!(err.to_string().contains("byte 4"));
     }
 }

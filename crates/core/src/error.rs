@@ -32,6 +32,14 @@ pub enum CoreError {
     Clique(CliqueError),
     /// Graph construction failed.
     Graph(GraphError),
+    /// An edge-list workload file could not be loaded (driver runs with
+    /// [`RunSpec::graph_file`](crate::run::RunSpec::graph_file) set).
+    GraphFile {
+        /// The path that failed to load.
+        path: String,
+        /// The underlying read failure.
+        source: mmvc_graph::io::ReadError,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -46,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::Mpc(e) => write!(f, "MPC simulation failed: {e}"),
             CoreError::Clique(e) => write!(f, "CONGESTED-CLIQUE simulation failed: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::GraphFile { path, source } => {
+                write!(f, "cannot load graph file `{path}`: {source}")
+            }
         }
     }
 }
@@ -56,6 +67,7 @@ impl Error for CoreError {
             CoreError::Mpc(e) => Some(e),
             CoreError::Clique(e) => Some(e),
             CoreError::Graph(e) => Some(e),
+            CoreError::GraphFile { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -109,5 +121,18 @@ mod tests {
 
         let e: CoreError = GraphError::SelfLoop { vertex: 1 }.into();
         assert!(e.to_string().contains("graph"));
+
+        // Every variant (and every crate's error enum — the audit behind
+        // this test) boxes uniformly as `dyn Error` with sources wired.
+        let e = CoreError::GraphFile {
+            path: "missing.txt".into(),
+            source: mmvc_graph::io::ReadError::Parse {
+                line: 3,
+                content: "x y z".into(),
+            },
+        };
+        assert!(e.to_string().contains("missing.txt"));
+        let boxed: Box<dyn Error> = Box::new(e);
+        assert!(boxed.source().unwrap().to_string().contains("line 3"));
     }
 }

@@ -206,8 +206,14 @@ impl Default for RunOverrides {
 pub struct RunSpec {
     /// The algorithm family to execute.
     pub algorithm: AlgorithmKind,
-    /// Scenario registry name ([`mmvc_graph::scenarios`]).
+    /// Scenario registry name ([`mmvc_graph::scenarios`]); empty when
+    /// [`graph_file`](Self::graph_file) names the workload instead.
     pub scenario: String,
+    /// Path to an edge-list workload file ([`mmvc_graph::io`]). When set,
+    /// the driver loads the file instead of consulting the scenario
+    /// registry — user-supplied workloads run through the same entry
+    /// point as the seeded families.
+    pub graph_file: Option<String>,
     /// Vertex-count override (`None` = the scenario's default size).
     pub n: Option<usize>,
     /// Approximation parameter `ε` (ignored by the MIS kinds).
@@ -229,6 +235,7 @@ impl RunSpec {
         RunSpec {
             algorithm,
             scenario: scenario.to_string(),
+            graph_file: None,
             n: None,
             eps: Epsilon::new(0.1).expect("0.1 is a valid epsilon"),
             seed: 42,
@@ -236,6 +243,205 @@ impl RunSpec {
             budget: RunBudget::default(),
             overrides: RunOverrides::default(),
         }
+    }
+
+    /// A standard spec whose workload is an edge-list file instead of a
+    /// registry scenario (same defaults as [`new`](Self::new)).
+    pub fn from_file(algorithm: AlgorithmKind, path: &str) -> Self {
+        let mut spec = RunSpec::new(algorithm, "");
+        spec.graph_file = Some(path.to_string());
+        spec
+    }
+
+    /// Builds a spec from untyped `(key, value)` fields — the validation
+    /// path behind every external spec source (`mmvc-serve`'s `POST
+    /// /run` bodies in particular). Strict: unknown keys, wrong types,
+    /// and out-of-domain values are errors, never silently dropped, and
+    /// the workload must be named by exactly one of `scenario` /
+    /// `graph_file`.
+    ///
+    /// Accepted keys: `algorithm` (required), `scenario`, `graph_file`,
+    /// `n`, `eps`, `seed`, `max_rounds`, `max_load_words`. A
+    /// [`SpecValue::Null`] value means "use the default", exactly like
+    /// omitting the key.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] describing the offending field.
+    pub fn from_fields(fields: &[(String, SpecValue)]) -> Result<RunSpec, CoreError> {
+        let algorithm = fields
+            .iter()
+            .find(|(k, _)| k == "algorithm")
+            .map(|(_, v)| v)
+            .filter(|v| !matches!(v, SpecValue::Null))
+            .ok_or_else(|| CoreError::InvalidParameter {
+                name: "algorithm",
+                message: "required field is missing".to_string(),
+            })?;
+        let algorithm = match algorithm {
+            SpecValue::Str(name) => {
+                AlgorithmKind::parse(name).ok_or_else(|| CoreError::InvalidParameter {
+                    name: "algorithm",
+                    message: format!(
+                        "unknown algorithm `{name}` (one of: {})",
+                        AlgorithmKind::ALL
+                            .iter()
+                            .map(|k| k.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                })?
+            }
+            other => {
+                return Err(CoreError::InvalidParameter {
+                    name: "algorithm",
+                    message: format!("expected a string, got {}", other.type_name()),
+                })
+            }
+        };
+        let mut spec = RunSpec::new(algorithm, "");
+        for (key, value) in fields {
+            if key == "algorithm" {
+                continue;
+            }
+            spec.apply_field(key, value)?;
+        }
+        if spec.scenario.is_empty() && spec.graph_file.is_none() {
+            return Err(CoreError::InvalidParameter {
+                name: "scenario",
+                message: "give a workload: either `scenario` or `graph_file`".to_string(),
+            });
+        }
+        Ok(spec)
+    }
+
+    /// Applies one untyped field to the spec (see
+    /// [`from_fields`](Self::from_fields) for the accepted keys and
+    /// strictness rules). [`SpecValue::Null`] is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] on unknown keys, type mismatches,
+    /// or out-of-domain values.
+    pub fn apply_field(&mut self, key: &str, value: &SpecValue) -> Result<(), CoreError> {
+        if matches!(value, SpecValue::Null) {
+            return Ok(());
+        }
+        match key {
+            "scenario" => {
+                self.scenario = value.expect_str("scenario")?.to_string();
+                if self.graph_file.is_some() {
+                    return Err(both_workloads());
+                }
+            }
+            "graph_file" => {
+                self.graph_file = Some(value.expect_str("graph_file")?.to_string());
+                if !self.scenario.is_empty() {
+                    return Err(both_workloads());
+                }
+            }
+            "n" => self.n = Some(value.expect_usize("n")?),
+            "eps" => {
+                let raw = value.expect_f64("eps")?;
+                self.eps = Epsilon::new(raw)?;
+            }
+            "seed" => {
+                let raw = value.expect_i64("seed")?;
+                self.seed = u64::try_from(raw).map_err(|_| CoreError::InvalidParameter {
+                    name: "seed",
+                    message: format!("must be a non-negative integer, got {raw}"),
+                })?;
+            }
+            "max_rounds" => self.budget.max_rounds = Some(value.expect_usize("max_rounds")?),
+            "max_load_words" => {
+                self.budget.max_load_words = Some(value.expect_usize("max_load_words")?)
+            }
+            other => {
+                return Err(CoreError::InvalidParameter {
+                    name: "spec",
+                    message: format!(
+                        "unknown field `{other}` (accepted: algorithm, scenario, graph_file, \
+                         n, eps, seed, max_rounds, max_load_words)"
+                    ),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+fn both_workloads() -> CoreError {
+    CoreError::InvalidParameter {
+        name: "graph_file",
+        message: "give either `scenario` or `graph_file`, not both".to_string(),
+    }
+}
+
+/// An untyped spec field value — the bridge between external encodings
+/// (JSON request bodies, CLI flags) and [`RunSpec::from_fields`], kept
+/// here so spec validation lives with the spec rather than in every
+/// front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecValue {
+    /// Explicit "use the default".
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An integer.
+    Int(i64),
+    /// A real number.
+    Float(f64),
+    /// A string.
+    Str(String),
+}
+
+impl SpecValue {
+    /// The type label used in mismatch error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            SpecValue::Null => "null",
+            SpecValue::Bool(_) => "a boolean",
+            SpecValue::Int(_) => "an integer",
+            SpecValue::Float(_) => "a number",
+            SpecValue::Str(_) => "a string",
+        }
+    }
+
+    fn expect_str(&self, name: &'static str) -> Result<&str, CoreError> {
+        match self {
+            SpecValue::Str(s) => Ok(s),
+            other => Err(type_mismatch(name, "a string", other)),
+        }
+    }
+
+    fn expect_i64(&self, name: &'static str) -> Result<i64, CoreError> {
+        match self {
+            SpecValue::Int(v) => Ok(*v),
+            other => Err(type_mismatch(name, "an integer", other)),
+        }
+    }
+
+    fn expect_usize(&self, name: &'static str) -> Result<usize, CoreError> {
+        let raw = self.expect_i64(name)?;
+        usize::try_from(raw).map_err(|_| CoreError::InvalidParameter {
+            name,
+            message: format!("must be a non-negative integer, got {raw}"),
+        })
+    }
+
+    fn expect_f64(&self, name: &'static str) -> Result<f64, CoreError> {
+        match self {
+            SpecValue::Int(v) => Ok(*v as f64),
+            SpecValue::Float(v) => Ok(*v),
+            other => Err(type_mismatch(name, "a number", other)),
+        }
+    }
+}
+
+fn type_mismatch(name: &'static str, want: &str, got: &SpecValue) -> CoreError {
+    CoreError::InvalidParameter {
+        name,
+        message: format!("expected {want}, got {}", got.type_name()),
     }
 }
 
@@ -478,16 +684,54 @@ pub fn build_scenario(spec: &RunSpec) -> Result<Graph, CoreError> {
     Ok(sc.build_with(n, spec.seed)?)
 }
 
-/// Runs a spec end to end: resolve the scenario, execute, validate.
+/// Resolves the spec's workload: the registry scenario, or — when
+/// [`RunSpec::graph_file`] is set — the edge-list file, loaded through
+/// [`mmvc_graph::io`]. Returns the graph and the label recorded as the
+/// report's scenario name (`file:<path>` for file workloads).
 ///
 /// # Errors
 ///
-/// [`CoreError::InvalidParameter`] for an unknown scenario; otherwise
+/// [`CoreError::InvalidParameter`] for an unknown scenario or when both
+/// workload kinds are named; [`CoreError::GraphFile`] when the file
+/// cannot be opened or parsed.
+pub fn build_workload(spec: &RunSpec) -> Result<(Graph, String), CoreError> {
+    match &spec.graph_file {
+        Some(path) => {
+            if !spec.scenario.is_empty() {
+                return Err(both_workloads());
+            }
+            if spec.n.is_some() {
+                return Err(CoreError::InvalidParameter {
+                    name: "n",
+                    message: "a size override does not apply to a graph file workload".to_string(),
+                });
+            }
+            let graph_file_err = |source| CoreError::GraphFile {
+                path: path.clone(),
+                source,
+            };
+            let file = std::fs::File::open(path)
+                .map_err(|e| graph_file_err(mmvc_graph::io::ReadError::Io(e)))?;
+            let g = mmvc_graph::io::read_edge_list(std::io::BufReader::new(file))
+                .map_err(graph_file_err)?;
+            Ok((g, format!("file:{path}")))
+        }
+        None => Ok((build_scenario(spec)?, spec.scenario.clone())),
+    }
+}
+
+/// Runs a spec end to end: resolve the workload (registry scenario or
+/// edge-list file), execute, validate.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidParameter`] for an unknown scenario,
+/// [`CoreError::GraphFile`] for an unloadable graph file; otherwise
 /// whatever the algorithm itself reports (typically substrate budget
 /// violations under misconfigured space factors).
 pub fn run(spec: &RunSpec) -> Result<RunReport, CoreError> {
-    let g = build_scenario(spec)?;
-    run_on(&g, &spec.scenario, spec)
+    let (g, label) = build_workload(spec)?;
+    run_on(&g, &label, spec)
 }
 
 /// Like [`run`], but on a caller-supplied graph (for ad-hoc parameter
@@ -1041,6 +1285,131 @@ mod tests {
         assert_eq!(r.round_ratio(), f64::INFINITY);
         let r = SubstrateReport::from_rounds("x", 3, 6.0);
         assert!((r.round_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    fn fields(pairs: &[(&str, SpecValue)]) -> Vec<(String, SpecValue)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn spec_from_fields_happy_path() {
+        let spec = RunSpec::from_fields(&fields(&[
+            ("algorithm", SpecValue::Str("greedy-mis".into())),
+            ("scenario", SpecValue::Str("gnp-sparse".into())),
+            ("n", SpecValue::Int(128)),
+            ("eps", SpecValue::Float(0.05)),
+            ("seed", SpecValue::Int(7)),
+            ("max_rounds", SpecValue::Int(50)),
+            ("max_load_words", SpecValue::Null),
+        ]))
+        .unwrap();
+        assert_eq!(spec.algorithm, AlgorithmKind::GreedyMis);
+        assert_eq!(spec.scenario, "gnp-sparse");
+        assert_eq!(spec.n, Some(128));
+        assert!((spec.eps.get() - 0.05).abs() < 1e-12);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.budget.max_rounds, Some(50));
+        assert_eq!(spec.budget.max_load_words, None);
+        assert!(run(&spec).unwrap().ok());
+    }
+
+    #[test]
+    fn spec_from_fields_rejects_bad_input() {
+        let cases: Vec<(Vec<(String, SpecValue)>, &str)> = vec![
+            (fields(&[]), "algorithm"),
+            (
+                fields(&[("algorithm", SpecValue::Str("nope".into()))]),
+                "unknown algorithm",
+            ),
+            (
+                fields(&[("algorithm", SpecValue::Int(3))]),
+                "expected a string",
+            ),
+            (
+                fields(&[("algorithm", SpecValue::Str("central".into()))]),
+                "give a workload",
+            ),
+            (
+                fields(&[
+                    ("algorithm", SpecValue::Str("central".into())),
+                    ("scenario", SpecValue::Str("gnp-sparse".into())),
+                    ("graph_file", SpecValue::Str("g.txt".into())),
+                ]),
+                "not both",
+            ),
+            (
+                fields(&[
+                    ("algorithm", SpecValue::Str("central".into())),
+                    ("scenario", SpecValue::Str("gnp-sparse".into())),
+                    ("frobnicate", SpecValue::Int(1)),
+                ]),
+                "unknown field `frobnicate`",
+            ),
+            (
+                fields(&[
+                    ("algorithm", SpecValue::Str("central".into())),
+                    ("scenario", SpecValue::Str("gnp-sparse".into())),
+                    ("n", SpecValue::Int(-5)),
+                ]),
+                "non-negative",
+            ),
+            (
+                fields(&[
+                    ("algorithm", SpecValue::Str("central".into())),
+                    ("scenario", SpecValue::Str("gnp-sparse".into())),
+                    ("seed", SpecValue::Str("abc".into())),
+                ]),
+                "expected an integer",
+            ),
+            (
+                fields(&[
+                    ("algorithm", SpecValue::Str("central".into())),
+                    ("scenario", SpecValue::Str("gnp-sparse".into())),
+                    ("eps", SpecValue::Float(0.9)),
+                ]),
+                "epsilon",
+            ),
+        ];
+        for (input, expect) in cases {
+            let err = RunSpec::from_fields(&input).unwrap_err().to_string();
+            assert!(err.contains(expect), "`{err}` should mention `{expect}`");
+        }
+    }
+
+    #[test]
+    fn graph_file_workload_runs_and_errors_cleanly() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("mmvc_run_graph_file_test.txt");
+        let path_str = path.to_str().unwrap();
+        let g = mmvc_graph::generators::gnp(64, 0.1, 3).unwrap();
+        let mut buf = Vec::new();
+        mmvc_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        std::fs::write(&path, &buf).unwrap();
+
+        let spec = RunSpec::from_file(AlgorithmKind::GreedyMis, path_str);
+        let report = run(&spec).unwrap();
+        assert!(report.ok());
+        assert_eq!(report.n, 64);
+        assert_eq!(report.scenario, format!("file:{path_str}"));
+
+        // Identical to running on the same graph directly.
+        let direct = run_on(&g, &format!("file:{path_str}"), &spec).unwrap();
+        assert_eq!(report.witnesses, direct.witnesses);
+        assert_eq!(report.substrate, direct.substrate);
+
+        let mut bad = spec.clone();
+        bad.n = Some(10);
+        assert!(run(&bad).unwrap_err().to_string().contains("size override"));
+
+        let missing = RunSpec::from_file(AlgorithmKind::GreedyMis, "/no/such/file.txt");
+        let err = run(&missing).unwrap_err();
+        assert!(matches!(err, CoreError::GraphFile { .. }), "{err}");
+        assert!(err.to_string().contains("/no/such/file.txt"));
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

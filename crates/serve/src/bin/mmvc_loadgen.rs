@@ -1,0 +1,454 @@
+//! `mmvc_loadgen` — deterministic load generation against `mmvc serve`,
+//! the serving-performance counterpart of `bench_report`.
+//!
+//! Replays seeded request mixes and writes `BENCH_serve.json`
+//! (throughput, latency percentiles, cache hit rate — one row per mix):
+//!
+//! * `uniform` — requests drawn uniformly from a fixed spec pool that
+//!   fits the cache (the steady-state mix: everything hits after one
+//!   cold pass);
+//! * `hot-key` — the same pool under a Zipf-like skew, served with a
+//!   cache *smaller than the pool* (the production-shaped mix: a few
+//!   hot specs dominate and LRU keeps exactly those resident);
+//! * `cache-bust` — every request a fresh seed (the adversarial mix:
+//!   nothing can hit, measuring pure run throughput).
+//!
+//! ```text
+//! cargo run --release -p mmvc-serve --bin mmvc_loadgen -- \
+//!     [--addr HOST:PORT] [--smoke] [--out PATH] [--requests N]
+//!     [--clients C] [--workers W] [--seed S]
+//! ```
+//!
+//! Without `--addr`, a fresh in-process daemon is spawned per mix on an
+//! ephemeral port (`--workers` sizes its pool) and shut down cleanly —
+//! the zero-setup mode CI uses, and it keeps the rows independent: each
+//! mix starts against a cold cache. With `--addr`, the external daemon's
+//! cache persists across mixes (noted by `"server"` in the artifact).
+//! The request *schedule* is a pure function of `--seed`; the measured
+//! numbers are the only nondeterministic outputs.
+
+use mmvc_bench::Json;
+use mmvc_core::run::AlgorithmKind;
+use mmvc_serve::{client, metrics, ServeConfig, Server};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// A deterministic xorshift64* stream for request scheduling.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One benchmark configuration.
+struct Config {
+    addr: Option<String>,
+    smoke: bool,
+    out: String,
+    requests: usize,
+    clients: usize,
+    workers: usize,
+    seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            addr: None,
+            smoke: false,
+            out: "BENCH_serve.json".to_string(),
+            requests: 400,
+            clients: 4,
+            workers: 4,
+            seed: 0x10AD,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mmvc_loadgen [--addr HOST:PORT] [--smoke] [--out PATH] [--requests N] \
+         [--clients C] [--workers W] [--seed S]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args(args: &[String]) -> Option<Config> {
+    let mut cfg = Config::default();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).filter(|v| !v.starts_with("--"));
+        match args[i].as_str() {
+            "--smoke" => {
+                cfg.smoke = true;
+                i += 1;
+            }
+            "--addr" => {
+                cfg.addr = Some(value(i)?.clone());
+                i += 2;
+            }
+            "--out" => {
+                cfg.out = value(i)?.clone();
+                i += 2;
+            }
+            "--requests" => {
+                cfg.requests = value(i)?.parse().ok()?;
+                i += 2;
+            }
+            "--clients" => {
+                cfg.clients = value(i)?.parse::<usize>().ok()?.max(1);
+                i += 2;
+            }
+            "--workers" => {
+                cfg.workers = value(i)?.parse::<usize>().ok()?.max(1);
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = value(i)?.parse().ok()?;
+                i += 2;
+            }
+            _ => return None,
+        }
+    }
+    if cfg.smoke {
+        cfg.requests = cfg.requests.min(60);
+        cfg.clients = cfg.clients.min(2);
+    }
+    Some(cfg)
+}
+
+/// The fixed spec pool the `uniform` and `hot-key` mixes draw from:
+/// every algorithm kind over a rotating scenario, at a size small
+/// enough that a cold run is milliseconds.
+fn spec_pool(smoke: bool, seed: u64) -> Vec<String> {
+    let scenarios = [
+        "gnp-sparse",
+        "power-law",
+        "bipartite",
+        "geometric",
+        "planted-matching",
+        "gnm",
+    ];
+    let n = if smoke { 64 } else { 128 };
+    let mut pool = Vec::new();
+    for (i, kind) in AlgorithmKind::ALL.iter().enumerate() {
+        for j in 0..2usize {
+            let scenario = scenarios[(i + j) % scenarios.len()];
+            pool.push(format!(
+                r#"{{"algorithm": "{}", "scenario": "{scenario}", "n": {n}, "seed": {}}}"#,
+                kind.name(),
+                seed.wrapping_add(j as u64)
+            ));
+        }
+    }
+    pool
+}
+
+/// One mix's request schedule: the body of request `i`.
+enum Mix {
+    Uniform,
+    HotKey,
+    CacheBust,
+}
+
+impl Mix {
+    fn name(&self) -> &'static str {
+        match self {
+            Mix::Uniform => "uniform",
+            Mix::HotKey => "hot-key",
+            Mix::CacheBust => "cache-bust",
+        }
+    }
+
+    /// The in-process daemon's cache capacity for this mix. `hot-key`
+    /// deliberately runs with a cache smaller than the spec pool so the
+    /// row measures skew under eviction pressure, not pool memoization.
+    fn cache_capacity(&self, pool_len: usize) -> usize {
+        match self {
+            Mix::Uniform | Mix::CacheBust => 512,
+            Mix::HotKey => (pool_len / 4).max(2),
+        }
+    }
+
+    /// Builds the full request schedule for this mix, deterministically
+    /// from the seed.
+    fn schedule(&self, cfg: &Config, pool: &[String]) -> Vec<String> {
+        let mut rng = Rng::new(cfg.seed ^ fnv(self.name().as_bytes()));
+        match self {
+            Mix::Uniform => (0..cfg.requests)
+                .map(|_| pool[(rng.next_u64() as usize) % pool.len()].clone())
+                .collect(),
+            Mix::HotKey => {
+                // Zipf-like weights w_k ∝ 1/(k+1)^1.2 over the pool.
+                let weights: Vec<f64> = (0..pool.len())
+                    .map(|k| 1.0 / ((k + 1) as f64).powf(1.2))
+                    .collect();
+                let total: f64 = weights.iter().sum();
+                (0..cfg.requests)
+                    .map(|_| {
+                        let mut target = rng.next_f64() * total;
+                        let mut idx = 0;
+                        for (k, w) in weights.iter().enumerate() {
+                            idx = k;
+                            target -= w;
+                            if target <= 0.0 {
+                                break;
+                            }
+                        }
+                        pool[idx].clone()
+                    })
+                    .collect()
+            }
+            Mix::CacheBust => {
+                let n = if cfg.smoke { 64 } else { 128 };
+                (0..cfg.requests)
+                    .map(|i| {
+                        let kind = AlgorithmKind::ALL[i % AlgorithmKind::ALL.len()];
+                        format!(
+                            r#"{{"algorithm": "{}", "scenario": "gnp-sparse", "n": {n}, "seed": {}}}"#,
+                            kind.name(),
+                            cfg.seed.wrapping_add(1000 + i as u64)
+                        )
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    mmvc_serve::fnv1a(bytes)
+}
+
+/// Measured outcome of one mix.
+struct MixResult {
+    mix: &'static str,
+    requests: usize,
+    distinct_specs: usize,
+    hits: u64,
+    misses: u64,
+    errors: u64,
+    wall_s: f64,
+    latencies_ms: Vec<f64>,
+}
+
+impl MixResult {
+    /// `cache_capacity` is `None` when driving an external daemon: its
+    /// cache is configured out of band, and reporting the in-process
+    /// default would claim pressure that never applied.
+    fn to_json(&self, clients: usize, cache_capacity: Option<usize>) -> Json {
+        let (p50, p90, p99) = metrics::percentiles(self.latencies_ms.clone());
+        let answered = self.hits + self.misses;
+        Json::obj(vec![
+            ("mix", Json::Str(self.mix.to_string())),
+            ("requests", Json::Int(self.requests as i64)),
+            ("clients", Json::Int(clients as i64)),
+            ("distinct_specs", Json::Int(self.distinct_specs as i64)),
+            (
+                "cache_capacity",
+                match cache_capacity {
+                    Some(cap) => Json::Int(cap as i64),
+                    None => Json::Null,
+                },
+            ),
+            ("cache_hits", Json::Int(self.hits as i64)),
+            ("cache_misses", Json::Int(self.misses as i64)),
+            ("errors", Json::Int(self.errors as i64)),
+            (
+                "hit_rate",
+                Json::Float(if answered > 0 {
+                    self.hits as f64 / answered as f64
+                } else {
+                    0.0
+                }),
+            ),
+            (
+                "throughput_rps",
+                Json::Float(self.requests as f64 / self.wall_s.max(1e-9)),
+            ),
+            (
+                "latency_ms",
+                Json::obj(vec![
+                    ("p50", Json::Float(p50)),
+                    ("p90", Json::Float(p90)),
+                    ("p99", Json::Float(p99)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Replays one schedule with `clients` threads (client `c` takes
+/// requests `c, c+C, c+2C, …` — a deterministic partition).
+fn drive(addr: &str, schedule: &[String], clients: usize) -> MixResult {
+    let started = Instant::now();
+    let outcomes: Vec<(u64, u64, u64, Vec<f64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let (mut hits, mut misses, mut errors) = (0u64, 0u64, 0u64);
+                    let mut latencies = Vec::new();
+                    for body in schedule.iter().skip(c).step_by(clients) {
+                        let t0 = Instant::now();
+                        match client::request(addr, "POST", "/run", body.as_bytes()) {
+                            Ok(resp) if resp.status == 200 => {
+                                match resp.header("x-cache") {
+                                    Some("hit") => hits += 1,
+                                    _ => misses += 1,
+                                }
+                                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                            _ => errors += 1,
+                        }
+                    }
+                    (hits, misses, errors, latencies)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    });
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let mut result = MixResult {
+        mix: "",
+        requests: schedule.len(),
+        distinct_specs: {
+            let mut distinct: Vec<&String> = schedule.iter().collect();
+            distinct.sort();
+            distinct.dedup();
+            distinct.len()
+        },
+        hits: 0,
+        misses: 0,
+        errors: 0,
+        wall_s,
+        latencies_ms: Vec::new(),
+    };
+    for (h, m, e, lat) in outcomes {
+        result.hits += h;
+        result.misses += m;
+        result.errors += e;
+        result.latencies_ms.extend(lat);
+    }
+    result
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cfg) = parse_args(&args) else {
+        return usage();
+    };
+
+    let pool = spec_pool(cfg.smoke, cfg.seed);
+    let mut rows = Vec::new();
+    let mut total_errors = 0u64;
+    for mix in [Mix::Uniform, Mix::HotKey, Mix::CacheBust] {
+        // A fresh in-process daemon per mix (cold cache → independent
+        // rows), unless pointed at an external one.
+        let (addr, server_thread, handle) = match &cfg.addr {
+            Some(addr) => (addr.clone(), None, None),
+            None => {
+                let server = match Server::bind(&ServeConfig {
+                    addr: "127.0.0.1:0".to_string(),
+                    workers: cfg.workers,
+                    cache_capacity: mix.cache_capacity(pool.len()),
+                }) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot bind in-process server: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let addr = server.local_addr().expect("bound socket has an address");
+                let hd = server.handle().expect("bound socket has an address");
+                let thread = std::thread::spawn(move || server.run());
+                (addr.to_string(), Some(thread), Some(hd))
+            }
+        };
+
+        let schedule = mix.schedule(&cfg, &pool);
+        let mut result = drive(&addr, &schedule, cfg.clients);
+        result.mix = mix.name();
+        total_errors += result.errors;
+        eprintln!(
+            "{:<11} {} requests ({} distinct) in {:.2}s: {:.0} rps, {} hits / {} misses, {} errors",
+            result.mix,
+            result.requests,
+            result.distinct_specs,
+            result.wall_s,
+            result.requests as f64 / result.wall_s.max(1e-9),
+            result.hits,
+            result.misses,
+            result.errors
+        );
+        rows.push(result.to_json(
+            cfg.clients,
+            cfg.addr.is_none().then(|| mix.cache_capacity(pool.len())),
+        ));
+
+        if let Some(handle) = handle {
+            handle.shutdown();
+        }
+        if let Some(thread) = server_thread {
+            if thread.join().expect("server thread panicked").is_err() {
+                eprintln!("warning: in-process server exited with an error");
+            }
+        }
+    }
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("mmvc-serve-bench/v1".to_string())),
+        (
+            "mode",
+            Json::Str(if cfg.smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        (
+            "server",
+            Json::Str(match &cfg.addr {
+                Some(addr) => addr.clone(),
+                None => "in-process".to_string(),
+            }),
+        ),
+        (
+            // Unknown for an external daemon: --workers only sizes the
+            // in-process one.
+            "workers",
+            match cfg.addr {
+                Some(_) => Json::Null,
+                None => Json::Int(cfg.workers as i64),
+            },
+        ),
+        ("clients", Json::Int(cfg.clients as i64)),
+        ("seed", Json::Int(cfg.seed as i64)),
+        ("rows", Json::Arr(rows)),
+    ]);
+    if let Err(e) = std::fs::write(&cfg.out, doc.render()) {
+        eprintln!("cannot write {}: {e}", cfg.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", cfg.out);
+
+    if total_errors > 0 {
+        eprintln!("{total_errors} requests failed");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

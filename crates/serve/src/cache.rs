@@ -1,0 +1,151 @@
+//! The content-addressed LRU report cache.
+//!
+//! Keys are canonical serialized specs (see
+//! [`cache_key`](crate::cache_key)); values are complete response
+//! bodies. The cache is *sound* — a hit is byte-identical to a cold run
+//! — precisely because the run layer pins report determinism: a
+//! `RunReport` (minus wall time, which the daemon zeroes) is a pure
+//! function of its spec, and file workloads carry a content hash in the
+//! key, so a changed input file can never alias a stale entry.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A bounded least-recently-used map from canonical spec keys to cached
+/// response bodies.
+///
+/// Recency is tracked with a monotone touch counter; eviction scans for
+/// the minimum — `O(capacity)` on insert-when-full, which is exact and
+/// plenty for report-sized capacities (hundreds of entries), and keeps
+/// hits (the hot path) at one hash lookup.
+#[derive(Debug)]
+pub struct ReportCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    body: Arc<Vec<u8>>,
+    last_used: u64,
+}
+
+impl ReportCache {
+    /// An empty cache holding at most `capacity` bodies (`0` disables
+    /// caching: every lookup misses and inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        ReportCache {
+            capacity,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.body)
+        })
+    }
+
+    /// Inserts a body, evicting the least-recently-used entry when full.
+    ///
+    /// Re-inserting an existing key replaces the body (identical bytes
+    /// by determinism — two threads racing on the same cold spec) and
+    /// refreshes recency.
+    pub fn insert(&mut self, key: String, body: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                body,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hit_returns_inserted_bytes() {
+        let mut c = ReportCache::new(4);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), body("alpha"));
+        assert_eq!(c.get("a").unwrap().as_slice(), b"alpha");
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        assert_eq!(c.capacity(), 4);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = ReportCache::new(2);
+        c.insert("a".into(), body("1"));
+        c.insert("b".into(), body("2"));
+        // Touch `a`, making `b` the LRU entry.
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), body("3"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get("a").is_some());
+        assert!(c.get("b").is_none(), "b was LRU and must be evicted");
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = ReportCache::new(2);
+        c.insert("a".into(), body("old"));
+        c.insert("b".into(), body("2"));
+        c.insert("a".into(), body("new"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a").unwrap().as_slice(), b"new");
+        assert!(c.get("b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = ReportCache::new(0);
+        c.insert("a".into(), body("1"));
+        assert!(c.get("a").is_none());
+        assert_eq!(c.len(), 0);
+    }
+}

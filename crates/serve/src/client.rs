@@ -1,0 +1,142 @@
+//! A tiny blocking HTTP/1.1 client for the daemon's own traffic: the
+//! load generator, the integration tests, and the CI smoke script all
+//! speak to `mmvc serve` through this one code path.
+//!
+//! One request per connection (the daemon answers `Connection: close`),
+//! `Content-Length` framing only.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code, e.g. `200`.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Sends one request and reads the full response.
+///
+/// # Errors
+///
+/// I/O failures connecting, writing, or reading; or a response that is
+/// not parseable HTTP/1.1.
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Convenience: `GET` with no body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(addr: &str, path: &str) -> std::io::Result<Response> {
+    request(addr, "GET", path, b"")
+}
+
+fn bad(what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("bad response: {what}"),
+    )
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
+    // Interim "100 Continue" responses are not sent by the daemon unless
+    // asked for; this client never asks.
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(bad("header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = Some(value.parse().map_err(|_| bad("content-length"))?);
+        }
+        headers.push((name, value));
+    }
+    let body_start = head_end + 4;
+    let body = match content_length {
+        Some(len) => {
+            if raw.len() < body_start + len {
+                return Err(bad("truncated body"));
+            }
+            raw[body_start..body_start + len].to_vec()
+        }
+        None => raw[body_start..].to_vec(),
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 3\r\nx-cache: hit\r\n\r\n{}\ntrailing-ignored";
+        let r = parse_response(raw).unwrap();
+        assert_eq!(r.status, 200);
+        assert_eq!(r.header("x-cache"), Some("hit"));
+        assert_eq!(r.body, b"{}\n");
+        assert_eq!(r.text(), "{}\n");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"garbage").is_err());
+        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
+        assert!(parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc").is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! A minimal, strict HTTP/1.1 reader and writer over any byte stream.
+//!
+//! Just enough of RFC 9112 for the serving daemon: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked transfer), bounded head and body sizes so a
+//! hostile peer cannot balloon memory, and `Expect: 100-continue`
+//! handling so stock clients (curl) work with larger bodies.
+//!
+//! Kept free of `TcpStream` specifics — everything is generic over
+//! [`Read`]/[`Write`] — so the parser is unit-testable on in-memory
+//! buffers.
+
+use std::io::{Read, Write};
+
+/// Largest accepted request head (request line + headers), in bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Largest accepted request body, in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed request: the method, the request target (path), and the
+/// headers/body the daemon cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, …), verbatim.
+    pub method: String,
+    /// Request target, e.g. `/run`. Query strings are not split off —
+    /// the daemon's routes are exact paths.
+    pub target: String,
+    /// Declared `Content-Length` (0 when absent).
+    pub content_length: usize,
+    /// Whether the client sent `Expect: 100-continue`.
+    pub expect_continue: bool,
+    /// The request body (read separately via [`read_body`]).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The bytes were not a parseable HTTP/1.1 request.
+    Malformed(&'static str),
+    /// The head or body exceeded its size bound.
+    TooLarge(&'static str),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+            HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
+            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HttpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads and parses the request head (request line and headers), up to
+/// and including the blank line. The body is *not* read — call
+/// [`read_body`] after optionally acknowledging `Expect: 100-continue`.
+///
+/// # Errors
+///
+/// [`HttpError`] on stream failure, a head larger than
+/// [`MAX_HEAD_BYTES`], a declared body larger than [`MAX_BODY_BYTES`],
+/// or anything that is not an HTTP/1.x request.
+pub fn read_head<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
+    // Read byte-at-a-time until CRLFCRLF: the head is tiny and this
+    // avoids buffering past the body boundary.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge("head"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(HttpError::Malformed("connection closed mid-head")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => return Err(HttpError::Malformed("request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed("not HTTP/1.x"));
+    }
+
+    let mut content_length = 0usize;
+    let mut expect_continue = false;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed("header line"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("content-length"))?;
+                if content_length > MAX_BODY_BYTES {
+                    return Err(HttpError::TooLarge("body"));
+                }
+            }
+            "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
+            _ => {}
+        }
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        content_length,
+        expect_continue,
+        body: Vec::new(),
+    })
+}
+
+/// Reads the declared body into `request.body`.
+///
+/// # Errors
+///
+/// [`HttpError::Io`] on stream failure or a body shorter than declared.
+pub fn read_body<R: Read>(stream: &mut R, request: &mut Request) -> Result<(), HttpError> {
+    let mut body = vec![0u8; request.content_length];
+    stream.read_exact(&mut body)?;
+    request.body = body;
+    Ok(())
+}
+
+/// The reason phrase for the status codes the daemon emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response: status line, standard headers
+/// (`Content-Type: application/json`, `Content-Length`, `Connection:
+/// close`), any extra headers, and the body.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes the `100 Continue` interim response acknowledging an
+/// `Expect: 100-continue` request.
+///
+/// # Errors
+///
+/// Propagates stream write failures.
+pub fn write_continue<W: Write>(stream: &mut W) -> std::io::Result<()> {
+    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let mut req = read_head(&mut cursor)?;
+        read_body(&mut cursor, &mut req)?;
+        Ok(req)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.target, "/healthz");
+        assert_eq!(req.content_length, 0);
+        assert!(req.body.is_empty());
+        assert!(!req.expect_continue);
+    }
+
+    #[test]
+    fn parses_post_with_body_and_case_insensitive_headers() {
+        let req = parse(
+            b"POST /run HTTP/1.1\r\nHost: x\r\nCONTENT-LENGTH: 4\r\nExpect: 100-Continue\r\n\r\n{\"a\"",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.content_length, 4);
+        assert_eq!(req.body, b"{\"a\"");
+        assert!(req.expect_continue);
+    }
+
+    #[test]
+    fn rejects_malformed_heads() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"GET /x HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
+            b"GET /x HTTP/1.1\r\n",
+        ] {
+            assert!(
+                parse(raw).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_declarations() {
+        let raw = format!(
+            "POST /run HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(raw.as_bytes()),
+            Err(HttpError::TooLarge("body"))
+        ));
+        let huge = format!(
+            "GET /x HTTP/1.1\r\npad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            parse(huge.as_bytes()),
+            Err(HttpError::TooLarge("head"))
+        ));
+    }
+
+    #[test]
+    fn short_body_is_an_io_error() {
+        assert!(matches!(
+            parse(b"POST /run HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
+            Err(HttpError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn writes_responses_with_exact_framing() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, &[("x-cache", "hit")], b"{}\n").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 3\r\n"));
+        assert!(text.contains("x-cache: hit\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}\n"));
+
+        let mut cont = Vec::new();
+        write_continue(&mut cont).unwrap();
+        assert_eq!(cont, b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = HttpError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&HttpError::Malformed("x")).is_none());
+    }
+}

@@ -1,0 +1,711 @@
+//! # mmvc-serve
+//!
+//! The run-serving daemon: the `mmvc` workspace's unified run driver
+//! (`mmvc_core::run`) exposed over HTTP/1.1, built entirely on `std`
+//! (hand-rolled HTTP over [`std::net::TcpListener`], the workspace's
+//! own JSON model — no new dependencies, consistent with the
+//! vendored-shim policy).
+//!
+//! ## Endpoints
+//!
+//! | Endpoint | Meaning |
+//! |---|---|
+//! | `POST /run` | a JSON [`RunSpec`] in, the canonical `RunReport` JSON out |
+//! | `GET /scenarios` | the scenario registry |
+//! | `GET /algorithms` | every [`AlgorithmKind`] |
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | requests, cache hits/misses, latency percentiles, in-flight jobs |
+//!
+//! ## Why the cache is sound
+//!
+//! The run layer pins *report determinism*: a `RunReport` (minus wall
+//! time) is a pure function of its spec, for every algorithm kind and
+//! executor. The daemon therefore serves the **canonical body** — the
+//! report JSON with `wall_ms` zeroed, exactly `mmvc run --json
+//! --canonical` — and may memoize it keyed by the canonical serialized
+//! spec ([`cache_key`]): a cache hit is byte-identical to a cold run *by
+//! construction*, and the integration tests prove it byte-for-byte.
+//! File workloads fold a content hash of the edge-list bytes into the
+//! key, so editing the file can never alias a stale entry
+//! (content-addressing, not path-addressing).
+//!
+//! ## Trust model
+//!
+//! The daemon binds `127.0.0.1` by default and trusts its clients the
+//! way `mmvc run` trusts its invoker: `graph_file` names **server-local
+//! paths by design** (that is how user-supplied workloads reach the
+//! driver), so expose the port beyond localhost only behind
+//! authentication. Abuse is still bounded — request heads/bodies, the
+//! served `n` ([`MAX_SERVED_N`]), and graph-file sizes
+//! ([`MAX_GRAPH_FILE_BYTES`]) are all capped, and unparseable file
+//! errors never echo file contents back to the client.
+//!
+//! ## Concurrency discipline
+//!
+//! Connections are handled by a fixed-size
+//! [`mmvc_substrate::WorkerPool`] under the substrate layer's
+//! schedule-independence contract: a response body is a pure function
+//! of the request bytes — never of worker identity, queue position, or
+//! timing — so `--workers 1` and `--workers 32` serve byte-identical
+//! bodies for the same requests. Served runs execute on the round
+//! engine's sequential executor, which by the engine's determinism
+//! contract never changes a reported number.
+//!
+//! ```no_run
+//! use mmvc_serve::{ServeConfig, Server};
+//!
+//! let server = Server::bind(&ServeConfig::default())?;
+//! println!("listening on http://{}", server.local_addr()?);
+//! server.run()?; // blocks; shut down via `server.handle()`
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+
+use cache::ReportCache;
+use metrics::Metrics;
+use mmvc_bench::{report_json, Json};
+use mmvc_core::run::{run_on, AlgorithmKind, RunReport, RunSpec, SpecValue};
+use mmvc_core::CoreError;
+use mmvc_graph::scenarios;
+use mmvc_substrate::{ExecutorConfig, WorkerPool};
+use std::io::BufReader;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How the daemon binds and sizes itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7411` (port 0 = ephemeral).
+    pub addr: String,
+    /// Worker threads handling connections (clamped to at least 1).
+    pub workers: usize,
+    /// Report-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    /// `127.0.0.1:7411`, 4 workers, 512 cached reports.
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7411".to_string(),
+            workers: 4,
+            cache_capacity: 512,
+        }
+    }
+}
+
+/// Per-connection socket timeout: a stalled peer must not pin a worker.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Largest vertex count a served spec may request. The HTTP layer caps
+/// request *bytes*; this caps the *work* a decoded spec can demand — a
+/// four-billion-vertex `n` fits in a tiny body but would pin a worker
+/// for hours and exhaust memory.
+pub const MAX_SERVED_N: usize = 1 << 17;
+
+/// Largest accepted `graph_file` workload, in bytes (checked before the
+/// file is read into memory).
+pub const MAX_GRAPH_FILE_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Shared state behind every worker: the report cache and the traffic
+/// counters.
+struct AppState {
+    cache: Mutex<ReportCache>,
+    metrics: Metrics,
+    workers: usize,
+}
+
+/// The bound daemon: accept loop plus worker pool.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    workers: usize,
+}
+
+/// A remote control for a running [`Server`] (cloneable, thread-safe).
+#[derive(Clone)]
+pub struct ServerHandle {
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+impl ServerHandle {
+    /// Asks the accept loop to exit. Queued and in-flight requests are
+    /// drained before [`Server::run`] returns (the worker pool joins).
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Poke the blocking accept() so it observes the flag.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        }
+        let _ = TcpStream::connect_timeout(&poke, Duration::from_secs(1));
+    }
+}
+
+impl Server {
+    /// Binds the listener and builds the shared state; call
+    /// [`run`](Self::run) to start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let workers = config.workers.max(1);
+        Ok(Server {
+            listener,
+            state: Arc::new(AppState {
+                cache: Mutex::new(ReportCache::new(config.cache_capacity)),
+                metrics: Metrics::new(),
+                workers,
+            }),
+            stop: Arc::new(AtomicBool::new(false)),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that can stop the server from another thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket introspection failure.
+    pub fn handle(&self) -> std::io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            stop: Arc::clone(&self.stop),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called: accepts
+    /// connections and hands each to the worker pool. Returns after all
+    /// accepted requests have been answered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop failures (individual connection errors are
+    /// absorbed and surfaced in `/metrics` instead).
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = WorkerPool::new(self.workers);
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    pool.submit(move || handle_connection(stream, &state));
+                }
+                // Persistent accept failures (e.g. fd exhaustion under a
+                // connection flood) must not busy-spin the accept loop.
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+        drop(pool); // joins workers, draining queued connections
+        Ok(())
+    }
+}
+
+/// One connection: read the request, route it, write the response, and
+/// account for it. All failure modes answer with an error body where the
+/// socket still works, and are dropped silently where it does not.
+fn handle_connection(mut stream: TcpStream, state: &AppState) {
+    let started = Instant::now();
+    state.metrics.bump(&state.metrics.in_flight);
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+
+    let reply = read_and_route(&mut stream, state);
+    if let Some(reply) = reply {
+        if reply.status >= 400 {
+            state.metrics.bump(&state.metrics.errors);
+        }
+        let mut extra: Vec<(&str, &str)> = Vec::new();
+        if let Some(cache_state) = reply.x_cache {
+            extra.push(("x-cache", cache_state));
+        }
+        let _ = http::write_response(&mut stream, reply.status, &extra, &reply.body);
+    }
+
+    state.metrics.bump(&state.metrics.requests);
+    state
+        .metrics
+        .in_flight
+        .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
+    state
+        .metrics
+        .record_latency_ms(started.elapsed().as_secs_f64() * 1e3);
+}
+
+/// A routed response (`None` = connection unusable, drop it).
+struct Reply {
+    status: u16,
+    x_cache: Option<&'static str>,
+    body: Arc<Vec<u8>>,
+}
+
+impl Reply {
+    fn ok(body: Arc<Vec<u8>>) -> Self {
+        Reply {
+            status: 200,
+            x_cache: None,
+            body,
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Reply {
+            status,
+            x_cache: None,
+            body: Arc::new(
+                Json::obj(vec![("error", Json::Str(message.to_string()))])
+                    .render()
+                    .into_bytes(),
+            ),
+        }
+    }
+}
+
+fn read_and_route(stream: &mut TcpStream, state: &AppState) -> Option<Reply> {
+    let mut reader = BufReader::new(stream.try_clone().ok()?);
+    let mut request = match http::read_head(&mut reader) {
+        Ok(request) => request,
+        Err(http::HttpError::Io(_)) => return None,
+        Err(e @ http::HttpError::Malformed(_)) => return Some(Reply::error(400, &e.to_string())),
+        Err(e @ http::HttpError::TooLarge(_)) => return Some(Reply::error(413, &e.to_string())),
+    };
+    if request.content_length > 0 {
+        if request.expect_continue {
+            http::write_continue(stream).ok()?;
+        }
+        if http::read_body(&mut reader, &mut request).is_err() {
+            return None;
+        }
+    }
+    Some(route(&request, state))
+}
+
+/// Maps a parsed request to its reply. Every body except `/metrics` is a
+/// pure function of the request — the worker-pool determinism contract.
+fn route(request: &http::Request, state: &AppState) -> Reply {
+    match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/run") => {
+            state.metrics.bump(&state.metrics.run_requests);
+            handle_run(state, &request.body)
+        }
+        ("GET", "/scenarios") => Reply::ok(Arc::new(scenarios_body())),
+        ("GET", "/algorithms") => Reply::ok(Arc::new(algorithms_body())),
+        ("GET", "/healthz") => Reply::ok(Arc::new(healthz_body())),
+        ("GET", "/metrics") => Reply::ok(Arc::new(metrics_body(state))),
+        (_, "/run" | "/scenarios" | "/algorithms" | "/healthz" | "/metrics") => {
+            Reply::error(405, &format!("method {} not allowed here", request.method))
+        }
+        (_, target) => Reply::error(404, &format!("no such endpoint `{target}`")),
+    }
+}
+
+/// `POST /run`: body → spec → cache lookup → (on miss) execute → cache.
+fn handle_run(state: &AppState, body: &[u8]) -> Reply {
+    let spec = match parse_run_body(body) {
+        Ok(spec) => spec,
+        Err(message) => return Reply::error(400, &message),
+    };
+    if spec.n.is_some_and(|n| n > MAX_SERVED_N) {
+        return Reply::error(
+            400,
+            &format!("invalid parameter `n`: served runs are capped at n = {MAX_SERVED_N}"),
+        );
+    }
+
+    // Resolve the workload's cache identity — and, for file workloads,
+    // the bytes — *once*, so the hash in the key is the hash of exactly
+    // what runs (no read-twice races with concurrent file edits).
+    let file = match &spec.graph_file {
+        Some(path) => {
+            if spec.n.is_some() {
+                return Reply::error(
+                    400,
+                    "invalid parameter `n`: a size override does not apply to a graph file \
+                     workload",
+                );
+            }
+            match std::fs::metadata(path) {
+                Ok(meta) if meta.len() > MAX_GRAPH_FILE_BYTES => {
+                    return Reply::error(
+                        400,
+                        &format!(
+                            "cannot load graph file `{path}`: larger than \
+                             {MAX_GRAPH_FILE_BYTES} bytes"
+                        ),
+                    );
+                }
+                _ => {}
+            }
+            match std::fs::read(path) {
+                Ok(bytes) => Some((path.clone(), bytes)),
+                Err(e) => {
+                    return Reply::error(400, &format!("cannot load graph file `{path}`: {e}"))
+                }
+            }
+        }
+        None => None,
+    };
+    let key = cache_key(&spec, file.as_ref().map(|(_, bytes)| fnv1a(bytes)));
+
+    if let Some(body) = lock_cache(state).get(&key) {
+        state.metrics.bump(&state.metrics.cache_hits);
+        return Reply {
+            status: 200,
+            x_cache: Some("hit"),
+            body,
+        };
+    }
+
+    let report = match &file {
+        Some((path, bytes)) => mmvc_graph::io::read_edge_list(bytes.as_slice())
+            .map_err(|source| CoreError::GraphFile {
+                path: path.clone(),
+                source,
+            })
+            .and_then(|g| run_on(&g, &format!("file:{path}"), &spec)),
+        None => mmvc_core::run::run(&spec),
+    };
+    let report = match report {
+        Ok(report) => report,
+        // A graph-file failure is sanitized: the daemon reads
+        // caller-named server-local paths, and `ReadError::Parse`
+        // echoes the offending line verbatim — relaying that would
+        // disclose the first line of any non-edge-list file a client
+        // cares to probe.
+        Err(CoreError::GraphFile { path, source }) => {
+            use mmvc_graph::io::ReadError;
+            let detail = match source {
+                ReadError::Parse { line, .. } => {
+                    format!("cannot parse line {line} as an edge list")
+                }
+                other => other.to_string(),
+            };
+            return Reply::error(400, &format!("cannot load graph file `{path}`: {detail}"));
+        }
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+
+    let body = Arc::new(canonical_report_body(report));
+    state.metrics.bump(&state.metrics.cache_misses);
+    lock_cache(state).insert(key, Arc::clone(&body));
+    Reply {
+        status: 200,
+        x_cache: Some("miss"),
+        body,
+    }
+}
+
+/// Locks the report cache, recovering from poisoning: cached bodies are
+/// immutable bytes and the LRU bookkeeping is always internally
+/// consistent at lock release, so an unwinding holder cannot leave
+/// anything worth discarding — and one poisoned lock must not turn
+/// every later `/run` into a 500.
+fn lock_cache(state: &AppState) -> std::sync::MutexGuard<'_, ReportCache> {
+    state
+        .cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Decodes and validates a `POST /run` body into a spec ready to
+/// execute: strict JSON, strict fields (via [`RunSpec::from_fields`]),
+/// and the sequential executor (inside a worker thread, fanning out
+/// further buys nothing — and by the round engine's contract the
+/// executor never changes a reported number).
+///
+/// # Errors
+///
+/// A human-readable message describing the first problem found.
+pub fn parse_run_body(body: &[u8]) -> Result<RunSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let Some(doc_fields) = doc.as_obj() else {
+        return Err("request body must be a JSON object".to_string());
+    };
+    let mut fields: Vec<(String, SpecValue)> = Vec::with_capacity(doc_fields.len());
+    for (key, value) in doc_fields {
+        let value = match value {
+            Json::Null => SpecValue::Null,
+            Json::Bool(b) => SpecValue::Bool(*b),
+            Json::Int(v) => SpecValue::Int(*v),
+            Json::Float(v) => SpecValue::Float(*v),
+            Json::Str(s) => SpecValue::Str(s.clone()),
+            Json::Arr(_) | Json::Obj(_) => {
+                return Err(format!("field `{key}` must be a scalar"));
+            }
+        };
+        fields.push((key.clone(), value));
+    }
+    let mut spec = RunSpec::from_fields(&fields).map_err(|e| e.to_string())?;
+    spec.executor = ExecutorConfig::sequential();
+    Ok(spec)
+}
+
+/// The canonical served body for a report: `wall_ms` (the single
+/// nondeterministic field) zeroed, then the deterministic JSON renderer
+/// — exactly the bytes of `mmvc run --json --canonical`.
+pub fn canonical_report_body(mut report: RunReport) -> Vec<u8> {
+    report.wall_ms = 0.0;
+    report_json(&report).render().into_bytes()
+}
+
+/// The content-addressed cache key: the compact canonical serialization
+/// of everything a report depends on. Registry workloads are addressed
+/// by spec alone (reports are pure functions of the spec); file
+/// workloads also carry the FNV-1a hash of the edge-list bytes, so the
+/// key names the *content* that ran, not the path. The executor is
+/// deliberately excluded — by the round engine's contract it never
+/// changes a report — and override knobs are not expressible in
+/// `POST /run` bodies (every served spec carries the defaults).
+pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
+    let workload = match (&spec.graph_file, graph_content_hash) {
+        (Some(path), Some(hash)) => Json::obj(vec![
+            ("graph_file", Json::Str(path.clone())),
+            ("content_hash", Json::Str(format!("{hash:016x}"))),
+        ]),
+        // A file spec without a hash still keys on the path (with the
+        // missing hash explicit) — it must never alias a scenario key
+        // or another file's key.
+        (Some(path), None) => Json::obj(vec![
+            ("graph_file", Json::Str(path.clone())),
+            ("content_hash", Json::Null),
+        ]),
+        (None, _) => Json::obj(vec![("scenario", Json::Str(spec.scenario.clone()))]),
+    };
+    let opt_int = |v: Option<usize>| match v {
+        Some(v) => Json::Int(v as i64),
+        None => Json::Null,
+    };
+    Json::obj(vec![
+        ("schema", Json::Str("mmvc-serve-spec/v1".to_string())),
+        ("algorithm", Json::Str(spec.algorithm.name().to_string())),
+        ("workload", workload),
+        ("n", opt_int(spec.n)),
+        ("eps", Json::Float(spec.eps.get())),
+        ("seed", Json::Str(spec.seed.to_string())),
+        (
+            "budget",
+            Json::obj(vec![
+                ("max_rounds", opt_int(spec.budget.max_rounds)),
+                ("max_load_words", opt_int(spec.budget.max_load_words)),
+            ]),
+        ),
+    ])
+    .render_compact()
+}
+
+/// 64-bit FNV-1a — the content hash for file workloads. Not
+/// cryptographic; it addresses cache entries, it does not authenticate
+/// them.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn healthz_body() -> Vec<u8> {
+    Json::obj(vec![
+        ("status", Json::Str("ok".to_string())),
+        ("service", Json::Str("mmvc-serve".to_string())),
+    ])
+    .render()
+    .into_bytes()
+}
+
+fn scenarios_body() -> Vec<u8> {
+    Json::obj(vec![(
+        "scenarios",
+        Json::Arr(
+            scenarios::all()
+                .iter()
+                .map(|sc| {
+                    Json::obj(vec![
+                        ("name", Json::Str(sc.name.to_string())),
+                        ("default_n", Json::Int(sc.default_n as i64)),
+                        ("description", Json::Str(sc.description.to_string())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+    .render()
+    .into_bytes()
+}
+
+fn algorithms_body() -> Vec<u8> {
+    Json::obj(vec![(
+        "algorithms",
+        Json::Arr(
+            AlgorithmKind::ALL
+                .iter()
+                .map(|kind| {
+                    Json::obj(vec![
+                        ("name", Json::Str(kind.name().to_string())),
+                        ("description", Json::Str(kind.description().to_string())),
+                    ])
+                })
+                .collect(),
+        ),
+    )])
+    .render()
+    .into_bytes()
+}
+
+fn metrics_body(state: &AppState) -> Vec<u8> {
+    let m = &state.metrics;
+    let (p50, p90, p99) = m.latency_percentiles_ms();
+    let cache = lock_cache(state);
+    Json::obj(vec![
+        ("requests", Json::Int(m.read(&m.requests) as i64)),
+        ("run_requests", Json::Int(m.read(&m.run_requests) as i64)),
+        ("errors", Json::Int(m.read(&m.errors) as i64)),
+        (
+            "cache",
+            Json::obj(vec![
+                ("hits", Json::Int(m.read(&m.cache_hits) as i64)),
+                ("misses", Json::Int(m.read(&m.cache_misses) as i64)),
+                ("entries", Json::Int(cache.len() as i64)),
+                ("capacity", Json::Int(cache.capacity() as i64)),
+            ]),
+        ),
+        ("in_flight", Json::Int(m.read(&m.in_flight) as i64)),
+        (
+            "latency_ms",
+            Json::obj(vec![
+                ("p50", Json::Float(p50)),
+                ("p90", Json::Float(p90)),
+                ("p99", Json::Float(p99)),
+            ]),
+        ),
+        ("workers", Json::Int(state.workers as i64)),
+    ])
+    .render()
+    .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_run_body_happy_and_sad() {
+        let spec =
+            parse_run_body(br#"{"algorithm": "greedy-mis", "scenario": "gnp-sparse", "n": 96}"#)
+                .unwrap();
+        assert_eq!(spec.algorithm, AlgorithmKind::GreedyMis);
+        assert_eq!(spec.n, Some(96));
+        assert!(spec.executor.is_sequential(), "served runs are sequential");
+
+        assert!(parse_run_body(b"not json").unwrap_err().contains("JSON"));
+        assert!(parse_run_body(b"[1]").unwrap_err().contains("object"));
+        assert!(parse_run_body(
+            br#"{"algorithm": "greedy-mis", "scenario": "gnp-sparse", "n": [1]}"#
+        )
+        .unwrap_err()
+        .contains("scalar"));
+        assert!(parse_run_body(&[0xFF, 0xFE]).unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn cache_key_separates_every_dimension() {
+        let base = {
+            let mut s = RunSpec::new(AlgorithmKind::GreedyMis, "gnp-sparse");
+            s.n = Some(96);
+            s
+        };
+        let key = cache_key(&base, None);
+        assert!(key.contains("\"scenario\":\"gnp-sparse\""));
+        assert!(!key.contains('\n'), "compact form");
+        assert_eq!(key, cache_key(&base.clone(), None), "stable");
+
+        let mut other = base.clone();
+        other.seed = 43;
+        assert_ne!(cache_key(&other, None), key);
+        let mut other = base.clone();
+        other.n = None;
+        assert_ne!(cache_key(&other, None), key);
+        let mut other = base.clone();
+        other.budget.max_rounds = Some(10);
+        assert_ne!(cache_key(&other, None), key);
+
+        let file = RunSpec::from_file(AlgorithmKind::GreedyMis, "g.txt");
+        let a = cache_key(&file, Some(1));
+        let b = cache_key(&file, Some(2));
+        assert_ne!(a, b, "content hash is part of the address");
+        assert!(a.contains("content_hash"));
+
+        // A file spec without a hash must alias neither a scenario key
+        // nor another file's key.
+        let unhashed = cache_key(&file, None);
+        let other_file = RunSpec::from_file(AlgorithmKind::GreedyMis, "h.txt");
+        assert!(unhashed.contains("g.txt"));
+        assert_ne!(unhashed, cache_key(&other_file, None));
+        let mut empty_scenario = RunSpec::new(AlgorithmKind::GreedyMis, "");
+        empty_scenario.n = file.n;
+        assert_ne!(unhashed, cache_key(&empty_scenario, None));
+    }
+
+    #[test]
+    fn fnv1a_reference_values() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn static_bodies_are_valid_json() {
+        for body in [healthz_body(), scenarios_body(), algorithms_body()] {
+            let text = String::from_utf8(body).unwrap();
+            let doc = Json::parse(&text).unwrap();
+            assert!(doc.as_obj().is_some());
+        }
+        let scenarios_doc = Json::parse(&String::from_utf8(scenarios_body()).unwrap()).unwrap();
+        assert_eq!(
+            scenarios_doc
+                .get("scenarios")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            scenarios::all().len()
+        );
+        let algorithms_doc = Json::parse(&String::from_utf8(algorithms_body()).unwrap()).unwrap();
+        assert_eq!(
+            algorithms_doc
+                .get("algorithms")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .len(),
+            AlgorithmKind::ALL.len()
+        );
+    }
+}

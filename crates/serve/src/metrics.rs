@@ -1,0 +1,124 @@
+//! Served-traffic counters and latency percentiles for `GET /metrics`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many of the most recent request latencies feed the percentile
+/// estimates. A bounded window keeps `/metrics` O(1) memory no matter
+/// how long the daemon runs.
+const LATENCY_WINDOW: usize = 4096;
+
+/// Monotone counters (lock-free) plus a sliding latency window.
+///
+/// Counters are updated with relaxed atomics — they are statistics, not
+/// synchronization — and every reader sees some consistent-enough
+/// snapshot. The latency window sits behind a mutex touched once per
+/// request for a push and once per `/metrics` render for a copy.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests fully served (any endpoint, any status).
+    pub requests: AtomicU64,
+    /// `POST /run` requests served.
+    pub run_requests: AtomicU64,
+    /// Responses with a 4xx/5xx status.
+    pub errors: AtomicU64,
+    /// `POST /run` responses answered from the report cache.
+    pub cache_hits: AtomicU64,
+    /// `POST /run` responses that executed the algorithm.
+    pub cache_misses: AtomicU64,
+    /// Requests currently being handled by some worker.
+    pub in_flight: AtomicU64,
+    latencies_ms: Mutex<VecDeque<f64>>,
+}
+
+impl Metrics {
+    /// A zeroed metrics block.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one finished request's wall time.
+    pub fn record_latency_ms(&self, ms: f64) {
+        let mut window = self
+            .latencies_ms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if window.len() == LATENCY_WINDOW {
+            window.pop_front();
+        }
+        window.push_back(ms);
+    }
+
+    /// `(p50, p90, p99)` over the latency window (zeros when empty).
+    pub fn latency_percentiles_ms(&self) -> (f64, f64, f64) {
+        let snapshot: Vec<f64> = self
+            .latencies_ms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .copied()
+            .collect();
+        percentiles(snapshot)
+    }
+
+    /// Relaxed read of a counter.
+    pub fn read(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+
+    /// Relaxed increment of a counter.
+    pub fn bump(&self, counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// `(p50, p90, p99)` of a sample by the nearest-rank method.
+pub fn percentiles(mut samples: Vec<f64>) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = |p: f64| -> f64 {
+        let idx = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+        samples[idx.clamp(1, samples.len()) - 1]
+    };
+    (rank(50.0), rank(90.0), rank(99.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let m = Metrics::new();
+        m.bump(&m.requests);
+        m.bump(&m.requests);
+        m.bump(&m.cache_hits);
+        assert_eq!(m.read(&m.requests), 2);
+        assert_eq!(m.read(&m.cache_hits), 1);
+        assert_eq!(m.read(&m.cache_misses), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let (p50, p90, p99) = percentiles((1..=100).map(|v| v as f64).collect());
+        assert_eq!(p50, 50.0);
+        assert_eq!(p90, 90.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(percentiles(vec![]), (0.0, 0.0, 0.0));
+        assert_eq!(percentiles(vec![7.5]), (7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW + 100) {
+            m.record_latency_ms(i as f64);
+        }
+        let window = m.latencies_ms.lock().unwrap();
+        assert_eq!(window.len(), LATENCY_WINDOW);
+        assert_eq!(*window.front().unwrap(), 100.0, "oldest samples dropped");
+    }
+}

@@ -22,6 +22,9 @@
 //! * [`ExecutorConfig`] — deterministic sequential/threaded execution of
 //!   per-machine and per-player closures (results byte-identical for any
 //!   thread count);
+//! * [`WorkerPool`] — the streaming counterpart for jobs that arrive
+//!   over time (the serving layer's connection pool), under the same
+//!   schedule-independence discipline;
 //! * [`SubstrateError`] — the substrate-agnostic failure type every
 //!   model-specific error converts into.
 //!
@@ -44,11 +47,13 @@
 mod engine;
 mod error;
 mod executor;
+mod pool;
 mod trace;
 
 pub use engine::RoundLedger;
 pub use error::SubstrateError;
 pub use executor::ExecutorConfig;
+pub use pool::WorkerPool;
 pub use trace::{ExecutionTrace, RoundSummary};
 
 /// A metered execution substrate.

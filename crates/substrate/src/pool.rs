@@ -1,0 +1,301 @@
+//! A fixed-size pool of long-lived worker threads for *streams* of jobs.
+//!
+//! [`ExecutorConfig`](crate::ExecutorConfig) covers the batch case: a
+//! round of `n` tasks known up front, fanned out over scoped threads and
+//! joined before the round ends. A server cannot use that shape — jobs
+//! (connections, requests) arrive over time and must not block the
+//! producer. [`WorkerPool`] is the streaming counterpart: `workers`
+//! threads started once, consuming submitted closures from a shared
+//! queue until the pool is dropped.
+//!
+//! The determinism discipline is the same one the round engine enforces,
+//! restated for streams:
+//!
+//! * the pool guarantees **every submitted job runs exactly once**, but
+//!   makes **no ordering or placement promises** — which worker runs a
+//!   job, and in what interleaving, is scheduling noise;
+//! * therefore a job's *output* must be a pure function of its *input*
+//!   (for `mmvc-serve`: the response body is a function of the request
+//!   bytes alone, never of worker identity, queue position, or shared
+//!   mutable state beyond commutative counters);
+//! * under that rule, any observer that keys results by job identity
+//!   sees identical outcomes for every worker count — the serving analog
+//!   of "`Sequential` and `Threaded{k}` are byte-identical".
+//!
+//! ```
+//! use mmvc_substrate::WorkerPool;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//! use std::sync::Arc;
+//!
+//! let mut pool = WorkerPool::new(4);
+//! let hits = Arc::new(AtomicUsize::new(0));
+//! for _ in 0..100 {
+//!     let hits = Arc::clone(&hits);
+//!     pool.submit(move || {
+//!         hits.fetch_add(1, Ordering::SeqCst);
+//!     });
+//! }
+//! pool.join();
+//! assert_eq!(hits.load(Ordering::SeqCst), 100);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A job: a boxed closure run once on some worker thread.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared queue state between the submitting side and the workers.
+struct PoolState {
+    /// Pending jobs, FIFO. Order of *dequeue* is FIFO too, but jobs on
+    /// different workers still complete in any interleaving.
+    queue: VecDeque<Job>,
+    /// Jobs currently executing on some worker.
+    running: usize,
+    /// Set once by [`WorkerPool::drop`]/[`WorkerPool::join`]; workers
+    /// drain the queue and then exit.
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signals workers (new job / shutdown) and joiners (queue drained).
+    work_cv: Condvar,
+    idle_cv: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads consuming a stream of
+/// submitted jobs (see the module docs for the determinism contract).
+///
+/// Dropping the pool drains every queued job, then joins all workers —
+/// no submitted work is lost.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Starts a pool with `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            idle_cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// The number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues a job for execution on some worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`join`](Self::join) — submitting to a
+    /// stopped pool would silently drop the job.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        if state.shutdown {
+            // Release the lock before panicking so the pool's own Drop
+            // (running during unwind) does not see a poisoned mutex.
+            drop(state);
+            panic!("submit after WorkerPool::join");
+        }
+        state.queue.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Jobs submitted but not yet started.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Blocks until every submitted job has finished, then stops and
+    /// joins all workers. Idempotent; also called by `Drop`.
+    pub fn join(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.shutdown = true;
+            self.shared.work_cv.notify_all();
+            while !state.queue.is_empty() || state.running > 0 {
+                state = self.shared.idle_cv.wait(state).expect("pool lock poisoned");
+            }
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// Decrements `running` (and wakes joiners) even if the job panics, so
+/// a panicking job can never leave [`WorkerPool::join`] waiting forever.
+struct RunningGuard<'a>(&'a PoolShared);
+
+impl Drop for RunningGuard<'_> {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("pool lock poisoned");
+        state.running -= 1;
+        if state.queue.is_empty() && state.running == 0 {
+            self.0.idle_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    state.running += 1;
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_cv.wait(state).expect("pool lock poisoned");
+            }
+        };
+        let _guard = RunningGuard(shared);
+        // A panicking job must not kill its worker: an unwinding thread
+        // would silently shrink the pool (and, once every worker died,
+        // leave queued jobs undrained and `join` waiting forever). The
+        // panic is contained to the job; the worker lives on.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        for workers in [1, 2, 7] {
+            let mut pool = WorkerPool::new(workers);
+            let counter = Arc::new(AtomicUsize::new(0));
+            for _ in 0..250 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            pool.join();
+            assert_eq!(counter.load(Ordering::SeqCst), 250, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn results_keyed_by_job_are_worker_count_independent() {
+        // The serving determinism contract: each job writes a pure
+        // function of its own input into its own slot.
+        let compute = |i: usize| i.wrapping_mul(0x9E37_79B9) ^ (i >> 3);
+        let run = |workers: usize| {
+            let mut pool = WorkerPool::new(workers);
+            let slots: Arc<Vec<AtomicUsize>> =
+                Arc::new((0..64).map(|_| AtomicUsize::new(0)).collect());
+            for i in 0..64 {
+                let slots = Arc::clone(&slots);
+                pool.submit(move || {
+                    slots[i].store(compute(i), Ordering::SeqCst);
+                });
+            }
+            pool.join();
+            slots
+                .iter()
+                .map(|s| s.load(Ordering::SeqCst))
+                .collect::<Vec<_>>()
+        };
+        let base = run(1);
+        for workers in [2, 4, 9] {
+            assert_eq!(run(workers), base);
+        }
+    }
+
+    #[test]
+    fn drop_drains_the_queue() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2);
+            for _ in 0..40 {
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            // Dropped here with jobs likely still queued.
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 40);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn panicking_jobs_do_not_kill_workers() {
+        // Even on a single-worker pool, jobs after a panicking one still
+        // run, and join() completes instead of waiting forever.
+        let mut pool = WorkerPool::new(1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let counter = Arc::clone(&counter);
+            pool.submit(move || {
+                if i % 3 == 0 {
+                    panic!("job {i} exploded");
+                }
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.join();
+        assert_eq!(
+            counter.load(Ordering::SeqCst),
+            13,
+            "non-panicking jobs all ran"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "submit after")]
+    fn submit_after_join_panics() {
+        let mut pool = WorkerPool::new(1);
+        pool.join();
+        pool.submit(|| ());
+    }
+}

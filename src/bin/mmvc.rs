@@ -6,9 +6,10 @@
 //!
 //! ```text
 //! mmvc list                                    # algorithms and scenarios
-//! mmvc run <algorithm> <scenario> [--n N] [--seed S] [--eps E] [--threads K]
-//!          [--max-rounds R] [--max-load W] [--json]
+//! mmvc run <algorithm> <scenario|--graph-file PATH> [--n N] [--seed S] [--eps E]
+//!          [--threads K] [--max-rounds R] [--max-load W] [--json] [--canonical]
 //! mmvc bench [--smoke] [--out PATH]            # algorithm×scenario sweep
+//! mmvc serve [--addr A] [--workers W] [--cache-cap K]   # run-serving daemon
 //! mmvc stats    <graph.txt>
 //! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
 //! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -36,9 +37,10 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   mmvc list
-  mmvc run <algorithm> <scenario> [--n N] [--seed S] [--eps E] [--threads K]
-           [--max-rounds R] [--max-load W] [--json]
+  mmvc run <algorithm> <scenario|--graph-file PATH> [--n N] [--seed S] [--eps E]
+           [--threads K] [--max-rounds R] [--max-load W] [--json] [--canonical]
   mmvc bench [--smoke] [--out PATH]
+  mmvc serve [--addr HOST:PORT] [--workers W] [--cache-cap K]
   mmvc stats    <graph.txt>
   mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
   mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -52,6 +54,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "list" => cmd_list(),
         "run" => cmd_run(args),
         "bench" => cmd_bench(args),
+        "serve" => cmd_serve(args),
         "stats" => cmd_stats(args),
         "mis" => cmd_mis(args),
         "matching" => cmd_matching(args),
@@ -100,24 +103,23 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                     .join(", ")
             )
         })?;
-    let scenario = args.get(2).ok_or_else(|| {
-        format!(
-            "missing scenario (one of: {})",
-            scenarios::names().join(", ")
-        )
-    })?;
+    // The workload: a positional scenario name, or `--graph-file PATH`
+    // for a user-supplied edge list (exactly one of the two).
+    let scenario = args.get(2).filter(|a| !a.starts_with("--"));
+    let flags_from = if scenario.is_some() { 3 } else { 2 };
 
     // Strict flag validation: a mistyped `--max-round` silently dropping
     // a budget would defeat the CI-enforcement use of this command.
-    const VALUE_FLAGS: [&str; 6] = [
+    const VALUE_FLAGS: [&str; 7] = [
         "--n",
         "--seed",
         "--eps",
         "--threads",
         "--max-rounds",
         "--max-load",
+        "--graph-file",
     ];
-    let mut i = 3;
+    let mut i = flags_from;
     while i < args.len() {
         let a = &args[i];
         if VALUE_FLAGS.contains(&a.as_str()) {
@@ -125,14 +127,26 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 return Err(format!("{a} requires a value"));
             }
             i += 2;
-        } else if a == "--json" {
+        } else if a == "--json" || a == "--canonical" {
             i += 1;
         } else {
             return Err(format!("unknown argument `{a}` for `mmvc run`"));
         }
     }
 
-    let mut spec = RunSpec::new(algorithm, scenario);
+    let mut spec = match (scenario, flag_value(args, "--graph-file")) {
+        (Some(scenario), None) => RunSpec::new(algorithm, scenario),
+        (None, Some(path)) => RunSpec::from_file(algorithm, &path),
+        (Some(_), Some(_)) => {
+            return Err("give either a scenario or --graph-file, not both".to_string())
+        }
+        (None, None) => {
+            return Err(format!(
+                "missing workload: a scenario (one of: {}) or --graph-file PATH",
+                scenarios::names().join(", ")
+            ))
+        }
+    };
     spec.n = parse_optional(args, "--n")?;
     spec.seed = parse_seed(args)?;
     spec.eps = parse_eps(args)?;
@@ -142,7 +156,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     let report = mmvc::core::run::run(&spec).map_err(|e| e.to_string())?;
 
-    if args.iter().any(|a| a == "--json") {
+    if args.iter().any(|a| a == "--canonical") {
+        // The exact bytes `mmvc serve` returns and caches for this spec
+        // (wall time — the one nondeterministic field — zeroed).
+        print!(
+            "{}",
+            String::from_utf8_lossy(&mmvc::serve::canonical_report_body(report.clone()))
+        );
+    } else if args.iter().any(|a| a == "--json") {
         print!("{}", mmvc_bench::report_json(&report).render());
     } else {
         println!("algorithm   : {}", report.algorithm.name());
@@ -221,6 +242,48 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     } else {
         Ok(())
     }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use mmvc::serve::{ServeConfig, Server};
+    let mut config = ServeConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        let value = |flag: &str| {
+            args.get(i + 1)
+                .filter(|v| !v.starts_with("--"))
+                .cloned()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match args[i].as_str() {
+            "--addr" => {
+                config.addr = value("--addr")?;
+                i += 2;
+            }
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "invalid --workers".to_string())?;
+                i += 2;
+            }
+            "--cache-cap" => {
+                config.cache_capacity = value("--cache-cap")?
+                    .parse()
+                    .map_err(|_| "invalid --cache-cap".to_string())?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument `{other}` for `mmvc serve`")),
+        }
+    }
+    let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!(
+        "mmvc-serve listening on http://{addr} ({} workers, cache capacity {})",
+        config.workers.max(1),
+        config.cache_capacity
+    );
+    eprintln!("endpoints: POST /run, GET /scenarios, GET /algorithms, GET /healthz, GET /metrics");
+    server.run().map_err(|e| e.to_string())
 }
 
 fn flag_value(args: &[String], flag: &str) -> Option<String> {

@@ -22,7 +22,11 @@
 //!   Corollary 1.4's weighted matching, plus baselines — and the unified
 //!   run driver (`mmvc_core::run`): every algorithm × every named
 //!   scenario (`mmvc_graph::scenarios`) through one `run(spec)` entry
-//!   point with validated witnesses and machine-readable reports.
+//!   point with validated witnesses and machine-readable reports;
+//! * [`serve`] ([`mmvc_serve`]) — the run-serving daemon (`mmvc serve`):
+//!   the driver over HTTP/1.1 with a content-addressed LRU report cache
+//!   (sound because reports are deterministic), plus the `mmvc_loadgen`
+//!   load-generation harness behind `BENCH_serve.json`.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for
 //! claimed-vs-measured results. The `examples/` directory contains
@@ -48,6 +52,7 @@ pub use mmvc_clique as clique;
 pub use mmvc_core as core;
 pub use mmvc_graph as graph;
 pub use mmvc_mpc as mpc;
+pub use mmvc_serve as serve;
 pub use mmvc_substrate as substrate;
 
 /// Convenient single-import surface for the common workflow.

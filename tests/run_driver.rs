@@ -131,3 +131,27 @@ fn unknown_scenario_is_a_clean_error() {
     let err = run(&spec).unwrap_err().to_string();
     assert!(err.contains("unknown scenario"), "got: {err}");
 }
+
+#[test]
+fn graph_file_specs_run_through_the_driver() {
+    // `--graph-file` workloads share the run(spec) entry point with the
+    // registry scenarios: same validation, same deterministic JSON.
+    let path = std::env::temp_dir().join("mmvc_run_driver_graph_file.txt");
+    let path_str = path.to_str().unwrap();
+    let g = build_scenario(&small_spec(AlgorithmKind::GreedyMis, "gnp-sparse")).unwrap();
+    let mut buf = Vec::new();
+    mmvc::graph::io::write_edge_list(&g, &mut buf).unwrap();
+    std::fs::write(&path, &buf).unwrap();
+
+    let mut spec = RunSpec::from_file(AlgorithmKind::GreedyMis, path_str);
+    spec.seed = 7;
+    let a = canonical_json(run(&spec).unwrap());
+    let b = canonical_json(run(&spec).unwrap());
+    assert_eq!(a, b, "file workloads must be byte-deterministic too");
+    assert!(a.contains(&format!("\"scenario\": \"file:{path_str}\"")));
+
+    // Byte-identical to running the same graph via run_on.
+    let direct = canonical_json(run_on(&g, &format!("file:{path_str}"), &spec).unwrap());
+    assert_eq!(a, direct);
+    std::fs::remove_file(&path).ok();
+}
