@@ -1,0 +1,260 @@
+//! `bench_scale` — the million-vertex scale-tier benchmark.
+//!
+//! For every `scale-*` scenario in the registry, measures graph
+//! construction (generator + counting-sort CSR build) under `Sequential`,
+//! `Threaded{2}`, and `Threaded{4}` executors, **verifies the three graphs
+//! are byte-identical** (the determinism contract of the parallel
+//! builder), then times one `greedy-mis` run on the built graph. Results
+//! go to stdout as a table and to `BENCH_scale.json`:
+//!
+//! ```text
+//! cargo run --release -p mmvc-bench --bin bench_scale -- [--smoke] [--out PATH]
+//! ```
+//!
+//! `--smoke` shrinks every scenario to `n = 2^17` (the CI mode). Unlike
+//! `bench_report`, *any* failure — construction divergence across
+//! executors, a failed witness — exits nonzero in both modes: a
+//! determinism break at scale is a bug, never a finding to record.
+
+use mmvc_bench::{Json, Table};
+use mmvc_core::run::{run_on, AlgorithmKind, RunSpec};
+use mmvc_graph::scenarios;
+use mmvc_graph::Graph;
+use mmvc_substrate::ExecutorConfig;
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// The smoke-mode size override (CI): big enough to exercise every
+/// chunked code path, small enough for debug-friendly wall times.
+const SMOKE_N: usize = 1 << 17;
+
+/// Seed for every scale measurement (the tier is deterministic in it).
+const SEED: u64 = 0x5CA1E;
+
+struct ScaleRow {
+    scenario: &'static str,
+    n: usize,
+    edges: usize,
+    max_degree: usize,
+    build_ms_seq: f64,
+    build_ms_t2: f64,
+    build_ms_t4: f64,
+    speedup_t4: f64,
+    byte_identical: bool,
+    graph_mib: f64,
+    algorithm: &'static str,
+    algo_wall_ms: f64,
+    algo_rounds: usize,
+    algo_ok: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_scale [--smoke] [--out PATH]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_scale.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                smoke = true;
+                i += 1;
+            }
+            "--out" => match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out_path = v.clone();
+                    i += 2;
+                }
+                _ => {
+                    eprintln!("error: --out requires a path value");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let executors = [
+        ("seq", ExecutorConfig::sequential()),
+        ("t2", ExecutorConfig::with_threads(2)),
+        ("t4", ExecutorConfig::with_threads(4)),
+    ];
+    let mut rows: Vec<ScaleRow> = Vec::new();
+    let mut failed = false;
+
+    for sc in scenarios::scale_tier() {
+        let n = if smoke { SMOKE_N } else { sc.default_n };
+        // Build under each executor; keep the sequential graph as the
+        // reference, compare the others byte-for-byte (CSR arrays).
+        let mut reference: Option<Graph> = None;
+        let mut build_ms = [0.0f64; 3];
+        let mut byte_identical = true;
+        for (slot, (label, exec)) in executors.iter().enumerate() {
+            let start = Instant::now();
+            let g = match sc.build_with_exec(n, SEED, exec) {
+                Ok(g) => g,
+                Err(e) => {
+                    eprintln!("{}: build failed under {label}: {e}", sc.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            build_ms[slot] = start.elapsed().as_secs_f64() * 1e3;
+            match &reference {
+                None => reference = Some(g),
+                Some(r) => {
+                    if g != *r {
+                        eprintln!(
+                            "{}: graph diverged under {label} — determinism break",
+                            sc.name
+                        );
+                        byte_identical = false;
+                        failed = true;
+                    }
+                }
+            }
+        }
+        let g = reference.expect("sequential build recorded");
+
+        // One algorithm pass on the built graph: the headline MIS kind,
+        // on the widest executor measured above.
+        let mut spec = RunSpec::new(AlgorithmKind::GreedyMis, sc.name);
+        spec.seed = SEED;
+        spec.executor = ExecutorConfig::with_threads(4);
+        let (algo_wall_ms, algo_rounds, algo_ok) = match run_on(&g, sc.name, &spec) {
+            Ok(report) => (report.wall_ms, report.substrate.rounds, report.ok()),
+            Err(e) => {
+                eprintln!("{}: greedy-mis failed: {e}", sc.name);
+                (f64::NAN, 0, false)
+            }
+        };
+        if !algo_ok {
+            failed = true;
+        }
+
+        let row = ScaleRow {
+            scenario: sc.name,
+            n: g.num_vertices(),
+            edges: g.num_edges(),
+            max_degree: g.max_degree(),
+            build_ms_seq: build_ms[0],
+            build_ms_t2: build_ms[1],
+            build_ms_t4: build_ms[2],
+            speedup_t4: build_ms[0] / build_ms[2].max(1e-9),
+            byte_identical,
+            graph_mib: g.memory_bytes() as f64 / (1024.0 * 1024.0),
+            algorithm: "greedy-mis",
+            algo_wall_ms,
+            algo_rounds,
+            algo_ok,
+        };
+        eprintln!(
+            "{:<20} n={:<8} m={:<9} build seq={:.0}ms t4={:.0}ms (x{:.2}) mis={:.0}ms",
+            row.scenario,
+            row.n,
+            row.edges,
+            row.build_ms_seq,
+            row.build_ms_t4,
+            row.speedup_t4,
+            row.algo_wall_ms
+        );
+        rows.push(row);
+    }
+
+    let mut table = Table::new(
+        if smoke {
+            "scale tier (smoke, n = 2^17)"
+        } else {
+            "scale tier"
+        },
+        &[
+            "scenario",
+            "n",
+            "edges",
+            "max_degree",
+            "build_ms_seq",
+            "build_ms_t2",
+            "build_ms_t4",
+            "speedup_t4",
+            "byte_identical",
+            "graph_mib",
+            "algo_wall_ms",
+            "algo_rounds",
+        ],
+    );
+    for r in &rows {
+        table.push(vec![
+            r.scenario.to_string(),
+            r.n.to_string(),
+            r.edges.to_string(),
+            r.max_degree.to_string(),
+            format!("{:.1}", r.build_ms_seq),
+            format!("{:.1}", r.build_ms_t2),
+            format!("{:.1}", r.build_ms_t4),
+            format!("{:.2}", r.speedup_t4),
+            r.byte_identical.to_string(),
+            format!("{:.1}", r.graph_mib),
+            format!("{:.1}", r.algo_wall_ms),
+            r.algo_rounds.to_string(),
+        ]);
+    }
+    table.print();
+
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("mmvc-bench-scale/v1".to_string())),
+        (
+            "mode",
+            Json::Str(if smoke { "smoke" } else { "full" }.to_string()),
+        ),
+        (
+            "host_parallelism",
+            Json::Int(
+                std::thread::available_parallelism()
+                    .map(|p| p.get() as i64)
+                    .unwrap_or(1),
+            ),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                rows.iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("scenario", Json::Str(r.scenario.to_string())),
+                            ("n", Json::Int(r.n as i64)),
+                            ("edges", Json::Int(r.edges as i64)),
+                            ("max_degree", Json::Int(r.max_degree as i64)),
+                            ("build_ms_seq", Json::Float(r.build_ms_seq)),
+                            ("build_ms_t2", Json::Float(r.build_ms_t2)),
+                            ("build_ms_t4", Json::Float(r.build_ms_t4)),
+                            ("speedup_t4", Json::Float(r.speedup_t4)),
+                            ("byte_identical", Json::Bool(r.byte_identical)),
+                            ("graph_mib", Json::Float(r.graph_mib)),
+                            ("algorithm", Json::Str(r.algorithm.to_string())),
+                            ("algo_wall_ms", Json::Float(r.algo_wall_ms)),
+                            ("algo_rounds", Json::Int(r.algo_rounds as i64)),
+                            ("algo_ok", Json::Bool(r.algo_ok)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.render()) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path} ({} rows)", rows.len());
+
+    if failed {
+        eprintln!("error: scale tier had failures (see above)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

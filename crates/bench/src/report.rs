@@ -268,16 +268,19 @@ fn full_n_cap(kind: AlgorithmKind) -> usize {
     }
 }
 
-/// Runs every [`AlgorithmKind`] against every registered scenario.
+/// Runs every [`AlgorithmKind`] against every **base-tier** scenario.
 ///
-/// Smoke mode shrinks all workloads to tiny sizes (for CI); the full
-/// mode uses scenario defaults capped per algorithm family. The executor
-/// comes from `MMVC_EXECUTOR` (see [`executor_from_env`]).
+/// The scale tier (`scale-*`) is deliberately excluded — at its default
+/// sizes it belongs to `bench_scale`, and re-running it capped to base
+/// sizes would only duplicate base rows. Smoke mode shrinks all workloads
+/// to tiny sizes (for CI); the full mode uses scenario defaults capped per
+/// algorithm family. The executor comes from `MMVC_EXECUTOR` (see
+/// [`executor_from_env`]).
 pub fn bench_sweep(smoke: bool) -> Vec<SweepEntry> {
     let executor = executor_from_env();
     let mut entries = Vec::new();
     for kind in AlgorithmKind::ALL {
-        for sc in scenarios::all() {
+        for sc in scenarios::base() {
             let mut spec = RunSpec::new(kind, sc.name);
             spec.seed = 0xBE9C;
             spec.executor = executor;

@@ -130,7 +130,7 @@ pub fn luby_maximal_matching(g: &Graph, seed: u64) -> LubyMatchingOutcome {
     let mis = luby_mis(&line, seed);
     let mut matching = mmvc_graph::matching::Matching::empty(g.num_vertices());
     for &edge_index in mis.mis.members() {
-        let e = g.edges()[edge_index as usize];
+        let e = g.edges().get(edge_index as usize);
         let added = matching.try_add(e.u(), e.v());
         debug_assert!(added, "independent line-graph vertices are disjoint edges");
     }

@@ -92,7 +92,17 @@ pub fn filtering_maximal_matching(
 
     let mut matching = Matching::empty(n);
     // Surviving edge indices (both endpoints unmatched).
-    let mut alive: Vec<u32> = (0..g.num_edges() as u32).collect();
+    // Surviving edges as `(index, u, v)`: the index is the stateless
+    // sampling identity (it feeds `hash3`, so the sampled set is pinned),
+    // the endpoints are decoded from the edge view once, here — the
+    // per-round passes below then touch them in O(1) instead of
+    // re-deriving them from the CSR arrays per probe.
+    let mut alive: Vec<(u32, u32, u32)> = g
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (i as u32, e.u(), e.v()))
+        .collect();
     let mut filter_rounds = 0usize;
     // O(log m) rounds always suffice (edges halve w.h.p.); the cap guards
     // against adversarially unlucky sampling.
@@ -106,12 +116,12 @@ pub fn filtering_maximal_matching(
         // Per-machine local work: every machine samples its share of the
         // surviving edges with the stateless per-edge hash. Flattening the
         // fixed chunks in order reproduces the sequential sample exactly.
-        let sample: Vec<u32> = exec
+        let sample: Vec<(u32, u32, u32)> = exec
             .run_chunked(alive.len(), PAR_CHUNK, |range| {
                 alive[range]
                     .iter()
                     .copied()
-                    .filter(|&ei| {
+                    .filter(|&(ei, _, _)| {
                         mmvc_graph::rng::hash3_unit(config.seed, filter_rounds as u64, ei as u64)
                             < p
                     })
@@ -128,9 +138,8 @@ pub fn filtering_maximal_matching(
         // currently unmatched vertices (all sampled edges qualify since
         // `alive` was filtered already).
         let mut local = Matching::empty(n);
-        for &ei in &sample {
-            let e = g.edges()[ei as usize];
-            local.try_add(e.u(), e.v());
+        for &(_, u, v) in &sample {
+            local.try_add(u, v);
         }
 
         // One MPC round: broadcast newly matched vertices.
@@ -144,10 +153,7 @@ pub fn filtering_maximal_matching(
                 alive[range]
                     .iter()
                     .copied()
-                    .filter(|&ei| {
-                        let e = g.edges()[ei as usize];
-                        !matching.covers(e.u()) && !matching.covers(e.v())
-                    })
+                    .filter(|&(_, u, v)| !matching.covers(u) && !matching.covers(v))
                     .collect::<Vec<_>>()
             })
             .into_iter()
@@ -159,9 +165,8 @@ pub fn filtering_maximal_matching(
     // Final gather: the remaining graph fits on one machine.
     if !alive.is_empty() {
         cluster.round(|r| r.receive(0, 2 * alive.len()))?;
-        for &ei in &alive {
-            let e = g.edges()[ei as usize];
-            matching.try_add(e.u(), e.v());
+        for &(_, u, v) in &alive {
+            matching.try_add(u, v);
         }
     }
 

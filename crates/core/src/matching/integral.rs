@@ -70,15 +70,16 @@ pub struct IntegralMatchingOutcome {
 /// Restricts a fractional matching on `old` to the edge set of `new`
 /// (same vertex id space, `new.edges() ⊆ old.edges()`).
 fn restrict_fractional(old: &Graph, x: &FractionalMatching, new: &Graph) -> FractionalMatching {
-    let old_edges = old.edges();
+    let mut old_edges = old.edges().iter().enumerate();
     let mut weights = Vec::with_capacity(new.num_edges());
-    let mut cursor = 0usize;
     for e in new.edges() {
-        // Both lists are sorted; advance the cursor monotonically.
-        while old_edges[cursor] != *e {
-            cursor += 1;
-        }
-        weights.push(x.edge_weight(cursor));
+        // Both lists are sorted; advance the old-list cursor monotonically.
+        let i = old_edges
+            .by_ref()
+            .find(|(_, oe)| *oe == e)
+            .expect("new.edges() ⊆ old.edges()")
+            .0;
+        weights.push(x.edge_weight(i));
     }
     FractionalMatching::new(new, weights)
         .expect("restriction of a feasible fractional matching is feasible")

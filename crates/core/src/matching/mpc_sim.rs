@@ -251,10 +251,10 @@ impl SimState<'_> {
         self.w0 * self.growth.powi(self.t as i32)
     }
 
-    /// Weight of edge index `i` at the current iteration, `0` if an
-    /// endpoint was removed.
-    fn edge_weight(&self, i: usize) -> f64 {
-        let e = self.g.edges()[i];
+    /// Weight of an edge at the current iteration, `0` if an endpoint was
+    /// removed (endpoint form — every scan iterates the edge view, so no
+    /// per-index decode is ever needed).
+    fn edge_weight_of(&self, e: mmvc_graph::Edge) -> f64 {
         let (u, v) = (e.u() as usize, e.v() as usize);
         if self.removed[u] || self.removed[v] {
             return 0.0;
@@ -266,10 +266,9 @@ impl SimState<'_> {
     /// Exact vertex loads `yᴹᴾᶜ` over `G[V']` at the current iteration.
     fn vertex_weights(&self) -> Vec<f64> {
         let mut y = vec![0.0f64; self.g.num_vertices()];
-        for i in 0..self.g.num_edges() {
-            let w = self.edge_weight(i);
+        for e in self.g.edges() {
+            let w = self.edge_weight_of(e);
             if w > 0.0 {
-                let e = self.g.edges()[i];
                 y[e.u() as usize] += w;
                 y[e.v() as usize] += w;
             }
@@ -453,8 +452,8 @@ pub fn mpc_simulation(
         let active_edges: usize = state
             .exec
             .run_chunked(g.num_edges(), PAR_CHUNK, |range| {
-                g.edges()[range]
-                    .iter()
+                g.edges()
+                    .range(range)
                     .filter(|e| {
                         state.is_active_vertex(e.u() as usize)
                             && state.is_active_vertex(e.v() as usize)
@@ -524,8 +523,7 @@ fn run_phase(
     let mut y_old = vec![0.0f64; n];
     // Active edges of G[V'] (line (a)).
     let mut active_edges: Vec<(u32, u32)> = Vec::new();
-    for i in 0..g.num_edges() {
-        let e = g.edges()[i];
+    for e in g.edges() {
         let (u, v) = (e.u() as usize, e.v() as usize);
         if state.removed[u] || state.removed[v] {
             continue;
@@ -533,7 +531,7 @@ fn run_phase(
         if state.is_active_vertex(u) && state.is_active_vertex(v) {
             active_edges.push((e.u(), e.v()));
         } else {
-            let w = state.edge_weight(i);
+            let w = state.edge_weight_of(e);
             y_old[u] += w;
             y_old[v] += w;
         }
@@ -602,8 +600,7 @@ fn run_phase(
     // Reference step: freeze by *exact* loads with the same thresholds.
     let ref_step = |state: &SimState<'_>, rf: &mut Vec<u32>, tt: u32| -> Vec<f64> {
         let mut y = vec![0.0f64; n];
-        for i in 0..g.num_edges() {
-            let e = g.edges()[i];
+        for e in g.edges() {
             let (u, v) = (e.u() as usize, e.v() as usize);
             if state.removed[u] || state.removed[v] {
                 continue;
@@ -726,8 +723,7 @@ fn run_phase(
         // the same pre-iteration snapshot the estimate uses.
         let ref_y = ref_freeze.as_ref().map(|rf| {
             let mut y = vec![0.0f64; n];
-            for i in 0..g.num_edges() {
-                let e = g.edges()[i];
+            for e in g.edges() {
                 let (u, v) = (e.u() as usize, e.v() as usize);
                 if state.removed[u] || state.removed[v] {
                     continue;
@@ -847,7 +843,7 @@ fn finish(
 ) -> MpcMatchingOutcome {
     let g = state.g;
     let n = g.num_vertices();
-    let x: Vec<f64> = (0..g.num_edges()).map(|i| state.edge_weight(i)).collect();
+    let x: Vec<f64> = g.edges().iter().map(|e| state.edge_weight_of(e)).collect();
     let fractional = FractionalMatching::new(g, x)
         .expect("MPC-Simulation maintains feasibility via removal + exact tail");
 

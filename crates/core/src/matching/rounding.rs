@@ -103,13 +103,13 @@ pub fn round_fractional(
     // Good edges: no other edge of H incident to either endpoint.
     let mut h_degree = vec![0u32; n];
     for &ei in &chosen {
-        let e = g.edges()[ei as usize];
+        let e = g.edges().get(ei as usize);
         h_degree[e.u() as usize] += 1;
         h_degree[e.v() as usize] += 1;
     }
     let mut matching = Matching::empty(n);
     for &ei in &chosen {
-        let e = g.edges()[ei as usize];
+        let e = g.edges().get(ei as usize);
         if h_degree[e.u() as usize] == 1 && h_degree[e.v() as usize] == 1 {
             let added = matching.try_add(e.u(), e.v());
             debug_assert!(added, "good edges are vertex-disjoint by definition");

@@ -99,22 +99,25 @@ pub fn weighted_matching(
     let base = (1.0 + config.eps.get()).ln();
     let class_of = |w: f64| -> i64 { (w.ln() / base).floor() as i64 };
 
-    // Group edge indices by class, heaviest class first.
-    let mut classes: std::collections::BTreeMap<i64, Vec<usize>> =
+    // Group edge endpoints by class (decoded from the edge view once,
+    // here), heaviest class first.
+    let mut classes: std::collections::BTreeMap<i64, Vec<(u32, u32)>> =
         std::collections::BTreeMap::new();
-    for i in 0..g.num_edges() {
-        classes.entry(class_of(wg.weight(i))).or_default().push(i);
+    for (i, e) in g.edges().iter().enumerate() {
+        classes
+            .entry(class_of(wg.weight(i)))
+            .or_default()
+            .push((e.u(), e.v()));
     }
 
     let mut total_rounds = 0usize;
     let mut class_count = 0usize;
-    for (rank, (_, edge_indices)) in classes.iter().rev().enumerate() {
+    for (rank, (_, class_edges)) in classes.iter().rev().enumerate() {
         // Restrict the class to edges between still-free vertices.
-        let pairs: Vec<(u32, u32)> = edge_indices
+        let pairs: Vec<(u32, u32)> = class_edges
             .iter()
-            .map(|&i| g.edges()[i])
-            .filter(|e| !matching.covers(e.u()) && !matching.covers(e.v()))
-            .map(|e| (e.u(), e.v()))
+            .copied()
+            .filter(|&(u, v)| !matching.covers(u) && !matching.covers(v))
             .collect();
         if pairs.is_empty() {
             continue;

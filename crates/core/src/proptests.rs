@@ -71,7 +71,7 @@ proptest! {
             .expect("valid candidates");
         for e in m.edges() {
             prop_assert!(g.has_edge(e.u(), e.v()));
-            let idx = g.edges().binary_search(e).expect("edge of g");
+            let idx = g.edges().index_of(e).expect("edge of g");
             prop_assert!(sim.fractional.edge_weight(idx) > 0.0);
         }
     }

@@ -155,15 +155,24 @@ impl std::fmt::Display for AlgorithmKind {
     }
 }
 
-/// Post-hoc resource limits checked against the measured substrate
-/// quantities; violations are listed in
-/// [`RunReport::budget_violations`].
+/// Resource limits on a run. `max_rounds` and `max_load_words` are
+/// post-hoc checks against the measured substrate quantities (violations
+/// are listed in [`RunReport::budget_violations`]); `max_n` is an
+/// **admission cap** checked *before* the workload is built — a refused
+/// run returns an error instead of a report, which is how callers that
+/// serve untrusted specs (the daemon's `POST /run`) keep the
+/// million-vertex scale tier from pinning a worker unless it was admitted
+/// explicitly.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct RunBudget {
     /// Maximum substrate rounds.
     pub max_rounds: Option<usize>,
     /// Maximum peak per-machine / per-player load, in words.
     pub max_load_words: Option<usize>,
+    /// Admission cap on the workload's vertex count (the scenario's
+    /// effective `n`, or the loaded graph's `num_vertices` for file
+    /// workloads). `None` admits everything, including the scale tier.
+    pub max_n: Option<usize>,
 }
 
 /// Algorithm-specific configuration overrides — the ablation knobs of the
@@ -261,7 +270,7 @@ impl RunSpec {
     /// `graph_file`.
     ///
     /// Accepted keys: `algorithm` (required), `scenario`, `graph_file`,
-    /// `n`, `eps`, `seed`, `max_rounds`, `max_load_words`. A
+    /// `n`, `eps`, `seed`, `max_rounds`, `max_load_words`, `max_n`. A
     /// [`SpecValue::Null`] value means "use the default", exactly like
     /// omitting the key.
     ///
@@ -356,12 +365,13 @@ impl RunSpec {
             "max_load_words" => {
                 self.budget.max_load_words = Some(value.expect_usize("max_load_words")?)
             }
+            "max_n" => self.budget.max_n = Some(value.expect_usize("max_n")?),
             other => {
                 return Err(CoreError::InvalidParameter {
                     name: "spec",
                     message: format!(
                         "unknown field `{other}` (accepted: algorithm, scenario, graph_file, \
-                         n, eps, seed, max_rounds, max_load_words)"
+                         n, eps, seed, max_rounds, max_load_words, max_n)"
                     ),
                 })
             }
@@ -681,7 +691,21 @@ pub fn build_scenario(spec: &RunSpec) -> Result<Graph, CoreError> {
         ),
     })?;
     let n = spec.n.unwrap_or(sc.default_n);
-    Ok(sc.build_with(n, spec.seed)?)
+    if let Some(cap) = spec.budget.max_n {
+        if n > cap {
+            return Err(CoreError::InvalidParameter {
+                name: "n",
+                message: format!(
+                    "workload size {n} exceeds the admission cap max_n = {cap} \
+                     (scale-tier scenarios must be admitted explicitly)"
+                ),
+            });
+        }
+    }
+    // The spec's executor drives graph construction too: by the
+    // generators' determinism contract it changes build wall time only,
+    // never the graph.
+    Ok(sc.build_with_exec(n, spec.seed, &spec.executor)?)
 }
 
 /// Resolves the spec's workload: the registry scenario, or — when
@@ -712,8 +736,14 @@ pub fn build_workload(spec: &RunSpec) -> Result<(Graph, String), CoreError> {
             };
             let file = std::fs::File::open(path)
                 .map_err(|e| graph_file_err(mmvc_graph::io::ReadError::Io(e)))?;
-            let g = mmvc_graph::io::read_edge_list(std::io::BufReader::new(file))
-                .map_err(graph_file_err)?;
+            // The admission cap applies before the CSR arrays are
+            // allocated — a tiny file declaring a huge vertex count must
+            // be refused by arithmetic, not by OOM.
+            let g = mmvc_graph::io::read_edge_list_capped(
+                std::io::BufReader::new(file),
+                spec.budget.max_n,
+            )
+            .map_err(graph_file_err)?;
             Ok((g, format!("file:{path}")))
         }
         None => Ok((build_scenario(spec)?, spec.scenario.clone())),
@@ -754,6 +784,20 @@ pub fn run_detailed(
     label: &str,
     spec: &RunSpec,
 ) -> Result<(RunReport, RunArtifacts), CoreError> {
+    // The admission cap guards every entry point, including file
+    // workloads and caller-supplied graphs (the registry path already
+    // refused before building — this is the backstop).
+    if let Some(cap) = spec.budget.max_n {
+        if g.num_vertices() > cap {
+            return Err(CoreError::InvalidParameter {
+                name: "n",
+                message: format!(
+                    "workload has {} vertices, exceeding the admission cap max_n = {cap}",
+                    g.num_vertices()
+                ),
+            });
+        }
+    }
     let start = std::time::Instant::now();
     let (witnesses, substrate, trace, metrics, artifacts) = dispatch(g, spec)?;
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -7,11 +7,79 @@
 //! used as worst cases and unit-test fixtures.
 //!
 //! All generators are deterministic in their `seed` argument.
+//!
+//! # Parallel generation
+//!
+//! The hot generators ([`gnp`], [`gnm`], [`bipartite_gnp`],
+//! [`barabasi_albert`], [`random_geometric`]) have `*_with` variants that
+//! chunk the sampling over an [`ExecutorConfig`]. The decomposition is
+//! **caller-fixed** — chunk boundaries and per-chunk RNG streams are
+//! functions of `(n, seed)` alone, never of the thread count — so the output
+//! graph is *thread-count-invariant*: `Sequential` and `Threaded{k}` produce
+//! byte-identical graphs for every `k`. Chunk 0 continues the historical
+//! sequential stream (`chunk_rng`), so every workload small enough to fit
+//! one chunk (all the pinned scenario sizes) is bit-identical to the
+//! generators the regression pins froze.
 
 use crate::error::GraphError;
-use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::graph::{Edge, Graph, GraphBuilder, VertexId};
+use crate::rng::hash2;
+use mmvc_substrate::ExecutorConfig;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+/// Left-rows per task in the chunked `G(n,p)` sampler. Set to 2¹⁶ so that
+/// every historically measured workload — the experiment binaries sweep
+/// `gnp` up to `n = 2¹⁶` (E1) — stays on the single-chunk (legacy-stream)
+/// path; only the scale tier (`n ≥ 2²⁰`) actually chunks.
+const GNP_ROW_CHUNK: usize = 1 << 16;
+
+/// Sample quota per task in the chunked `G(n,m)` sampler.
+const GNM_CHUNK: usize = 1 << 16;
+
+/// Below this many cross pairs, [`bipartite_gnp`] keeps the historical
+/// per-pair Bernoulli stream (the pinned path); above it, geometric skip
+/// sampling takes over — at the scale-tier sizes the per-pair loop would be
+/// `Θ(n²)` coin flips.
+const BIP_DENSE_MAX_PAIRS: usize = 1 << 23;
+
+/// Left rows per task in the skip-sampling bipartite path.
+const BIP_ROW_CHUNK: usize = 1 << 12;
+
+/// Below this `n`, [`barabasi_albert`] runs the historical exact sequential
+/// process; above it, attachment is batched into fixed windows (see
+/// [`barabasi_albert_with`]).
+const BA_EXACT_MAX: usize = 1 << 13;
+
+/// Vertices per attachment window in the batched Barabási–Albert path.
+const BA_WINDOW: usize = 1 << 12;
+
+/// Points per task in the chunked geometric-graph sampler.
+const GEO_POINT_CHUNK: usize = 1 << 13;
+
+/// Grid cells per task in the geometric edge scan.
+const GEO_CELL_CHUNK: usize = 1 << 12;
+
+/// The RNG of sampling chunk `chunk` for a generator seeded with `seed`.
+///
+/// Chunk 0 **is** the historical sequential stream, so any graph that fits
+/// in one chunk is bit-identical to the pre-parallel generators (that is
+/// what keeps the regression pins frozen). Later chunks get independent
+/// streams derived from `(seed, chunk)` — never from the thread count.
+fn chunk_rng(seed: u64, chunk: usize) -> SmallRng {
+    if chunk == 0 {
+        SmallRng::seed_from_u64(seed)
+    } else {
+        SmallRng::seed_from_u64(hash2(seed, chunk as u64))
+    }
+}
+
+/// Capacity estimate for a Binomial(`pairs`, `p`) edge count: the mean plus
+/// four standard deviations (reallocations are then vanishingly rare).
+fn binomial_capacity(pairs: f64, p: f64) -> usize {
+    let mean = pairs * p;
+    (mean + 4.0 * (mean.max(1.0)).sqrt() + 16.0) as usize
+}
 
 /// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
 /// probability `p`.
@@ -32,43 +100,75 @@ use rand::{Rng, SeedableRng};
 /// # Ok::<(), mmvc_graph::GraphError>(())
 /// ```
 pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
+    gnp_with(n, p, seed, &ExecutorConfig::default())
+}
+
+/// [`gnp`] with an explicit executor: row ranges of fixed size are sampled
+/// in parallel, each from its own seed-derived RNG stream (`chunk_rng`),
+/// so the graph is byte-identical for every thread count — and identical to
+/// the historical sequential generator whenever the rows fit one chunk.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn gnp_with(n: usize, p: f64, seed: u64, exec: &ExecutorConfig) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) || p.is_nan() {
         return Err(GraphError::InvalidParameter {
             name: "p",
             message: format!("edge probability must be in [0, 1], got {p}"),
         });
     }
-    let mut b = GraphBuilder::new(n);
     if p == 0.0 || n < 2 {
-        return Ok(b.build());
+        return Ok(GraphBuilder::new(n).build());
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
     if p == 1.0 {
-        for u in 0..n as u32 {
-            for v in (u + 1)..n as u32 {
-                b.add_edge(u, v).expect("in range");
-            }
-        }
-        return Ok(b.build());
+        return Ok(complete(n));
     }
+    let pairs = n as f64 * (n - 1) as f64 / 2.0;
+    let mut b = GraphBuilder::with_capacity(n, binomial_capacity(pairs, p));
     // Geometric skip sampling: per row `u`, jump between successive
     // successes of a Bernoulli(p) stream over columns `u+1..n`, so the
     // running time is proportional to the number of edges generated.
     let log_q = (1.0 - p).ln();
-    for row in 0..(n - 1) as u32 {
-        let mut col = row as i64; // previous column; first candidate is row+1
-        loop {
-            let r: f64 = rng.gen::<f64>();
-            // Number of failures before next success in Bernoulli(p) stream.
-            let skip = ((1.0 - r).ln() / log_q).floor() as i64;
-            col += 1 + skip.max(0);
-            if col >= n as i64 {
-                break;
+    let rows = n - 1;
+    let sample_rows = |rng: &mut SmallRng, lo: usize, hi: usize, out: &mut Vec<Edge>| {
+        for row in lo..hi {
+            let mut col = row as i64; // previous column; first candidate is row+1
+            loop {
+                let r: f64 = rng.gen::<f64>();
+                // Failures before the next success in the Bernoulli(p) stream.
+                let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+                col += 1 + skip.max(0);
+                if col >= n as i64 {
+                    break;
+                }
+                out.push(Edge::new(row as u32, col as u32));
             }
-            b.add_edge(row, col as u32).expect("in range");
+        }
+    };
+    let tasks = rows.div_ceil(GNP_ROW_CHUNK);
+    if tasks <= 1 {
+        let mut rng = chunk_rng(seed, 0);
+        let mut out = Vec::new();
+        sample_rows(&mut rng, 0, rows, &mut out);
+        b.extend_edges(out).expect("in range");
+    } else {
+        let chunks: Vec<Vec<Edge>> = exec.run(tasks, |c| {
+            let mut rng = chunk_rng(seed, c);
+            let lo = c * GNP_ROW_CHUNK;
+            let hi = (lo + GNP_ROW_CHUNK).min(rows);
+            // Rows [lo, hi) own columns (row, n): expected count per row
+            // is p·(n−1−row).
+            let row_pairs: f64 = (lo..hi).map(|r| (n - 1 - r) as f64).sum();
+            let mut out = Vec::with_capacity(binomial_capacity(row_pairs, p));
+            sample_rows(&mut rng, lo, hi, &mut out);
+            out
+        });
+        for chunk in chunks {
+            b.extend_edges(chunk).expect("in range");
         }
     }
-    Ok(b.build())
+    Ok(b.build_with(exec))
 }
 
 /// Erdős–Rényi `G(n, m)`: `m` distinct edges chosen uniformly at random.
@@ -77,6 +177,19 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Result<Graph, GraphError> {
 ///
 /// Returns [`GraphError::InvalidParameter`] if `m` exceeds `n·(n−1)/2`.
 pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
+    gnm_with(n, m, seed, &ExecutorConfig::default())
+}
+
+/// [`gnm`] with an explicit executor. Fixed-size sample quotas are drawn in
+/// parallel, one seed-derived RNG stream per quota chunk; cross-chunk
+/// collisions are deduplicated in chunk order and a final sequential
+/// top-up stream (chunk index `tasks`) replaces them, so exactly `m`
+/// distinct edges come out regardless of thread count.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m` exceeds `n·(n−1)/2`.
+pub fn gnm_with(n: usize, m: usize, seed: u64, exec: &ExecutorConfig) -> Result<Graph, GraphError> {
     let max_m = n.saturating_mul(n.saturating_sub(1)) / 2;
     if m > max_m {
         return Err(GraphError::InvalidParameter {
@@ -84,36 +197,70 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
             message: format!("requested {m} edges but K_{n} has only {max_m}"),
         });
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, m);
-    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
-    // Rejection sampling is fine while m ≤ max_m/2; otherwise sample the
-    // complement.
-    if m * 2 <= max_m {
-        while chosen.len() < m {
-            let u = rng.gen_range(0..n as u32);
-            let v = rng.gen_range(0..n as u32);
-            if u == v {
-                continue;
+    let sample_distinct =
+        |rng: &mut SmallRng, quota: usize, set: &mut std::collections::HashSet<(u32, u32)>| {
+            while set.len() < quota {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u == v {
+                    continue;
+                }
+                let key = if u < v { (u, v) } else { (v, u) };
+                set.insert(key);
             }
-            let key = if u < v { (u, v) } else { (v, u) };
-            chosen.insert(key);
-        }
-        for (u, v) in chosen {
-            b.add_edge(u, v).expect("in range");
+        };
+    // Rejection sampling is fine while m ≤ max_m/2; otherwise sample the
+    // complement (dense graphs are necessarily small — sequential is fine).
+    if m * 2 <= max_m {
+        let tasks = m.div_ceil(GNM_CHUNK).max(1);
+        if tasks <= 1 {
+            // The historical single-stream path, bit-for-bit.
+            let mut rng = chunk_rng(seed, 0);
+            let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+            sample_distinct(&mut rng, m, &mut chosen);
+            for (u, v) in chosen {
+                b.add_edge(u, v).expect("in range");
+            }
+        } else {
+            let samples: Vec<Vec<(u32, u32)>> = exec.run(tasks, |c| {
+                let quota = GNM_CHUNK.min(m - c * GNM_CHUNK);
+                let mut rng = chunk_rng(seed, c);
+                let mut local = std::collections::HashSet::with_capacity(quota * 2);
+                sample_distinct(&mut rng, quota, &mut local);
+                let mut local: Vec<(u32, u32)> = local.into_iter().collect();
+                local.sort_unstable();
+                local
+            });
+            let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+            for chunk in samples {
+                for (u, v) in chunk {
+                    if chosen.insert((u, v)) {
+                        b.add_edge(u, v).expect("in range");
+                    }
+                }
+            }
+            // Cross-chunk collisions left a shortfall; top up from a
+            // dedicated stream (deterministic: the stream and the set
+            // contents are both thread-count-independent).
+            let mut rng = chunk_rng(seed, tasks);
+            while chosen.len() < m {
+                let u = rng.gen_range(0..n as u32);
+                let v = rng.gen_range(0..n as u32);
+                if u == v {
+                    continue;
+                }
+                let key = if u < v { (u, v) } else { (v, u) };
+                if chosen.insert(key) {
+                    b.add_edge(key.0, key.1).expect("in range");
+                }
+            }
         }
     } else {
+        let mut rng = SmallRng::seed_from_u64(seed);
         let holes = max_m - m;
         let mut removed = std::collections::HashSet::with_capacity(holes * 2);
-        while removed.len() < holes {
-            let u = rng.gen_range(0..n as u32);
-            let v = rng.gen_range(0..n as u32);
-            if u == v {
-                continue;
-            }
-            let key = if u < v { (u, v) } else { (v, u) };
-            removed.insert(key);
-        }
+        sample_distinct(&mut rng, holes, &mut removed);
         for u in 0..n as u32 {
             for v in (u + 1)..n as u32 {
                 if !removed.contains(&(u, v)) {
@@ -122,7 +269,7 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Result<Graph, GraphError> {
             }
         }
     }
-    Ok(b.build())
+    Ok(b.build_with(exec))
 }
 
 /// Random bipartite graph: sides `0..n_left` and `n_left..n_left+n_right`,
@@ -137,6 +284,26 @@ pub fn bipartite_gnp(
     p: f64,
     seed: u64,
 ) -> Result<Graph, GraphError> {
+    bipartite_gnp_with(n_left, n_right, p, seed, &ExecutorConfig::default())
+}
+
+/// [`bipartite_gnp`] with an explicit executor. Below
+/// `BIP_DENSE_MAX_PAIRS` cross pairs this is the historical per-pair
+/// Bernoulli stream (bit-for-bit — the path the scenario pins froze);
+/// above it, rows are chunked and sampled with geometric skips, one
+/// seed-derived RNG stream per chunk, so a `2^38`-pair scale workload
+/// costs `O(|E|)` draws instead of `Θ(n²)` and is thread-count-invariant.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] unless `0 ≤ p ≤ 1`.
+pub fn bipartite_gnp_with(
+    n_left: usize,
+    n_right: usize,
+    p: f64,
+    seed: u64,
+    exec: &ExecutorConfig,
+) -> Result<Graph, GraphError> {
     if !(0.0..=1.0).contains(&p) || p.is_nan() {
         return Err(GraphError::InvalidParameter {
             name: "p",
@@ -144,16 +311,48 @@ pub fn bipartite_gnp(
         });
     }
     let n = n_left + n_right;
-    let mut b = GraphBuilder::new(n);
-    let mut rng = SmallRng::seed_from_u64(seed);
-    for u in 0..n_left as u32 {
-        for v in 0..n_right as u32 {
-            if rng.gen::<f64>() < p {
-                b.add_edge(u, n_left as u32 + v).expect("in range");
+    let pairs = n_left.saturating_mul(n_right);
+    if pairs <= BIP_DENSE_MAX_PAIRS || p == 1.0 {
+        let mut b = GraphBuilder::with_capacity(n, binomial_capacity(pairs as f64, p));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for u in 0..n_left as u32 {
+            for v in 0..n_right as u32 {
+                if rng.gen::<f64>() < p {
+                    b.add_edge(u, n_left as u32 + v).expect("in range");
+                }
             }
         }
+        return Ok(b.build_with(exec));
     }
-    Ok(b.build())
+    let mut b = GraphBuilder::with_capacity(n, binomial_capacity(pairs as f64, p));
+    if p > 0.0 {
+        let log_q = (1.0 - p).ln();
+        let tasks = n_left.div_ceil(BIP_ROW_CHUNK);
+        let chunks: Vec<Vec<Edge>> = exec.run(tasks, |c| {
+            let mut rng = chunk_rng(seed, c);
+            let lo = c * BIP_ROW_CHUNK;
+            let hi = (lo + BIP_ROW_CHUNK).min(n_left);
+            let row_pairs = (hi - lo) as f64 * n_right as f64;
+            let mut out = Vec::with_capacity(binomial_capacity(row_pairs, p));
+            for row in lo..hi {
+                let mut col = -1i64; // first candidate is column 0
+                loop {
+                    let r: f64 = rng.gen::<f64>();
+                    let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+                    col += 1 + skip.max(0);
+                    if col >= n_right as i64 {
+                        break;
+                    }
+                    out.push(Edge::new(row as u32, (n_left as i64 + col) as u32));
+                }
+            }
+            out
+        });
+        for chunk in chunks {
+            b.extend_edges(chunk).expect("in range");
+        }
+    }
+    Ok(b.build_with(exec))
 }
 
 /// Chung–Lu random graph with expected degree sequence `weights`:
@@ -175,7 +374,8 @@ pub fn chung_lu(weights: &[f64], seed: u64) -> Result<Graph, GraphError> {
         });
     }
     let total: f64 = weights.iter().sum();
-    let mut b = GraphBuilder::new(n);
+    // The expected edge count is at most Σ_{u<v} w_u·w_v / Σw ≤ Σw / 2.
+    let mut b = GraphBuilder::with_capacity(n, binomial_capacity(total / 2.0, 1.0));
     if n < 2 || total <= 0.0 {
         if n > 0 && total <= 0.0 && !weights.is_empty() {
             // All-zero weights: valid, produces the empty graph.
@@ -237,7 +437,7 @@ pub fn power_law(n: usize, beta: f64, avg_degree: f64, seed: u64) -> Result<Grap
 
 /// The complete graph `K_n`.
 pub fn complete(n: usize) -> Graph {
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(n.saturating_sub(1)) / 2);
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
             b.add_edge(u, v).expect("in range");
@@ -248,7 +448,7 @@ pub fn complete(n: usize) -> Graph {
 
 /// The path `P_n` on `n` vertices (`n − 1` edges).
 pub fn path(n: usize) -> Graph {
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for v in 1..n as u32 {
         b.add_edge(v - 1, v).expect("in range");
     }
@@ -258,7 +458,7 @@ pub fn path(n: usize) -> Graph {
 /// The cycle `C_n` (requires `n >= 3` to be simple; smaller `n` degrades to
 /// a path).
 pub fn cycle(n: usize) -> Graph {
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n);
     for v in 1..n as u32 {
         b.add_edge(v - 1, v).expect("in range");
     }
@@ -270,7 +470,7 @@ pub fn cycle(n: usize) -> Graph {
 
 /// The star `K_{1,n−1}` with center `0`.
 pub fn star(n: usize) -> Graph {
-    let mut b = GraphBuilder::new(n);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
     for v in 1..n as u32 {
         b.add_edge(0, v).expect("in range");
     }
@@ -279,9 +479,18 @@ pub fn star(n: usize) -> Graph {
 
 /// The `rows × cols` grid graph.
 pub fn grid(rows: usize, cols: usize) -> Graph {
+    grid_with(rows, cols, &ExecutorConfig::default())
+}
+
+/// [`grid`] with an explicit executor. Edge enumeration is deterministic
+/// and cheap; the executor drives the CSR build, which dominates at the
+/// scale tier.
+pub fn grid_with(rows: usize, cols: usize, exec: &ExecutorConfig) -> Graph {
     let n = rows * cols;
     let id = |r: usize, c: usize| (r * cols + c) as VertexId;
-    let mut b = GraphBuilder::new(n);
+    // Exactly rows·(cols−1) horizontal + (rows−1)·cols vertical edges.
+    let m = rows * cols.saturating_sub(1) + rows.saturating_sub(1) * cols;
+    let mut b = GraphBuilder::with_capacity(n, m);
     for r in 0..rows {
         for c in 0..cols {
             if c + 1 < cols {
@@ -292,12 +501,12 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
             }
         }
     }
-    b.build()
+    b.build_with(exec)
 }
 
 /// The complete bipartite graph `K_{a,b}` (left side `0..a`).
 pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
-    let mut b = GraphBuilder::new(a + b_size);
+    let mut b = GraphBuilder::with_capacity(a + b_size, a * b_size);
     for u in 0..a as u32 {
         for v in 0..b_size as u32 {
             b.add_edge(u, a as u32 + v).expect("in range");
@@ -309,7 +518,7 @@ pub fn complete_bipartite(a: usize, b_size: usize) -> Graph {
 /// A disjoint union of `k` copies of `g` (vertex ids shifted per copy).
 pub fn disjoint_union(g: &Graph, k: usize) -> Graph {
     let n = g.num_vertices();
-    let mut b = GraphBuilder::new(n * k);
+    let mut b = GraphBuilder::with_capacity(n * k, g.num_edges() * k);
     for copy in 0..k {
         let off = (copy * n) as u32;
         for e in g.edges() {
@@ -323,7 +532,7 @@ pub fn disjoint_union(g: &Graph, k: usize) -> Graph {
 /// the extremal instance where a maximum matching equals `n/2` and the MIS
 /// equals `n/2`.
 pub fn disjoint_edges(k: usize) -> Graph {
-    let mut b = GraphBuilder::new(2 * k);
+    let mut b = GraphBuilder::with_capacity(2 * k, k);
     for i in 0..k as u32 {
         b.add_edge(2 * i, 2 * i + 1).expect("in range");
     }
@@ -343,6 +552,22 @@ pub fn disjoint_edges(k: usize) -> Graph {
 /// Returns [`GraphError::InvalidParameter`] if `noise_avg_degree` is
 /// negative or not finite.
 pub fn planted_matching(n: usize, noise_avg_degree: f64, seed: u64) -> Result<Graph, GraphError> {
+    planted_matching_with(n, noise_avg_degree, seed, &ExecutorConfig::default())
+}
+
+/// [`planted_matching`] with an explicit executor (the noise layer is a
+/// [`gnp_with`] draw, which carries the parallelism).
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `noise_avg_degree` is
+/// negative or not finite.
+pub fn planted_matching_with(
+    n: usize,
+    noise_avg_degree: f64,
+    seed: u64,
+    exec: &ExecutorConfig,
+) -> Result<Graph, GraphError> {
     if !noise_avg_degree.is_finite() || noise_avg_degree < 0.0 {
         return Err(GraphError::InvalidParameter {
             name: "noise_avg_degree",
@@ -354,7 +579,7 @@ pub fn planted_matching(n: usize, noise_avg_degree: f64, seed: u64) -> Result<Gr
     } else {
         0.0
     };
-    let noise = gnp(n, p, seed)?;
+    let noise = gnp_with(n, p, seed, exec)?;
     let mut b = GraphBuilder::with_capacity(n, noise.num_edges() + n / 2);
     for i in 0..(n / 2) as u32 {
         b.add_edge(2 * i, 2 * i + 1).expect("in range");
@@ -362,7 +587,7 @@ pub fn planted_matching(n: usize, noise_avg_degree: f64, seed: u64) -> Result<Gr
     for e in noise.edges() {
         b.add_edge(e.u(), e.v()).expect("in range");
     }
-    Ok(b.build())
+    Ok(b.build_with(exec))
 }
 
 /// Barabási–Albert preferential attachment: starts from a small clique and
@@ -377,19 +602,46 @@ pub fn planted_matching(n: usize, noise_avg_degree: f64, seed: u64) -> Result<Gr
 /// Returns [`GraphError::InvalidParameter`] if `m_attach == 0` or
 /// `m_attach >= n`.
 pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, GraphError> {
+    barabasi_albert_with(n, m_attach, seed, &ExecutorConfig::default())
+}
+
+/// [`barabasi_albert`] with an explicit executor.
+///
+/// Below `BA_EXACT_MAX` vertices this is the historical exact sequential
+/// process (the path the scenario pins froze). Above it, attachment is
+/// *batched*: vertices arrive in fixed windows of `BA_WINDOW`, every
+/// vertex in a window samples its targets from the degree distribution as
+/// of the window's start (per-vertex RNG streams derived from
+/// `(seed, vertex)`), and the endpoint list is extended in vertex order
+/// between windows. This is the standard delayed-update parallelization of
+/// preferential attachment: within-window degree updates are deferred —
+/// a `O(window/n)` perturbation of the attachment probabilities — in
+/// exchange for embarrassingly parallel windows and thread-count-invariant
+/// output.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `m_attach == 0` or
+/// `m_attach >= n`.
+pub fn barabasi_albert_with(
+    n: usize,
+    m_attach: usize,
+    seed: u64,
+    exec: &ExecutorConfig,
+) -> Result<Graph, GraphError> {
     if m_attach == 0 || m_attach >= n.max(1) {
         return Err(GraphError::InvalidParameter {
             name: "m_attach",
             message: format!("need 0 < m_attach < n, got {m_attach} with n = {n}"),
         });
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
-    // Seed clique on m_attach + 1 vertices.
     let seed_size = m_attach + 1;
+    let total_edges = seed_size * (seed_size - 1) / 2 + (n - seed_size) * m_attach;
+    let mut b = GraphBuilder::with_capacity(n, total_edges);
     // Repeated-endpoints list: sampling a uniform element is sampling
     // proportional to degree.
-    let mut endpoints: Vec<VertexId> = Vec::new();
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * total_edges);
+    // Seed clique on m_attach + 1 vertices.
     for u in 0..seed_size as u32 {
         for v in (u + 1)..seed_size as u32 {
             b.add_edge(u, v).expect("in range");
@@ -397,25 +649,58 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, Gr
             endpoints.push(v);
         }
     }
-    for v in seed_size as u32..n as u32 {
-        let mut targets = std::collections::HashSet::with_capacity(m_attach * 2);
-        // Rejection-sample distinct targets by degree.
-        while targets.len() < m_attach {
-            let t = endpoints[rng.gen_range(0..endpoints.len())];
-            targets.insert(t);
+    if n <= BA_EXACT_MAX {
+        // Historical exact process, bit-for-bit.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for v in seed_size as u32..n as u32 {
+            let mut targets = std::collections::HashSet::with_capacity(m_attach * 2);
+            // Rejection-sample distinct targets by degree.
+            while targets.len() < m_attach {
+                let t = endpoints[rng.gen_range(0..endpoints.len())];
+                targets.insert(t);
+            }
+            // Sort before inserting: HashSet iteration order would otherwise
+            // leak into the endpoints list (and thus later samples), making
+            // the generator nondeterministic across processes.
+            let mut targets: Vec<VertexId> = targets.into_iter().collect();
+            targets.sort_unstable();
+            for t in targets {
+                b.add_edge(v, t).expect("in range");
+                endpoints.push(v);
+                endpoints.push(t);
+            }
         }
-        // Sort before inserting: HashSet iteration order would otherwise
-        // leak into the endpoints list (and thus later samples), making
-        // the generator nondeterministic across processes.
-        let mut targets: Vec<VertexId> = targets.into_iter().collect();
-        targets.sort_unstable();
-        for t in targets {
-            b.add_edge(v, t).expect("in range");
-            endpoints.push(v);
-            endpoints.push(t);
-        }
+        return Ok(b.build_with(exec));
     }
-    Ok(b.build())
+    // Batched windows: sample in parallel from the frozen prefix, apply
+    // updates in vertex order between windows.
+    let mut next = seed_size;
+    while next < n {
+        let hi = (next + BA_WINDOW).min(n);
+        let frozen = endpoints.len();
+        let batch: Vec<Vec<VertexId>> = exec.run(hi - next, |i| {
+            let v = (next + i) as u64;
+            let mut rng = SmallRng::seed_from_u64(hash2(seed, v));
+            let mut targets = std::collections::HashSet::with_capacity(m_attach * 2);
+            while targets.len() < m_attach {
+                let t = endpoints[rng.gen_range(0..frozen)];
+                targets.insert(t);
+            }
+            let mut targets: Vec<VertexId> = targets.into_iter().collect();
+            targets.sort_unstable();
+            targets
+        });
+        for (i, targets) in batch.iter().enumerate() {
+            let v = (next + i) as u32;
+            for &t in targets {
+                b.add_edge(v, t).expect("in range");
+                endpoints.push(v);
+                endpoints.push(t);
+            }
+        }
+        next = hi;
+    }
+    Ok(b.build_with(exec))
 }
 
 /// Watts–Strogatz small-world graph: a ring lattice where each vertex
@@ -427,6 +712,25 @@ pub fn barabasi_albert(n: usize, m_attach: usize, seed: u64) -> Result<Graph, Gr
 /// Returns [`GraphError::InvalidParameter`] if `k` is odd, `k >= n`, or
 /// `beta` is outside `[0, 1]`.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph, GraphError> {
+    watts_strogatz_with(n, k, beta, seed, &ExecutorConfig::default())
+}
+
+/// [`watts_strogatz`] with an explicit executor. The rewiring stream is a
+/// single sequential RNG by construction (each edge's rewire decision
+/// consumes from one stream), so sampling stays sequential; the executor
+/// drives the CSR build, which dominates at the scale tier.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `k` is odd, `k >= n`, or
+/// `beta` is outside `[0, 1]`.
+pub fn watts_strogatz_with(
+    n: usize,
+    k: usize,
+    beta: f64,
+    seed: u64,
+    exec: &ExecutorConfig,
+) -> Result<Graph, GraphError> {
     if !k.is_multiple_of(2) || k >= n.max(1) {
         return Err(GraphError::InvalidParameter {
             name: "k",
@@ -440,7 +744,8 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph,
         });
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
+    // At most n·k/2 lattice edges survive rewiring/dedup.
+    let mut b = GraphBuilder::with_capacity(n, n * k / 2);
     for u in 0..n {
         for step in 1..=k / 2 {
             let v = (u + step) % n;
@@ -467,7 +772,7 @@ pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Result<Graph,
             b.add_edge(a, c).expect("in range");
         }
     }
-    Ok(b.build())
+    Ok(b.build_with(exec))
 }
 
 /// Stochastic block model: `sizes[i]` vertices in block `i`; pair
@@ -501,7 +806,13 @@ pub fn stochastic_block_model(
         block_of.extend(std::iter::repeat_n(i, s));
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
+    let intra_pairs: f64 = sizes
+        .iter()
+        .map(|&s| s as f64 * s.saturating_sub(1) as f64 / 2.0)
+        .sum();
+    let all_pairs = n as f64 * n.saturating_sub(1) as f64 / 2.0;
+    let expected = intra_pairs * p_in + (all_pairs - intra_pairs) * p_out;
+    let mut b = GraphBuilder::with_capacity(n, binomial_capacity(expected.max(1.0), 1.0));
     for u in 0..n {
         for v in (u + 1)..n {
             let p = if block_of[u] == block_of[v] {
@@ -528,16 +839,48 @@ pub fn stochastic_block_model(
 /// Returns [`GraphError::InvalidParameter`] if `radius` is negative or
 /// not finite.
 pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Graph, GraphError> {
+    random_geometric_with(n, radius, seed, &ExecutorConfig::default())
+}
+
+/// [`random_geometric`] with an explicit executor: point coordinates are
+/// drawn in fixed-size chunks (one seed-derived RNG stream each — chunk 0
+/// continues the historical stream) and the 3×3 grid-neighborhood edge scan
+/// is chunked over cells. Both decompositions are functions of `(n, seed)`
+/// alone, so the graph is byte-identical for every thread count.
+///
+/// # Errors
+///
+/// Returns [`GraphError::InvalidParameter`] if `radius` is negative or
+/// not finite.
+pub fn random_geometric_with(
+    n: usize,
+    radius: f64,
+    seed: u64,
+    exec: &ExecutorConfig,
+) -> Result<Graph, GraphError> {
     if !radius.is_finite() || radius < 0.0 {
         return Err(GraphError::InvalidParameter {
             name: "radius",
             message: format!("radius must be non-negative, got {radius}"),
         });
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let points: Vec<(f64, f64)> = (0..n)
-        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
-        .collect();
+    let point_tasks = n.div_ceil(GEO_POINT_CHUNK).max(1);
+    let points: Vec<(f64, f64)> = if point_tasks <= 1 {
+        let mut rng = chunk_rng(seed, 0);
+        (0..n)
+            .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect()
+    } else {
+        exec.run(point_tasks, |c| {
+            let mut rng = chunk_rng(seed, c);
+            let lo = c * GEO_POINT_CHUNK;
+            let hi = (lo + GEO_POINT_CHUNK).min(n);
+            (lo..hi)
+                .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+                .collect::<Vec<_>>()
+        })
+        .concat()
+    };
     // Grid-bucket the points so the expected running time is
     // O(n + |E|) instead of O(n²). The grid is a flat row-major
     // `Vec<Vec<u32>>` indexed by cell coordinates — deterministic
@@ -558,10 +901,20 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Graph, Graph
         grid[cy * side + cx].push(i as u32);
     }
     let r2 = radius * radius;
-    let mut b = GraphBuilder::new(n);
-    for cy in 0..side {
-        for cx in 0..side {
-            let members = &grid[cy * side + cx];
+    let expected = binomial_capacity(
+        n as f64 * n.saturating_sub(1) as f64 / 2.0,
+        (std::f64::consts::PI * r2).min(1.0),
+    );
+    let mut b = GraphBuilder::with_capacity(n, expected);
+    // Edge scan, chunked over cells: each task owns a fixed cell range and
+    // emits the `u < v` pairs of its cells' 3×3 neighborhoods — cell
+    // ownership never depends on the thread count, and the builder's
+    // sort + dedup normalizes emission order anyway.
+    let scan: Vec<Vec<Edge>> = exec.run_chunked(side * side, GEO_CELL_CHUNK, |cell_range| {
+        let mut out = Vec::new();
+        for cell in cell_range {
+            let (cy, cx) = (cell / side, cell % side);
+            let members = &grid[cell];
             if members.is_empty() {
                 continue;
             }
@@ -580,7 +933,7 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Graph, Graph
                                 let (x2, y2) = points[v as usize];
                                 let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
                                 if d2 <= r2 {
-                                    b.add_edge(u, v).expect("in range");
+                                    out.push(Edge::new(u, v));
                                 }
                             }
                         }
@@ -588,8 +941,12 @@ pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Result<Graph, Graph
                 }
             }
         }
+        out
+    });
+    for chunk in scan {
+        b.extend_edges(chunk).expect("in range");
     }
-    Ok(b.build())
+    Ok(b.build_with(exec))
 }
 
 #[cfg(test)]
@@ -827,6 +1184,122 @@ mod tests {
 
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
+
+    /// The executors every thread-count-invariance test compares.
+    fn executors() -> [ExecutorConfig; 3] {
+        [
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(2),
+            ExecutorConfig::with_threads(4),
+        ]
+    }
+
+    #[test]
+    fn gnp_multi_chunk_thread_invariant() {
+        // n > GNP_ROW_CHUNK forces multiple sampling chunks.
+        let n = GNP_ROW_CHUNK + 5000;
+        let [seq, t2, t4] = executors();
+        let a = gnp_with(n, 4.0 / n as f64, 9, &seq).unwrap();
+        assert!(a.num_edges() > 0);
+        assert_eq!(a, gnp_with(n, 4.0 / n as f64, 9, &t2).unwrap());
+        assert_eq!(a, gnp_with(n, 4.0 / n as f64, 9, &t4).unwrap());
+    }
+
+    #[test]
+    fn gnp_single_chunk_matches_legacy_stream() {
+        // The pinned contract: one chunk ⇒ the historical sequential
+        // stream, reproduced here directly.
+        let (n, p, seed) = (500, 0.02, 0xC0FFEE);
+        let g = gnp(n, p, seed).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let log_q = (1.0 - p).ln();
+        let mut legacy = GraphBuilder::new(n);
+        for row in 0..(n - 1) as u32 {
+            let mut col = row as i64;
+            loop {
+                let r: f64 = rng.gen::<f64>();
+                let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+                col += 1 + skip.max(0);
+                if col >= n as i64 {
+                    break;
+                }
+                legacy.add_edge(row, col as u32).unwrap();
+            }
+        }
+        assert_eq!(g, legacy.build());
+    }
+
+    #[test]
+    fn gnm_multi_chunk_exact_count_and_thread_invariant() {
+        // m > GNM_CHUNK forces multiple quota chunks (plus the top-up).
+        let n = 200_000;
+        let m = GNM_CHUNK + 20_000;
+        let [seq, t2, t4] = executors();
+        let a = gnm_with(n, m, 11, &seq).unwrap();
+        assert_eq!(a.num_edges(), m, "quota + top-up must land exactly on m");
+        assert_eq!(a, gnm_with(n, m, 11, &t2).unwrap());
+        assert_eq!(a, gnm_with(n, m, 11, &t4).unwrap());
+    }
+
+    #[test]
+    fn bipartite_skip_sampling_thread_invariant_and_bipartite() {
+        // pairs > BIP_DENSE_MAX_PAIRS with > 1 row chunk.
+        let (l, r) = (
+            BIP_ROW_CHUNK * 2,
+            (BIP_DENSE_MAX_PAIRS / BIP_ROW_CHUNK) / 2 + 7,
+        );
+        assert!(l * r > BIP_DENSE_MAX_PAIRS);
+        let p = 4.0 / r as f64;
+        let [seq, t2, t4] = executors();
+        let a = bipartite_gnp_with(l, r, p, 3, &seq).unwrap();
+        assert!(a.num_edges() > 0);
+        for e in a.edges() {
+            assert!(e.u() < l as u32 && e.v() >= l as u32, "{e:?} crosses sides");
+        }
+        assert_eq!(a, bipartite_gnp_with(l, r, p, 3, &t2).unwrap());
+        assert_eq!(a, bipartite_gnp_with(l, r, p, 3, &t4).unwrap());
+    }
+
+    #[test]
+    fn barabasi_albert_batched_structure_and_thread_invariance() {
+        // n > BA_EXACT_MAX takes the batched-window path.
+        let n = BA_EXACT_MAX + 3000;
+        let [seq, t2, t4] = executors();
+        let a = barabasi_albert_with(n, 3, 5, &seq).unwrap();
+        // Every arrival still contributes exactly m_attach distinct edges.
+        assert_eq!(a.num_edges(), 6 + (n - 4) * 3);
+        let early: usize = (0..10).map(|v| a.degree(v)).sum();
+        let late: usize = ((n - 10) as u32..n as u32).map(|v| a.degree(v)).sum();
+        assert!(
+            early > 2 * late,
+            "preferential attachment survives batching"
+        );
+        assert_eq!(a, barabasi_albert_with(n, 3, 5, &t2).unwrap());
+        assert_eq!(a, barabasi_albert_with(n, 3, 5, &t4).unwrap());
+    }
+
+    #[test]
+    fn geometric_multi_chunk_thread_invariant() {
+        let n = GEO_POINT_CHUNK * 2 + 123;
+        let r = (8.0 / (std::f64::consts::PI * n as f64)).sqrt();
+        let [seq, t2, t4] = executors();
+        let a = random_geometric_with(n, r, 7, &seq).unwrap();
+        assert!(a.num_edges() > 0);
+        assert_eq!(a, random_geometric_with(n, r, 7, &t2).unwrap());
+        assert_eq!(a, random_geometric_with(n, r, 7, &t4).unwrap());
+    }
+
+    #[test]
+    fn planted_matching_with_thread_invariant() {
+        let n = GNP_ROW_CHUNK * 2;
+        let [seq, t2, t4] = executors();
+        let a = planted_matching_with(n, 2.0, 13, &seq).unwrap();
+        for i in 0..(n / 2) as u32 {
+            assert!(a.has_edge(2 * i, 2 * i + 1));
+        }
+        assert_eq!(a, planted_matching_with(n, 2.0, 13, &t2).unwrap());
+        assert_eq!(a, planted_matching_with(n, 2.0, 13, &t4).unwrap());
+    }
 
     #[test]
     fn disjoint_union_copies() {

@@ -6,10 +6,37 @@
 //! adjacency tests and cache-friendly iteration — the access pattern every
 //! algorithm in this workspace is built around.
 //!
+//! # Memory model
+//!
+//! The CSR arrays are the *only* owned representation (see DESIGN.md §2b):
+//!
+//! * `offsets` — `n + 1` words; neighbors of `v` live at
+//!   `adj[offsets[v]..offsets[v+1]]`;
+//! * `adj` — `2m` vertex ids, each undirected edge stored twice, per-vertex
+//!   sorted;
+//! * `fwd_offsets` — `n + 1` words of *forward-edge* prefix sums:
+//!   `fwd_offsets[v]` counts canonical edges `{a, b}`, `a < b`, with `a < v`.
+//!
+//! The canonical sorted edge list (`u < v`, lexicographic) is **not** stored.
+//! [`Graph::edges`] returns an [`EdgesView`] that derives it on demand from
+//! the CSR arrays: the forward neighbors of `v` (those `> v`) are a suffix of
+//! `v`'s sorted neighbor slice, and `fwd_offsets` ranks them globally, giving
+//! `O(1)` sequential iteration, `O(log n)` random access
+//! ([`EdgesView::get`]), and `O(log d)` rank queries
+//! ([`EdgesView::index_of`]) — without the `8m`-byte owned copy the seed
+//! representation carried next to the `16m`-byte CSR.
+//!
 //! Construction goes through [`GraphBuilder`], which validates endpoints,
-//! rejects self-loops, and deduplicates parallel edges.
+//! rejects self-loops, and deduplicates parallel edges. Large builds run a
+//! two-pass counting-sort CSR construction (degree count → prefix offsets →
+//! scatter, then per-vertex sort + dedup in place) chunked over an
+//! [`ExecutorConfig`]; because every vertex's neighbor list is normalized by
+//! the final sort + dedup, the result is byte-identical for `Sequential` and
+//! `Threaded{k}` executors, every `k` — the substrate layer's determinism
+//! contract extended to graph construction.
 
 use crate::error::GraphError;
+use mmvc_substrate::ExecutorConfig;
 
 /// Identifier of a vertex: a dense index in `0..n`.
 pub type VertexId = u32;
@@ -100,8 +127,11 @@ pub struct Graph {
     /// Flat, per-vertex-sorted neighbor array (each undirected edge appears
     /// twice).
     adj: Vec<VertexId>,
-    /// Canonical edge list (`u < v`), sorted.
-    edges: Vec<Edge>,
+    /// Forward-edge prefix sums: `fwd_offsets[v]` counts canonical edges
+    /// `{a, b}` with `a < b` and `a < v`; `fwd_offsets[n]` is `|E|`. This is
+    /// what lets [`EdgesView`] derive the canonical edge list from the CSR
+    /// arrays instead of owning a second copy.
+    fwd_offsets: Vec<usize>,
 }
 
 impl Graph {
@@ -136,12 +166,12 @@ impl Graph {
 
     /// Number of undirected edges `|E|`.
     pub fn num_edges(&self) -> usize {
-        self.edges.len()
+        *self.fwd_offsets.last().expect("fwd_offsets never empty")
     }
 
     /// Returns `true` if the graph has no edges.
     pub fn is_edgeless(&self) -> bool {
-        self.edges.is_empty()
+        self.num_edges() == 0
     }
 
     /// Iterator over all vertex ids `0..n`.
@@ -149,9 +179,14 @@ impl Graph {
         0..self.n as VertexId
     }
 
-    /// The canonical (sorted, `u < v`) edge list.
-    pub fn edges(&self) -> &[Edge] {
-        &self.edges
+    /// The canonical (sorted, `u < v`) edge list, as an on-demand view over
+    /// the CSR arrays — nothing is materialized.
+    ///
+    /// The view iterates in the same lexicographic order the owned edge
+    /// list used to have, supports `O(log n)` random access and `O(log d)`
+    /// rank queries, and costs zero bytes.
+    pub fn edges(&self) -> EdgesView<'_> {
+        EdgesView { g: self }
     }
 
     /// Sorted neighbor slice of `v`.
@@ -163,6 +198,40 @@ impl Graph {
         let v = v as usize;
         assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
         &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// The *forward* neighbors of `v`: those with id greater than `v`, a
+    /// suffix of the sorted neighbor slice. These are exactly the larger
+    /// endpoints of the canonical edges `{v, w}`, `w > v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    pub fn forward_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
+        let fc = self.fwd_offsets[v + 1] - self.fwd_offsets[v];
+        &self.adj[self.offsets[v + 1] - fc..self.offsets[v + 1]]
+    }
+
+    /// The raw CSR offset array (`n + 1` entries). Together with
+    /// [`csr_adjacency`](Self::csr_adjacency) this is the whole graph;
+    /// exposed for zero-copy consumers and the builder-equivalence tests.
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw CSR adjacency array (`2m` entries, per-vertex sorted).
+    pub fn csr_adjacency(&self) -> &[VertexId] {
+        &self.adj
+    }
+
+    /// Resident bytes of the CSR representation (the arrays; excludes the
+    /// struct header). The figure `bench_scale` reports as graph memory.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.fwd_offsets.len() * std::mem::size_of::<usize>()
+            + self.adj.len() * std::mem::size_of::<VertexId>()
     }
 
     /// Degree of `v`.
@@ -219,7 +288,7 @@ impl Graph {
     pub fn induced_subgraph_mask(&self, keep: &[bool]) -> Graph {
         assert_eq!(keep.len(), self.n, "mask length must equal n");
         let edges: Vec<(VertexId, VertexId)> = self
-            .edges
+            .edges()
             .iter()
             .filter(|e| keep[e.u() as usize] && keep[e.v() as usize])
             .map(|e| (e.u(), e.v()))
@@ -264,10 +333,10 @@ impl Graph {
     /// An MIS of `L(G)` is a *maximal matching* of `G` (Luby's classical
     /// reduction, referenced in the paper's introduction).
     pub fn line_graph(&self) -> Graph {
-        let m = self.edges.len();
+        let m = self.num_edges();
         // Index edges incident to each vertex.
         let mut incident: Vec<Vec<u32>> = vec![Vec::new(); self.n];
-        for (i, e) in self.edges.iter().enumerate() {
+        for (i, e) in self.edges().iter().enumerate() {
             incident[e.u() as usize].push(i as u32);
             incident[e.v() as usize].push(i as u32);
         }
@@ -330,9 +399,210 @@ impl Graph {
     }
 }
 
+/// Zero-copy view of a graph's canonical (sorted, `u < v`) edge list,
+/// derived on demand from the CSR arrays — see the module docs for the
+/// memory model.
+///
+/// Iteration is `O(1)` amortized per edge and yields edges in the same
+/// lexicographic order the owned list used to have; [`get`](Self::get) is
+/// `O(log n)`; [`index_of`](Self::index_of) is `O(log d)`.
+///
+/// # Examples
+///
+/// ```
+/// use mmvc_graph::{Edge, Graph};
+///
+/// let g = Graph::from_edges(4, vec![(2, 1), (0, 3), (1, 0)])?;
+/// let edges = g.edges();
+/// assert_eq!(edges.len(), 3);
+/// assert_eq!(edges.get(0), Edge::new(0, 1));
+/// assert_eq!(edges.index_of(&Edge::new(1, 2)), Some(2));
+/// let all: Vec<Edge> = edges.iter().collect();
+/// assert_eq!(all, vec![Edge::new(0, 1), Edge::new(0, 3), Edge::new(1, 2)]);
+/// # Ok::<(), mmvc_graph::GraphError>(())
+/// ```
+#[derive(Clone, Copy)]
+pub struct EdgesView<'g> {
+    g: &'g Graph,
+}
+
+impl std::fmt::Debug for EdgesView<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgesView")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<'g> EdgesView<'g> {
+    /// Number of canonical edges (`|E|`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.g.num_edges()
+    }
+
+    /// Whether the edge list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th canonical edge, in `O(log n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> Edge {
+        assert!(
+            i < self.len(),
+            "edge index {i} out of range ({})",
+            self.len()
+        );
+        let u = self.owner_of(i);
+        let fwd = self.g.forward_neighbors(u as VertexId);
+        let v = fwd[i - self.g.fwd_offsets[u]];
+        Edge {
+            u: u as VertexId,
+            v,
+        }
+    }
+
+    /// The canonical index of `e`, or `None` if `e` is not an edge of the
+    /// graph. `O(log d)`. The inverse of [`get`](Self::get) — this is what
+    /// replaced `binary_search` on the owned edge slice.
+    pub fn index_of(&self, e: &Edge) -> Option<usize> {
+        let u = e.u() as usize;
+        if u >= self.g.n || e.v() as usize >= self.g.n {
+            return None;
+        }
+        let fwd = self.g.forward_neighbors(e.u());
+        fwd.binary_search(&e.v())
+            .ok()
+            .map(|k| self.g.fwd_offsets[u] + k)
+    }
+
+    /// Iterator over all canonical edges, in lexicographic order.
+    pub fn iter(&self) -> EdgeIter<'g> {
+        self.range(0..self.len())
+    }
+
+    /// Iterator over the canonical edges with indices in `r` — the
+    /// replacement for slicing the owned edge list (`edges[a..b]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r.end > len()` or `r.start > r.end`.
+    pub fn range(&self, r: std::ops::Range<usize>) -> EdgeIter<'g> {
+        assert!(
+            r.start <= r.end && r.end <= self.len(),
+            "edge range {r:?} out of bounds ({})",
+            self.len()
+        );
+        let u = if r.start < r.end {
+            self.owner_of(r.start)
+        } else {
+            0
+        };
+        EdgeIter {
+            g: self.g,
+            next: r.start,
+            end: r.end,
+            u,
+        }
+    }
+
+    /// Materializes the edge list (for the few consumers that genuinely
+    /// need an owned, indexable copy, e.g. the brute-force solvers).
+    pub fn to_vec(&self) -> Vec<Edge> {
+        self.iter().collect()
+    }
+
+    /// The smaller endpoint of the `i`-th canonical edge (`i < len()`).
+    fn owner_of(&self, i: usize) -> usize {
+        self.g.fwd_offsets.partition_point(|&o| o <= i) - 1
+    }
+}
+
+impl<'g> IntoIterator for EdgesView<'g> {
+    type Item = Edge;
+    type IntoIter = EdgeIter<'g>;
+
+    fn into_iter(self) -> EdgeIter<'g> {
+        self.iter()
+    }
+}
+
+impl<'g> IntoIterator for &EdgesView<'g> {
+    type Item = Edge;
+    type IntoIter = EdgeIter<'g>;
+
+    fn into_iter(self) -> EdgeIter<'g> {
+        self.iter()
+    }
+}
+
+/// Iterator over a range of canonical edges (see [`EdgesView`]).
+#[derive(Debug, Clone)]
+pub struct EdgeIter<'g> {
+    g: &'g Graph,
+    /// Next canonical edge index to yield.
+    next: usize,
+    /// One past the last index to yield.
+    end: usize,
+    /// Current smaller endpoint (maintained so iteration is `O(1)`
+    /// amortized; only meaningful while `next < end`).
+    u: usize,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        if self.next >= self.end {
+            return None;
+        }
+        // Advance past vertices whose forward edges are exhausted.
+        while self.g.fwd_offsets[self.u + 1] <= self.next {
+            self.u += 1;
+        }
+        let u = self.u;
+        let fc = self.g.fwd_offsets[u + 1] - self.g.fwd_offsets[u];
+        let pos = self.g.offsets[u + 1] - fc + (self.next - self.g.fwd_offsets[u]);
+        self.next += 1;
+        Some(Edge {
+            u: u as VertexId,
+            v: self.g.adj[pos],
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.end - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+impl std::iter::FusedIterator for EdgeIter<'_> {}
+
+/// Staged edge counts below this build on the single-threaded path — the
+/// chunked machinery costs more than a tiny build saves.
+const PAR_BUILD_THRESHOLD: usize = 1 << 15;
+
+/// Staged edges per bucketing task in the chunked build (pass 1). Fixed —
+/// never a function of the thread count — per the determinism contract.
+const BUILD_EDGE_CHUNK: usize = 1 << 16;
+
+/// Vertices per scatter task in the chunked build (pass 2). Fixed, as above.
+const BUILD_VERTEX_CHUNK: usize = 1 << 15;
+
 /// Incremental builder for [`Graph`].
 ///
 /// Deduplicates edges and validates endpoints. See [`Graph`] for an example.
+///
+/// [`build`](Self::build) finalizes on a default (threaded) executor;
+/// [`build_with`](Self::build_with) takes an explicit [`ExecutorConfig`].
+/// Either way the resulting graph is byte-identical — construction is
+/// normalized by a per-vertex sort + dedup, so thread count can never leak
+/// into the CSR arrays.
 #[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
     n: usize,
@@ -348,7 +618,9 @@ impl GraphBuilder {
         }
     }
 
-    /// Creates a builder with capacity for `m` edges.
+    /// Creates a builder with capacity for `m` edges. Generators pass their
+    /// exact (or expected) edge counts here so large builds never reallocate
+    /// the staging buffer.
     pub fn with_capacity(n: usize, m: usize) -> Self {
         GraphBuilder {
             n,
@@ -359,6 +631,11 @@ impl GraphBuilder {
     /// Number of vertices this builder was created with.
     pub fn num_vertices(&self) -> usize {
         self.n
+    }
+
+    /// Number of staged (raw, not yet deduplicated) edges.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
     }
 
     /// Adds the undirected edge `{u, v}`.
@@ -389,20 +666,74 @@ impl GraphBuilder {
         Ok(self)
     }
 
-    /// Finalizes into an immutable [`Graph`], deduplicating edges and
-    /// building the CSR arrays.
-    pub fn build(mut self) -> Graph {
+    /// Bulk-stages already-constructed edges (the generators' parallel
+    /// chunks land here). Every [`Edge`] is self-loop-free by construction,
+    /// so only the larger endpoint needs a range check.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] on the first out-of-range endpoint
+    /// (edges before it stay staged).
+    pub fn extend_edges<I>(&mut self, edges: I) -> Result<&mut Self, GraphError>
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        for e in edges {
+            if e.v() as usize >= self.n {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: e.v(),
+                    n: self.n,
+                });
+            }
+            self.edges.push(e);
+        }
+        Ok(self)
+    }
+
+    /// Finalizes into an immutable [`Graph`] on a default executor,
+    /// deduplicating edges and building the CSR arrays.
+    ///
+    /// Small builds (< 2¹⁵ staged edges) take a single-threaded path with
+    /// zero executor involvement; larger builds delegate to
+    /// [`build_with`](Self::build_with) on [`ExecutorConfig::default`].
+    pub fn build(self) -> Graph {
+        if self.edges.len() < PAR_BUILD_THRESHOLD {
+            return self.build_small();
+        }
+        let exec = ExecutorConfig::default();
+        self.build_chunked(&exec)
+    }
+
+    /// Finalizes on an explicit executor. `Sequential` and `Threaded{k}`
+    /// produce byte-identical graphs for every `k`: chunk boundaries are
+    /// fixed (never thread-count-dependent) and every vertex's neighbor
+    /// list is normalized by a final sort + dedup, so scatter order washes
+    /// out entirely.
+    pub fn build_with(self, exec: &ExecutorConfig) -> Graph {
+        if self.edges.len() < PAR_BUILD_THRESHOLD {
+            return self.build_small();
+        }
+        self.build_chunked(exec)
+    }
+
+    /// Single-threaded build: global sort + dedup of the staged edges, then
+    /// counting-sort scatter. The historical code path, kept for tiny
+    /// graphs where it beats the chunked machinery.
+    fn build_small(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
         let n = self.n;
         let mut degree = vec![0usize; n];
+        let mut fwd_offsets = vec![0usize; n + 1];
         for e in &self.edges {
             degree[e.u() as usize] += 1;
             degree[e.v() as usize] += 1;
+            fwd_offsets[e.u() as usize + 1] += 1;
         }
         let mut offsets = vec![0usize; n + 1];
         for v in 0..n {
             offsets[v + 1] = offsets[v] + degree[v];
+            fwd_offsets[v + 1] += fwd_offsets[v];
         }
         let mut adj = vec![0 as VertexId; 2 * self.edges.len()];
         let mut cursor = offsets.clone();
@@ -421,7 +752,116 @@ impl GraphBuilder {
             n,
             offsets,
             adj,
-            edges: self.edges,
+            fwd_offsets,
+        }
+    }
+
+    /// Two-pass chunked counting-sort build.
+    ///
+    /// Pass 1 buckets both directions of every staged edge by the owning
+    /// vertex range (fixed-size edge chunks, one task each). Pass 2, one
+    /// task per fixed-size vertex range, runs the counting sort locally:
+    /// degree count → prefix offsets → scatter, then per-vertex sort +
+    /// dedup *in place* and forward-degree counting. The main thread
+    /// concatenates the per-range outputs in range order.
+    ///
+    /// Determinism: chunk and range boundaries depend only on the input
+    /// (never the thread count), results come back slot-indexed in task
+    /// order, and the per-vertex sort + dedup normalizes any scatter-order
+    /// variation — so the output is byte-identical across executors.
+    fn build_chunked(self, exec: &ExecutorConfig) -> Graph {
+        let n = self.n;
+        let edges = self.edges;
+        let ranges = n.div_ceil(BUILD_VERTEX_CHUNK).max(1);
+
+        // Pass 1: bucket directed pairs `(owner << 32) | neighbor` by the
+        // owner's vertex range, one task per fixed-size edge chunk.
+        let buckets: Vec<Vec<Vec<u64>>> = exec.run_chunked(edges.len(), BUILD_EDGE_CHUNK, |r| {
+            let mut local: Vec<Vec<u64>> = vec![Vec::new(); ranges];
+            for e in &edges[r] {
+                let (u, v) = (e.u() as u64, e.v() as u64);
+                local[e.u() as usize / BUILD_VERTEX_CHUNK].push((u << 32) | v);
+                local[e.v() as usize / BUILD_VERTEX_CHUNK].push((v << 32) | u);
+            }
+            local
+        });
+        drop(edges); // the buckets carry everything; halve transient peak
+
+        // Pass 2: per vertex range, the counting sort proper.
+        type RangePart = (Vec<VertexId>, Vec<u32>, Vec<u32>);
+        let parts: Vec<RangePart> = exec.run(ranges, |r| {
+            let base = r * BUILD_VERTEX_CHUNK;
+            let size = BUILD_VERTEX_CHUNK.min(n - base);
+            // Degree count (duplicates included), then prefix offsets.
+            let mut bounds = vec![0usize; size + 1];
+            for chunk in &buckets {
+                for &p in &chunk[r] {
+                    bounds[(p >> 32) as usize - base + 1] += 1;
+                }
+            }
+            for i in 0..size {
+                bounds[i + 1] += bounds[i];
+            }
+            // Scatter neighbors into the per-vertex segments.
+            let mut buf = vec![0 as VertexId; bounds[size]];
+            let mut cursor = bounds[..size].to_vec();
+            for chunk in &buckets {
+                for &p in &chunk[r] {
+                    let lv = (p >> 32) as usize - base;
+                    buf[cursor[lv]] = p as VertexId;
+                    cursor[lv] += 1;
+                }
+            }
+            // Per-vertex sort + dedup in place, compacting front-to-back
+            // (the write cursor never overtakes the read cursor).
+            let mut deg = vec![0u32; size];
+            let mut fwd = vec![0u32; size];
+            let mut w = 0usize;
+            for lv in 0..size {
+                let (s, e) = (bounds[lv], bounds[lv + 1]);
+                buf[s..e].sort_unstable();
+                let start_w = w;
+                let mut prev = VertexId::MAX;
+                for idx in s..e {
+                    let x = buf[idx];
+                    if x != prev {
+                        buf[w] = x;
+                        w += 1;
+                        prev = x;
+                    }
+                }
+                deg[lv] = (w - start_w) as u32;
+                let gv = (base + lv) as VertexId;
+                fwd[lv] = ((w - start_w) - buf[start_w..w].partition_point(|&x| x <= gv)) as u32;
+            }
+            buf.truncate(w);
+            (buf, deg, fwd)
+        });
+
+        // Assemble: concatenate per-range outputs in range order.
+        let total: usize = parts.iter().map(|(buf, _, _)| buf.len()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(total);
+        offsets.push(0);
+        fwd_offsets.push(0);
+        let (mut off, mut f) = (0usize, 0usize);
+        for (buf, deg, fwd) in &parts {
+            adj.extend_from_slice(buf);
+            for &d in deg {
+                off += d as usize;
+                offsets.push(off);
+            }
+            for &c in fwd {
+                f += c as usize;
+                fwd_offsets.push(f);
+            }
+        }
+        Graph {
+            n,
+            offsets,
+            adj,
+            fwd_offsets,
         }
     }
 }
@@ -471,6 +911,8 @@ mod tests {
         assert!(g.is_edgeless());
         assert_eq!(g.max_degree(), 0);
         assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.edges().is_empty());
+        assert_eq!(g.edges().iter().count(), 0);
     }
 
     #[test]
@@ -479,6 +921,7 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.avg_degree(), 0.0);
         assert_eq!(g.vertices().count(), 0);
+        assert_eq!(g.edges().len(), 0);
     }
 
     #[test]
@@ -519,12 +962,119 @@ mod tests {
             b.add_edge(1, 1).unwrap_err(),
             GraphError::SelfLoop { vertex: 1 }
         );
+        assert_eq!(
+            b.extend_edges([Edge::new(0, 2), Edge::new(1, 3)])
+                .unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 3, n: 3 }
+        );
     }
 
     #[test]
     fn neighbors_sorted() {
         let g = Graph::from_edges(6, vec![(5, 0), (3, 0), (0, 1), (4, 0)]).unwrap();
         assert_eq!(g.neighbors(0), &[1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn edges_view_matches_canonical_order() {
+        let g = Graph::from_edges(6, vec![(5, 0), (3, 0), (0, 1), (4, 2), (2, 1)]).unwrap();
+        let expect = vec![
+            Edge::new(0, 1),
+            Edge::new(0, 3),
+            Edge::new(0, 5),
+            Edge::new(1, 2),
+            Edge::new(2, 4),
+        ];
+        assert_eq!(g.edges().to_vec(), expect);
+        assert_eq!(g.edges().len(), 5);
+        for (i, e) in expect.iter().enumerate() {
+            assert_eq!(g.edges().get(i), *e, "get({i})");
+            assert_eq!(g.edges().index_of(e), Some(i), "index_of({e:?})");
+        }
+        assert_eq!(g.edges().index_of(&Edge::new(0, 2)), None);
+        assert_eq!(g.edges().index_of(&Edge::new(4, 5)), None);
+        // Range slicing matches the materialized slice.
+        let mid: Vec<Edge> = g.edges().range(1..4).collect();
+        assert_eq!(mid, expect[1..4]);
+        assert_eq!(g.edges().range(2..2).count(), 0);
+        // ExactSizeIterator bookkeeping.
+        let mut it = g.edges().iter();
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    fn forward_neighbors_are_the_larger_ones() {
+        let g = Graph::from_edges(5, vec![(0, 2), (1, 2), (2, 3), (2, 4)]).unwrap();
+        assert_eq!(g.forward_neighbors(2), &[3, 4]);
+        assert_eq!(g.forward_neighbors(0), &[2]);
+        assert_eq!(g.forward_neighbors(4), &[] as &[VertexId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn edges_view_get_out_of_bounds_panics() {
+        petersen().edges().get(15);
+    }
+
+    #[test]
+    fn csr_accessors_and_memory() {
+        let g = petersen();
+        assert_eq!(g.csr_offsets().len(), 11);
+        assert_eq!(g.csr_adjacency().len(), 30);
+        assert_eq!(
+            g.memory_bytes(),
+            11 * 8 + 11 * 8 + 30 * 4,
+            "offsets + fwd_offsets + adj"
+        );
+    }
+
+    #[test]
+    fn build_with_executors_byte_identical() {
+        // Force the chunked path with > 2^15 staged edges (duplicates
+        // included) and compare the CSR arrays across executors and
+        // against the single-threaded reference.
+        let n = 5000usize;
+        let mut pairs = Vec::new();
+        let mut s = 0x1234_5678_9abc_def0u64;
+        for _ in 0..40_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = ((s >> 33) % n as u64) as u32;
+            let v = ((s >> 13) % n as u64) as u32;
+            if u != v {
+                pairs.push((u, v));
+                // Duplicate every 5th edge to exercise dedup across chunks.
+                if pairs.len() % 5 == 0 {
+                    pairs.push((v, u));
+                }
+            }
+        }
+        assert!(pairs.len() >= PAR_BUILD_THRESHOLD, "need the chunked path");
+        let build = |exec: &ExecutorConfig| {
+            let mut b = GraphBuilder::with_capacity(n, pairs.len());
+            for &(u, v) in &pairs {
+                b.add_edge(u, v).unwrap();
+            }
+            b.build_with(exec)
+        };
+        let mut small = GraphBuilder::with_capacity(n, pairs.len());
+        for &(u, v) in &pairs {
+            small.add_edge(u, v).unwrap();
+        }
+        let reference = small.build_small();
+        for exec in [
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(2),
+            ExecutorConfig::with_threads(4),
+        ] {
+            let g = build(&exec);
+            assert_eq!(g.csr_offsets(), reference.csr_offsets(), "{exec:?}");
+            assert_eq!(g.csr_adjacency(), reference.csr_adjacency(), "{exec:?}");
+            assert_eq!(g, reference, "{exec:?}");
+        }
     }
 
     #[test]

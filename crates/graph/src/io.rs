@@ -77,6 +77,21 @@ impl From<GraphError> for ReadError {
 /// # Ok::<(), mmvc_graph::io::ReadError>(())
 /// ```
 pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, ReadError> {
+    read_edge_list_capped(reader, None)
+}
+
+/// Like [`read_edge_list`], but refuses — *before any `n`-sized
+/// allocation* — inputs whose vertex count (declared in the header or
+/// implied by the largest endpoint) exceeds `max_n`. This is the
+/// admission-cap entry point for servers: a 30-byte file declaring
+/// `# vertices: 4000000000` must be rejected by arithmetic, not by an
+/// out-of-memory abort while building the CSR arrays.
+///
+/// # Errors
+///
+/// [`ReadError`] on malformed lines, out-of-range vertices, self-loops,
+/// or (as [`GraphError::InvalidParameter`]) a vertex count above the cap.
+pub fn read_edge_list_capped<R: Read>(reader: R, max_n: Option<usize>) -> Result<Graph, ReadError> {
     let reader = BufReader::new(reader);
     let mut declared_n: Option<usize> = None;
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -121,6 +136,16 @@ pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, ReadError> {
     }
 
     let n = declared_n.unwrap_or(if any_vertex { max_id as usize + 1 } else { 0 });
+    if let Some(cap) = max_n {
+        if n > cap {
+            return Err(ReadError::Graph(GraphError::InvalidParameter {
+                name: "n",
+                message: format!(
+                    "edge list declares {n} vertices, exceeding the admission cap max_n = {cap}"
+                ),
+            }));
+        }
+    }
     let mut b = GraphBuilder::with_capacity(n, edges.len());
     for (u, v) in edges {
         b.add_edge(u, v)?;
@@ -212,6 +237,22 @@ mod tests {
             read_edge_list("# vertices: 2\n0 5\n".as_bytes()).unwrap_err(),
             ReadError::Graph(GraphError::VertexOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn admission_cap_refuses_before_allocation() {
+        // A tiny input declaring an enormous vertex count must be refused
+        // by arithmetic — this call would OOM if the cap ran after the
+        // CSR allocation.
+        let text = "# vertices: 4000000000\n0 1\n";
+        let err = read_edge_list_capped(text.as_bytes(), Some(1 << 17)).unwrap_err();
+        assert!(err.to_string().contains("admission cap"), "{err}");
+        // An implied (max id + 1) count trips the cap the same way.
+        let err = read_edge_list_capped("0 3999999999\n".as_bytes(), Some(1 << 17)).unwrap_err();
+        assert!(err.to_string().contains("admission cap"), "{err}");
+        // Under the cap, identical to the uncapped reader.
+        let ok = read_edge_list_capped("0 5\n".as_bytes(), Some(1 << 17)).unwrap();
+        assert_eq!(ok.num_vertices(), 6);
     }
 
     #[test]

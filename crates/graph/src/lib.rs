@@ -58,7 +58,7 @@ pub mod vertex_cover;
 pub mod weighted;
 
 pub use error::GraphError;
-pub use graph::{Edge, Graph, GraphBuilder, VertexId};
+pub use graph::{Edge, EdgeIter, EdgesView, Graph, GraphBuilder, VertexId};
 
 #[cfg(test)]
 mod proptests {
@@ -133,7 +133,7 @@ mod proptests {
             let l = g.line_graph();
             let s = mis::randomized_greedy_mis(&l, seed);
             let pairs: Vec<_> = s.members().iter()
-                .map(|&i| { let e = g.edges()[i as usize]; (e.u(), e.v()) })
+                .map(|&i| { let e = g.edges().get(i as usize); (e.u(), e.v()) })
                 .collect();
             let m = matching::Matching::new(&g, pairs).expect("independent edges are a matching");
             prop_assert!(m.is_maximal(&g));

@@ -243,9 +243,12 @@ pub fn greedy_maximal_matching(g: &Graph) -> Matching {
 ///
 /// Panics if `order` indexes outside `g.edges()`.
 pub fn greedy_maximal_matching_ordered(g: &Graph, order: &[usize]) -> Matching {
+    // Materialize once: `order` indexes edges arbitrarily, and a flat
+    // lookup beats a per-probe binary search over the CSR view.
+    let edges = g.edges().to_vec();
     let mut m = Matching::empty(g.num_vertices());
     for &i in order {
-        let e = g.edges()[i];
+        let e = edges[i];
         m.try_add(e.u(), e.v());
     }
     m
@@ -273,7 +276,7 @@ pub fn brute_force_maximum_matching_size(g: &Graph) -> usize {
         best
     }
     let mut used = vec![false; g.num_vertices()];
-    rec(g.edges(), &mut used)
+    rec(&g.edges().to_vec(), &mut used)
 }
 
 #[cfg(test)]

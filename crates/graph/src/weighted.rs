@@ -116,8 +116,8 @@ impl WeightedGraph {
     pub fn edge_index(&self, e: Edge) -> usize {
         self.graph
             .edges()
-            .binary_search(&e)
-            .unwrap_or_else(|_| panic!("{e:?} is not an edge of the graph"))
+            .index_of(&e)
+            .unwrap_or_else(|| panic!("{e:?} is not an edge of the graph"))
     }
 
     /// Exact maximum-weight matching by exhaustive search — exponential;

@@ -370,6 +370,7 @@ fn main() -> ExitCode {
                     addr: "127.0.0.1:0".to_string(),
                     workers: cfg.workers,
                     cache_capacity: mix.cache_capacity(pool.len()),
+                    ..ServeConfig::default()
                 }) {
                     Ok(s) => s,
                     Err(e) => {

@@ -90,15 +90,22 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Report-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Admission cap on the *effective* workload size: a served spec whose
+    /// scenario-default or explicit `n` exceeds this is refused with a 400
+    /// naming the cap. The default ([`MAX_SERVED_N`]) keeps the
+    /// million-vertex scale tier out; operators admit it explicitly with
+    /// `mmvc serve --max-n` (e.g. `--max-n 2097152`).
+    pub max_n: usize,
 }
 
 impl Default for ServeConfig {
-    /// `127.0.0.1:7411`, 4 workers, 512 cached reports.
+    /// `127.0.0.1:7411`, 4 workers, 512 cached reports, scale tier refused.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:7411".to_string(),
             workers: 4,
             cache_capacity: 512,
+            max_n: MAX_SERVED_N,
         }
     }
 }
@@ -106,10 +113,12 @@ impl Default for ServeConfig {
 /// Per-connection socket timeout: a stalled peer must not pin a worker.
 const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Largest vertex count a served spec may request. The HTTP layer caps
-/// request *bytes*; this caps the *work* a decoded spec can demand — a
-/// four-billion-vertex `n` fits in a tiny body but would pin a worker
-/// for hours and exhaust memory.
+/// Default admission cap on the served workload size
+/// ([`ServeConfig::max_n`]). The HTTP layer caps request *bytes*; this
+/// caps the *work* a decoded spec can demand — a four-billion-vertex `n`
+/// fits in a tiny body but would pin a worker for hours and exhaust
+/// memory. At `2^17` the registry's scale tier (`scale-*`, `n ≥ 2^20`) is
+/// refused unless the operator raises the cap.
 pub const MAX_SERVED_N: usize = 1 << 17;
 
 /// Largest accepted `graph_file` workload, in bytes (checked before the
@@ -122,6 +131,7 @@ struct AppState {
     cache: Mutex<ReportCache>,
     metrics: Metrics,
     workers: usize,
+    max_n: usize,
 }
 
 /// The bound daemon: accept loop plus worker pool.
@@ -169,6 +179,7 @@ impl Server {
                 cache: Mutex::new(ReportCache::new(config.cache_capacity)),
                 metrics: Metrics::new(),
                 workers,
+                max_n: config.max_n,
             }),
             stop: Arc::new(AtomicBool::new(false)),
             workers,
@@ -329,12 +340,39 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
         Ok(spec) => spec,
         Err(message) => return Reply::error(400, &message),
     };
-    if spec.n.is_some_and(|n| n > MAX_SERVED_N) {
-        return Reply::error(
-            400,
-            &format!("invalid parameter `n`: served runs are capped at n = {MAX_SERVED_N}"),
-        );
+    // Admission: resolve the *effective* workload size — the explicit `n`
+    // or the scenario's default — and refuse specs above the daemon's cap
+    // explicitly (the registry's scale tier lands here unless the operator
+    // raised `--max-n`). File workloads are checked after loading, when
+    // their vertex count is known.
+    if spec.graph_file.is_none() {
+        let effective_n = spec
+            .n
+            .or_else(|| scenarios::get(&spec.scenario).map(|sc| sc.default_n));
+        if let Some(n) = effective_n {
+            if n > state.max_n {
+                return Reply::error(
+                    400,
+                    &format!(
+                        "invalid parameter `n`: this spec resolves to n = {n}, but served \
+                         runs are capped at n = {} — restart with `mmvc serve --max-n {n}` \
+                         to admit scale-tier workloads",
+                        state.max_n
+                    ),
+                );
+            }
+        }
     }
+
+    // Backstop: fold the daemon's cap into the spec's admission budget
+    // (`RunBudget::max_n`), so workloads whose size is only known later —
+    // graph files in particular — are refused by the run driver itself.
+    let mut spec = spec;
+    spec.budget.max_n = Some(
+        spec.budget
+            .max_n
+            .map_or(state.max_n, |m| m.min(state.max_n)),
+    );
 
     // Resolve the workload's cache identity — and, for file workloads,
     // the bytes — *once*, so the hash in the key is the hash of exactly
@@ -381,12 +419,17 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
     }
 
     let report = match &file {
-        Some((path, bytes)) => mmvc_graph::io::read_edge_list(bytes.as_slice())
-            .map_err(|source| CoreError::GraphFile {
-                path: path.clone(),
-                source,
-            })
-            .and_then(|g| run_on(&g, &format!("file:{path}"), &spec)),
+        // The folded admission cap applies before the CSR arrays are
+        // allocated: a tiny file declaring a huge vertex count is
+        // refused by arithmetic, not by an OOM'd worker.
+        Some((path, bytes)) => {
+            mmvc_graph::io::read_edge_list_capped(bytes.as_slice(), spec.budget.max_n)
+                .map_err(|source| CoreError::GraphFile {
+                    path: path.clone(),
+                    source,
+                })
+                .and_then(|g| run_on(&g, &format!("file:{path}"), &spec))
+        }
         None => mmvc_core::run::run(&spec),
     };
     let report = match report {
@@ -501,7 +544,7 @@ pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
         None => Json::Null,
     };
     Json::obj(vec![
-        ("schema", Json::Str("mmvc-serve-spec/v1".to_string())),
+        ("schema", Json::Str("mmvc-serve-spec/v2".to_string())),
         ("algorithm", Json::Str(spec.algorithm.name().to_string())),
         ("workload", workload),
         ("n", opt_int(spec.n)),
@@ -512,6 +555,7 @@ pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
             Json::obj(vec![
                 ("max_rounds", opt_int(spec.budget.max_rounds)),
                 ("max_load_words", opt_int(spec.budget.max_load_words)),
+                ("max_n", opt_int(spec.budget.max_n)),
             ]),
         ),
     ])
@@ -596,6 +640,7 @@ fn metrics_body(state: &AppState) -> Vec<u8> {
             ]),
         ),
         ("in_flight", Json::Int(m.read(&m.in_flight) as i64)),
+        ("max_n", Json::Int(state.max_n as i64)),
         (
             "latency_ms",
             Json::obj(vec![

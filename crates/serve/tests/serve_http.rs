@@ -15,6 +15,7 @@ fn start(workers: usize, cache_capacity: usize) -> (String, impl FnOnce()) {
         addr: "127.0.0.1:0".to_string(),
         workers,
         cache_capacity,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = server.local_addr().unwrap().to_string();
@@ -118,6 +119,50 @@ fn full_matrix_matches_driver_byte_for_byte() {
         }
     }
     stop();
+}
+
+#[test]
+fn scale_tier_is_refused_by_default_and_admitted_by_max_n() {
+    // Default cap: a scale scenario resolves to its 2^20 default size and
+    // must be refused explicitly — naming the cap and the remedy — even
+    // though the spec body itself carries no `n`.
+    let (addr, stop) = start(2, 16);
+    let body = br#"{"algorithm": "greedy-mis", "scenario": "scale-gnp-1m"}"#;
+    let resp = client::request(&addr, "POST", "/run", body).unwrap();
+    assert_eq!(resp.status, 400, "{}", resp.text());
+    let err = Json::parse(&resp.text()).unwrap();
+    let message = err.get("error").and_then(Json::as_str).unwrap().to_string();
+    assert!(message.contains("capped at n"), "got: {message}");
+    assert!(message.contains("--max-n"), "names the remedy: {message}");
+
+    // An explicit n above the cap is refused the same way.
+    let big = br#"{"algorithm": "greedy-mis", "scenario": "gnp-sparse", "n": 200000}"#;
+    assert_eq!(
+        client::request(&addr, "POST", "/run", big).unwrap().status,
+        400
+    );
+    stop();
+
+    // A daemon with a raised cap admits the same scale spec (down-sized
+    // here so the test stays fast — the admission logic is what's under
+    // test, and it keys on the cap, not the workload family).
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_capacity: 16,
+        max_n: 1 << 21,
+    })
+    .expect("bind");
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = server.handle().unwrap();
+    let thread = std::thread::spawn(move || server.run());
+    let small_scale = br#"{"algorithm": "luby-mis", "scenario": "scale-gnp-1m", "n": 512}"#;
+    let resp = client::request(&addr, "POST", "/run", small_scale).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let metrics = Json::parse(&client::get(&addr, "/metrics").unwrap().text()).unwrap();
+    assert_eq!(metrics.get("max_n").and_then(Json::as_i64), Some(1 << 21));
+    handle.shutdown();
+    thread.join().unwrap().unwrap();
 }
 
 #[test]

@@ -7,9 +7,9 @@
 //! ```text
 //! mmvc list                                    # algorithms and scenarios
 //! mmvc run <algorithm> <scenario|--graph-file PATH> [--n N] [--seed S] [--eps E]
-//!          [--threads K] [--max-rounds R] [--max-load W] [--json] [--canonical]
+//!          [--threads K] [--max-rounds R] [--max-load W] [--max-n N] [--json] [--canonical]
 //! mmvc bench [--smoke] [--out PATH]            # algorithm×scenario sweep
-//! mmvc serve [--addr A] [--workers W] [--cache-cap K]   # run-serving daemon
+//! mmvc serve [--addr A] [--workers W] [--cache-cap K] [--max-n N]   # run-serving daemon
 //! mmvc stats    <graph.txt>
 //! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
 //! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -38,9 +38,9 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   mmvc list
   mmvc run <algorithm> <scenario|--graph-file PATH> [--n N] [--seed S] [--eps E]
-           [--threads K] [--max-rounds R] [--max-load W] [--json] [--canonical]
+           [--threads K] [--max-rounds R] [--max-load W] [--max-n N] [--json] [--canonical]
   mmvc bench [--smoke] [--out PATH]
-  mmvc serve [--addr HOST:PORT] [--workers W] [--cache-cap K]
+  mmvc serve [--addr HOST:PORT] [--workers W] [--cache-cap K] [--max-n N]
   mmvc stats    <graph.txt>
   mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
   mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -110,13 +110,14 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     // Strict flag validation: a mistyped `--max-round` silently dropping
     // a budget would defeat the CI-enforcement use of this command.
-    const VALUE_FLAGS: [&str; 7] = [
+    const VALUE_FLAGS: [&str; 8] = [
         "--n",
         "--seed",
         "--eps",
         "--threads",
         "--max-rounds",
         "--max-load",
+        "--max-n",
         "--graph-file",
     ];
     let mut i = flags_from;
@@ -153,6 +154,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     spec.executor = parse_executor(args)?;
     spec.budget.max_rounds = parse_optional(args, "--max-rounds")?;
     spec.budget.max_load_words = parse_optional(args, "--max-load")?;
+    spec.budget.max_n = parse_optional(args, "--max-n")?;
 
     let report = mmvc::core::run::run(&spec).map_err(|e| e.to_string())?;
 
@@ -272,15 +274,22 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "invalid --cache-cap".to_string())?;
                 i += 2;
             }
+            "--max-n" => {
+                config.max_n = value("--max-n")?
+                    .parse()
+                    .map_err(|_| "invalid --max-n".to_string())?;
+                i += 2;
+            }
             other => return Err(format!("unknown argument `{other}` for `mmvc serve`")),
         }
     }
     let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!(
-        "mmvc-serve listening on http://{addr} ({} workers, cache capacity {})",
+        "mmvc-serve listening on http://{addr} ({} workers, cache capacity {}, max n {})",
         config.workers.max(1),
-        config.cache_capacity
+        config.cache_capacity,
+        config.max_n
     );
     eprintln!("endpoints: POST /run, GET /scenarios, GET /algorithms, GET /healthz, GET /metrics");
     server.run().map_err(|e| e.to_string())

@@ -126,7 +126,7 @@ fn rounding_composes_with_simulation() {
     for e in m.edges() {
         assert!(g.has_edge(e.u(), e.v()));
         // Rounded edges carry positive fractional weight.
-        let idx = g.edges().binary_search(e).unwrap();
+        let idx = g.edges().index_of(e).unwrap();
         assert!(sim.fractional.edge_weight(idx) > 0.0);
     }
 }

@@ -59,6 +59,19 @@ fn scenario_registry_seeding_pins() {
         ("clique-stress", 256, 3968),
         ("barabasi-albert", 256, 1014),
         ("sbm", 256, 590),
+        // Scale-tier entries, pinned at the same small probe size: at
+        // n = 256 every chunked generator collapses to its single-chunk
+        // (historical) stream, so these values double as the proof that
+        // the parallel samplers preserved the legacy streams.
+        ("scale-gnp-1m", 256, 1009),
+        ("scale-gnp-2m", 256, 1009),
+        ("scale-gnm-1m", 256, 1024),
+        ("scale-grid-1m", 256, 480),
+        ("scale-ba-1m", 256, 2012),
+        ("scale-bipartite-1m", 256, 972),
+        ("scale-geometric-1m", 256, 1346),
+        ("scale-planted-1m", 256, 633),
+        ("scale-ring-1m", 256, 767),
     ];
     assert_eq!(
         pins.len(),
@@ -123,6 +136,37 @@ fn budget_violation_fails_the_run_but_keeps_the_report() {
     assert!(report.witnesses_valid(), "witness itself is still fine");
     assert_eq!(report.budget_violations.len(), 1);
     assert!(report.budget_violations[0].contains("exceed budget 0"));
+}
+
+#[test]
+fn max_n_admission_cap_refuses_scale_specs() {
+    // The cap refuses *before* building: a scale scenario's default size
+    // trips it even when the spec itself names no `n`.
+    let mut spec = RunSpec::new(AlgorithmKind::GreedyMis, "scale-gnp-1m");
+    spec.budget.max_n = Some(1 << 17);
+    let err = run(&spec).unwrap_err().to_string();
+    assert!(err.contains("admission cap"), "got: {err}");
+    assert!(err.contains("1048576"), "names the offending size: {err}");
+
+    // Overriding n below the cap admits the same scenario.
+    spec.n = Some(4096);
+    spec.overrides.space_factor = Some(32.0);
+    assert!(run(&spec).unwrap().ok());
+
+    // The backstop also guards caller-supplied graphs (the file path).
+    let g = build_scenario(&small_spec(AlgorithmKind::GreedyMis, "gnp-sparse")).unwrap();
+    let mut capped = small_spec(AlgorithmKind::GreedyMis, "gnp-sparse");
+    capped.budget.max_n = Some(10);
+    let err = run_on(&g, "gnp-sparse", &capped).unwrap_err().to_string();
+    assert!(err.contains("admission cap"), "got: {err}");
+}
+
+#[test]
+fn scale_scenario_runs_through_the_driver_at_small_n() {
+    // Scale-tier names are full registry citizens of the run driver.
+    let report = run(&small_spec(AlgorithmKind::GreedyMis, "scale-gnp-1m")).unwrap();
+    assert!(report.ok());
+    assert_eq!(report.n, 96);
 }
 
 #[test]
