@@ -83,20 +83,20 @@ fn bench_substrates(c: &mut Criterion) {
         ("sequential", ExecutorConfig::sequential()),
         ("threaded", ExecutorConfig::threaded()),
     ] {
-        group.bench_with_input(BenchmarkId::new("mpc_mis_8k", name), &exec, |b, &exec| {
+        group.bench_with_input(BenchmarkId::new("mpc_mis_8k", name), &exec, |b, exec| {
             b.iter(|| {
                 let mut cfg = GreedyMisConfig::new(1);
-                cfg.executor = exec;
+                cfg.executor = exec.clone();
                 greedy_mpc_mis(&g, &cfg).expect("fits budget").mis.len()
             })
         });
         group.bench_with_input(
             BenchmarkId::new("clique_mis_8k", name),
             &exec,
-            |b, &exec| {
+            |b, exec| {
                 b.iter(|| {
                     let mut cfg = CliqueMisConfig::new(1);
-                    cfg.executor = exec;
+                    cfg.executor = exec.clone();
                     clique_mis(&g, &cfg).expect("feasible routing").mis.len()
                 })
             },

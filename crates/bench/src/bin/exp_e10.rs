@@ -23,7 +23,7 @@ fn main() {
         let g = generators::gnp(n, 64.0 / n as f64, k as u64).expect("valid p");
         let mut spec = RunSpec::new(AlgorithmKind::CliqueMis, "gnp");
         spec.seed = k as u64;
-        spec.executor = executor;
+        spec.executor = executor.clone();
         spec.budget.max_load_words = Some(n);
         let report = run_on(&g, "gnp", &spec).expect("feasible routing");
         assert!(report.ok(), "witness or Lenzen budget failure");

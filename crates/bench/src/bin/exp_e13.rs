@@ -30,7 +30,7 @@ fn main() {
     for reduction in [1.0, 2.0, 4.0, 8.0, 16.0] {
         let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp-dense");
         spec.seed = 13;
-        spec.executor = executor;
+        spec.executor = executor.clone();
         spec.overrides.memory_reduction = Some(reduction);
         let report = run_on(&g, "gnp-dense", &spec).expect("fits budget");
         assert!(report.ok(), "cover must cover");

@@ -34,7 +34,7 @@ fn main() {
         let g = scenario.build_with(n, k as u64).expect("valid scenario");
         let mut spec = RunSpec::new(AlgorithmKind::MpcMatching, "gnp-dense");
         spec.seed = k as u64;
-        spec.executor = executor;
+        spec.executor = executor.clone();
         let report = run_on(&g, "gnp-dense", &spec).expect("simulation fits budget");
         assert!(report.ok(), "cover must cover");
         // Exact optimum is affordable up to 4096 vertices; beyond that use

@@ -283,7 +283,7 @@ pub fn bench_sweep(smoke: bool) -> Vec<SweepEntry> {
         for sc in scenarios::base() {
             let mut spec = RunSpec::new(kind, sc.name);
             spec.seed = 0xBE9C;
-            spec.executor = executor;
+            spec.executor = executor.clone();
             spec.n = Some(if smoke {
                 SMOKE_N
             } else {

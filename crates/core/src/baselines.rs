@@ -4,6 +4,7 @@
 use mmvc_graph::mis::IndependentSet;
 use mmvc_graph::rng::hash3;
 use mmvc_graph::Graph;
+use mmvc_substrate::Bitset;
 
 /// Output of [`luby_mis`].
 #[derive(Debug, Clone)]
@@ -36,8 +37,9 @@ pub struct LubyOutcome {
 /// ```
 pub fn luby_mis(g: &Graph, seed: u64) -> LubyOutcome {
     let n = g.num_vertices();
-    let mut in_mis = vec![false; n];
-    let mut live = vec![true; n];
+    // Word-packed masks: the per-round neighbor scans stream these.
+    let mut in_mis = Bitset::new(n);
+    let mut live = Bitset::filled(n);
     let mut rounds = 0usize;
     // Luby terminates in O(log n) rounds w.h.p.; the cap is a safety net.
     let cap = 8 * ((n.max(2) as f64).log2().ceil() as usize) + 16;
@@ -46,12 +48,12 @@ pub fn luby_mis(g: &Graph, seed: u64) -> LubyOutcome {
         // Live vertices with no live neighbors join immediately.
         let mut remaining = 0usize;
         for v in 0..n as u32 {
-            if !live[v as usize] {
+            if !live.get(v as usize) {
                 continue;
             }
-            if g.neighbors(v).iter().all(|&u| !live[u as usize]) {
-                in_mis[v as usize] = true;
-                live[v as usize] = false;
+            if g.neighbors(v).iter().all(|&u| !live.get(u as usize)) {
+                in_mis.set(v as usize);
+                live.clear(v as usize);
             } else {
                 remaining += 1;
             }
@@ -65,29 +67,29 @@ pub fn luby_mis(g: &Graph, seed: u64) -> LubyOutcome {
         let priority = |v: u32| -> (u64, u32) { (hash3(seed, rounds as u64, v as u64), v) };
         let mut joins = Vec::new();
         for v in 0..n as u32 {
-            if !live[v as usize] {
+            if !live.get(v as usize) {
                 continue;
             }
             let pv = priority(v);
             let is_min = g
                 .neighbors(v)
                 .iter()
-                .all(|&u| !live[u as usize] || priority(u) > pv);
+                .all(|&u| !live.get(u as usize) || priority(u) > pv);
             if is_min {
                 joins.push(v);
             }
         }
         for v in joins {
-            in_mis[v as usize] = true;
-            live[v as usize] = false;
+            in_mis.set(v as usize);
+            live.clear(v as usize);
             for &u in g.neighbors(v) {
-                live[u as usize] = false;
+                live.clear(u as usize);
             }
         }
         rounds += 1;
     }
 
-    let members: Vec<u32> = (0..n as u32).filter(|&v| in_mis[v as usize]).collect();
+    let members: Vec<u32> = in_mis.iter_ones().map(|v| v as u32).collect();
     let mis = IndependentSet::new(g, members).expect("local minima are independent");
     debug_assert!(mis.is_maximal(g));
     LubyOutcome { mis, rounds }

@@ -18,10 +18,10 @@ use crate::PAR_CHUNK;
 use mmvc_graph::matching::Matching;
 use mmvc_graph::Graph;
 use mmvc_mpc::{Cluster, MpcConfig};
-use mmvc_substrate::{ExecutorConfig, Substrate};
+use mmvc_substrate::{Bitset, ExecutorConfig, Substrate};
 
 /// Configuration for [`filtering_maximal_matching`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilteringConfig {
     /// Seed for the per-round edge sampling.
     pub seed: u64,
@@ -87,10 +87,18 @@ pub fn filtering_maximal_matching(
     let n = g.num_vertices();
     let budget = ((config.space_factor * n.max(1) as f64).ceil() as usize).max(64);
     let machines = (4 * g.edge_words()).div_ceil(budget).max(2);
-    let exec = config.executor;
-    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?).with_executor(exec);
+    let exec = config.executor.clone().ensure_scratch();
+    let pool = exec
+        .scratch()
+        .expect("ensure_scratch installs a pool")
+        .clone();
+    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?).with_executor(exec.clone());
 
     let mut matching = Matching::empty(n);
+    // Word-packed covered-vertex mask mirroring `matching.covers`: the
+    // drop-edge scan below probes two endpoints per surviving edge, so a
+    // 1-bit-per-vertex mask replaces the 8-byte mate-array probes.
+    let mut covered = Bitset::new_in(&pool, n);
     // Surviving edge indices (both endpoints unmatched).
     // Surviving edges as `(index, u, v)`: the index is the stateless
     // sampling identity (it feeds `hash3`, so the sampled set is pinned),
@@ -145,7 +153,14 @@ pub fn filtering_maximal_matching(
         // One MPC round: broadcast newly matched vertices.
         let newly = 2 * local.len();
         cluster.round(|r| r.broadcast(newly.min(budget)))?;
-        matching.absorb(&local);
+        let added = matching.absorb(&local);
+        // Every sampled edge had both endpoints uncovered (alive was
+        // filtered last round), so the absorb adds all of `local`.
+        debug_assert_eq!(added, local.len());
+        for e in local.edges() {
+            covered.set(e.u() as usize);
+            covered.set(e.v() as usize);
+        }
 
         // Drop edges with a matched endpoint (same chunked filter).
         alive = exec
@@ -153,7 +168,7 @@ pub fn filtering_maximal_matching(
                 alive[range]
                     .iter()
                     .copied()
-                    .filter(|&(_, u, v)| !matching.covers(u) && !matching.covers(v))
+                    .filter(|&(_, u, v)| !covered.get(u as usize) && !covered.get(v as usize))
                     .collect::<Vec<_>>()
             })
             .into_iter()
@@ -161,6 +176,7 @@ pub fn filtering_maximal_matching(
             .collect();
         filter_rounds += 1;
     }
+    covered.recycle(&pool);
 
     // Final gather: the remaining graph fits on one machine.
     if !alive.is_empty() {

@@ -27,7 +27,7 @@ use mmvc_graph::vertex_cover::VertexCover;
 use mmvc_graph::Graph;
 
 /// Configuration for [`integral_matching`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IntegralMatchingConfig {
     /// The MPC-Simulation configuration used by every extraction round.
     pub sim: MpcMatchingConfig,
@@ -127,7 +127,7 @@ pub fn integral_matching(
     let mut current = g.clone();
 
     while extractions < cap {
-        let mut sim_cfg = config.sim;
+        let mut sim_cfg = config.sim.clone();
         sim_cfg.seed = hash2(seed, extractions as u64);
         let out: MpcMatchingOutcome = mpc_simulation(&current, &sim_cfg)?;
         total_rounds += out.trace.rounds();

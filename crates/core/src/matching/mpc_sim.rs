@@ -96,7 +96,7 @@ pub enum ThresholdMode {
 }
 
 /// Configuration of [`mpc_simulation`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MpcMatchingConfig {
     /// Approximation parameter `ε`.
     pub eps: Epsilon,
@@ -353,7 +353,7 @@ pub fn mpc_simulation(
     let max_machines = ((config.machine_factor * (n.max(4) as f64).sqrt()).ceil() as usize).max(2);
     let words = ((config.space_factor * n.max(1) as f64).ceil() as usize).max(16);
     let mut cluster =
-        Cluster::new(MpcConfig::new(max_machines, words)?).with_executor(config.executor);
+        Cluster::new(MpcConfig::new(max_machines, words)?).with_executor(config.executor.clone());
 
     let thresholds = match config.threshold_mode {
         ThresholdMode::Random => ThresholdRule::Random { seed: config.seed },
@@ -368,7 +368,7 @@ pub fn mpc_simulation(
         freeze: vec![NEVER_FROZEN; n],
         removed: vec![false; n],
         t: 0,
-        exec: config.executor,
+        exec: config.executor.clone(),
     };
     let mut diagnostics = config.diagnostics.then(SimDiagnostics::default);
 

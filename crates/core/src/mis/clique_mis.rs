@@ -33,7 +33,7 @@ use mmvc_graph::{Graph, VertexId};
 use mmvc_substrate::{ExecutorConfig, Substrate};
 
 /// Configuration for [`clique_mis`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CliqueMisConfig {
     /// Seed for the ranking and the sparsified subroutine.
     pub seed: u64,
@@ -147,7 +147,7 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
         });
     }
     let mut net = CliqueNetwork::new(n)?;
-    let exec = config.executor;
+    let exec = config.executor.clone();
     const LEADER: usize = 0;
 
     // Step 1: agree on the random order. Player 0 draws it and tells each

@@ -28,7 +28,7 @@ use mmvc_graph::mis::IndependentSet;
 use mmvc_graph::rng::{hash2, invert_permutation, random_permutation};
 use mmvc_graph::{Graph, VertexId};
 use mmvc_mpc::{Cluster, MpcConfig};
-use mmvc_substrate::{ExecutorConfig, Substrate};
+use mmvc_substrate::{Bitset, ExecutorConfig, Substrate};
 
 /// Where the rank-prefix phases hand off to the sparsified subroutine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,7 +56,7 @@ impl SparsifyThreshold {
 }
 
 /// Configuration for [`greedy_mpc_mis`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GreedyMisConfig {
     /// Seed for the ranking and the sparsified subroutine.
     pub seed: u64,
@@ -139,16 +139,24 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
     let n = g.num_vertices();
     let budget = ((config.space_factor * n.max(1) as f64).ceil() as usize).max(64);
     let machines = (4 * g.edge_words()).div_ceil(budget).max(2);
-    let exec = config.executor;
-    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?).with_executor(exec);
+    let exec = config.executor.clone().ensure_scratch();
+    let pool = exec
+        .scratch()
+        .expect("ensure_scratch installs a pool")
+        .clone();
+    let mut cluster = Cluster::new(MpcConfig::new(machines, budget)?).with_executor(exec.clone());
 
     // The uniform ranking π (Section 3.1).
     let perm = random_permutation(n, config.seed);
     let ranks = invert_permutation(&perm);
 
-    let mut in_mis = vec![false; n];
+    // Word-packed membership masks (1 bit/vertex instead of 1 byte) —
+    // the per-round scans below stream these, and the word buffers come
+    // from the scratch arena so repeated runs reuse them.
+    let mut in_mis = Bitset::new_in(&pool, n);
     // `alive`: not yet decided (not in MIS, not an MIS neighbor).
-    let mut alive = vec![true; n];
+    let mut alive = Bitset::new_in(&pool, n);
+    alive.set_all();
     let mut phase_edge_words = Vec::new();
 
     let delta = g.max_degree();
@@ -168,7 +176,7 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
             // Batch: alive vertices with rank in [prev_rank, rank_bound).
             let batch: Vec<VertexId> = (prev_rank..rank_bound)
                 .map(|r| perm[r])
-                .filter(|&v| alive[v as usize])
+                .filter(|&v| alive.get(v as usize))
                 .collect();
 
             if !batch.is_empty() {
@@ -176,9 +184,9 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
                 // batch to machine 0 (one MPC round, metered — Lemma 3.1's
                 // O(n) claim is enforced here).
                 let in_batch = {
-                    let mut mask = vec![false; n];
+                    let mut mask = Bitset::new_in(&pool, n);
                     for &v in &batch {
-                        mask[v as usize] = true;
+                        mask.set(v as usize);
                     }
                     mask
                 };
@@ -194,7 +202,7 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
                                 g.neighbors(v)
                                     .iter()
                                     .filter(|&&u| {
-                                        in_batch[u as usize] && alive[u as usize] && v < u
+                                        in_batch.get(u as usize) && alive.get(u as usize) && v < u
                                     })
                                     .count()
                             })
@@ -202,6 +210,7 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
                     })
                     .into_iter()
                     .sum();
+                in_batch.recycle(&pool);
                 let words = batch.len() + 2 * edges;
                 phase_edge_words.push(words);
                 cluster.round(|r| r.receive(0, words))?;
@@ -211,28 +220,28 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
                 let mut order = batch.clone();
                 order.sort_unstable_by_key(|&v| ranks[v as usize]);
                 for &v in &order {
-                    if !alive[v as usize] {
+                    if !alive.get(v as usize) {
                         continue;
                     }
-                    let blocked = g.neighbors(v).iter().any(|&u| in_mis[u as usize]);
+                    let blocked = g.neighbors(v).iter().any(|&u| in_mis.get(u as usize));
                     if !blocked {
-                        in_mis[v as usize] = true;
+                        in_mis.set(v as usize);
                     }
                 }
 
                 // One broadcast round: announce new MIS vertices; remove
                 // them and their neighbors everywhere.
-                let announced = order.iter().filter(|&&v| in_mis[v as usize]).count();
+                let announced = order.iter().filter(|&&v| in_mis.get(v as usize)).count();
                 cluster.round(|r| r.broadcast(announced.min(budget)))?;
                 for &v in &order {
-                    if in_mis[v as usize] {
-                        alive[v as usize] = false;
+                    if in_mis.get(v as usize) {
+                        alive.clear(v as usize);
                         for &u in g.neighbors(v) {
-                            alive[u as usize] = false;
+                            alive.clear(u as usize);
                         }
                     } else {
                         // Processed but dominated by an earlier MIS vertex.
-                        alive[v as usize] = false;
+                        alive.clear(v as usize);
                     }
                 }
             }
@@ -246,11 +255,11 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
             let residual_degree = exec
                 .run_chunked(n, PAR_CHUNK, |range| {
                     range
-                        .filter(|&v| alive[v])
+                        .filter(|&v| alive.get(v))
                         .map(|v| {
                             g.neighbors(v as u32)
                                 .iter()
-                                .filter(|&&u| alive[u as usize])
+                                .filter(|&&u| alive.get(u as usize))
                                 .count()
                         })
                         .max()
@@ -273,20 +282,23 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
         max_rounds: (2.0 * (tau.max(2) as f64).log2().ceil()) as usize + 4,
         target_edges: budget / 4,
     };
-    let local = ghaffari_local_mis(g, &alive, &local_cfg);
+    // The sparsified subroutine keeps its historical `&[bool]` interface
+    // (shared with the clique path); materialize the mask once.
+    let alive_bools: Vec<bool> = (0..n).map(|v| alive.get(v)).collect();
+    let local = ghaffari_local_mis(g, &alive_bools, &local_cfg);
     for v in 0..n {
         if local.in_mis[v] {
-            in_mis[v] = true;
+            in_mis.set(v);
         }
         if local.decided[v] {
-            alive[v] = false;
+            alive.clear(v);
         }
     }
     // Each local round is O(1) MPC rounds with small per-machine load.
     cluster.charge_rounds(local.rounds, (n / machines).max(1).min(budget))?;
 
     // Final gather: remaining graph on one machine, finish greedily.
-    let remaining: Vec<VertexId> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+    let remaining: Vec<VertexId> = (0..n as u32).filter(|&v| alive.get(v as usize)).collect();
     if !remaining.is_empty() {
         let words = remaining.len()
             + 2 * exec
@@ -296,7 +308,7 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
                         .map(|&v| {
                             g.neighbors(v)
                                 .iter()
-                                .filter(|&&u| alive[u as usize] && u > v)
+                                .filter(|&&u| alive.get(u as usize) && u > v)
                                 .count()
                         })
                         .sum::<usize>()
@@ -307,14 +319,16 @@ pub fn greedy_mpc_mis(g: &Graph, config: &GreedyMisConfig) -> Result<GreedyMisOu
         let mut order = remaining.clone();
         order.sort_unstable_by_key(|&v| ranks[v as usize]);
         for &v in &order {
-            let blocked = g.neighbors(v).iter().any(|&u| in_mis[u as usize]);
+            let blocked = g.neighbors(v).iter().any(|&u| in_mis.get(u as usize));
             if !blocked {
-                in_mis[v as usize] = true;
+                in_mis.set(v as usize);
             }
         }
     }
 
-    let members: Vec<VertexId> = (0..n as u32).filter(|&v| in_mis[v as usize]).collect();
+    let members: Vec<VertexId> = (0..n as u32).filter(|&v| in_mis.get(v as usize)).collect();
+    alive.recycle(&pool);
+    in_mis.recycle(&pool);
     let mis =
         IndependentSet::new(g, members).expect("greedy construction yields an independent set");
     debug_assert!(mis.is_maximal(g));

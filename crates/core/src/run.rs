@@ -177,7 +177,7 @@ pub struct RunBudget {
 
 /// Algorithm-specific configuration overrides — the ablation knobs of the
 /// experiment binaries. `Default::default()` is the standard run.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOverrides {
     /// Run the coupled `Central-Rand` reference and report deviation
     /// diagnostics ([`MpcMatchingConfig::diagnostics`]).
@@ -760,8 +760,20 @@ pub fn build_workload(spec: &RunSpec) -> Result<(Graph, String), CoreError> {
 /// whatever the algorithm itself reports (typically substrate budget
 /// violations under misconfigured space factors).
 pub fn run(spec: &RunSpec) -> Result<RunReport, CoreError> {
-    let (g, label) = build_workload(spec)?;
-    run_on(&g, &label, spec)
+    // One scratch arena per run, installed before the build so the
+    // generator, the CSR builder, and every per-round algorithm scan
+    // draw from (and recycle into) the same pool.
+    let spec = spec_with_scratch(spec);
+    let (g, label) = build_workload(&spec)?;
+    run_on(&g, &label, &spec)
+}
+
+/// A copy of `spec` whose executor is guaranteed to carry a scratch
+/// arena (idempotent when the caller already attached one).
+fn spec_with_scratch(spec: &RunSpec) -> RunSpec {
+    let mut s = spec.clone();
+    s.executor = s.executor.clone().ensure_scratch();
+    s
 }
 
 /// Like [`run`], but on a caller-supplied graph (for ad-hoc parameter
@@ -784,6 +796,9 @@ pub fn run_detailed(
     label: &str,
     spec: &RunSpec,
 ) -> Result<(RunReport, RunArtifacts), CoreError> {
+    // Backstop for direct callers: make sure the executor carries a
+    // scratch arena (no-op when `run` already installed one).
+    let spec = &spec_with_scratch(spec);
     // The admission cap guards every entry point, including file
     // workloads and caller-supplied graphs (the registry path already
     // refused before building — this is the backstop).
@@ -856,7 +871,7 @@ fn sim_config(spec: &RunSpec) -> MpcMatchingConfig {
         Some(r) => MpcMatchingConfig::sublinear(spec.eps, spec.seed, r),
         None => MpcMatchingConfig::new(spec.eps, spec.seed),
     };
-    cfg.executor = spec.executor;
+    cfg.executor = spec.executor.clone();
     cfg.diagnostics = o.diagnostics;
     if let Some(mode) = o.threshold_mode {
         cfg.threshold_mode = mode;
@@ -912,7 +927,7 @@ fn dispatch(g: &Graph, spec: &RunSpec) -> Result<DispatchOut, CoreError> {
     match spec.algorithm {
         AlgorithmKind::GreedyMis => {
             let mut cfg = GreedyMisConfig::new(spec.seed);
-            cfg.executor = spec.executor;
+            cfg.executor = spec.executor.clone();
             if let Some(s) = spec.overrides.space_factor {
                 cfg.space_factor = s;
             }
@@ -943,7 +958,7 @@ fn dispatch(g: &Graph, spec: &RunSpec) -> Result<DispatchOut, CoreError> {
         }
         AlgorithmKind::CliqueMis => {
             let mut cfg = CliqueMisConfig::new(spec.seed);
-            cfg.executor = spec.executor;
+            cfg.executor = spec.executor.clone();
             let out = clique_mis(g, &cfg)?;
             let witness = WitnessStat {
                 kind: "mis",
@@ -1095,7 +1110,7 @@ fn dispatch(g: &Graph, spec: &RunSpec) -> Result<DispatchOut, CoreError> {
         }
         AlgorithmKind::Filtering => {
             let mut cfg = FilteringConfig::new(spec.seed);
-            cfg.executor = spec.executor;
+            cfg.executor = spec.executor.clone();
             if let Some(s) = spec.overrides.space_factor {
                 cfg.space_factor = s;
             }

@@ -14,7 +14,7 @@ use mmvc_graph::vertex_cover::VertexCover;
 use mmvc_graph::Graph;
 
 /// Configuration for [`approx_min_vertex_cover`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VertexCoverConfig {
     /// The underlying simulation configuration.
     pub sim: MpcMatchingConfig,
@@ -71,7 +71,7 @@ pub fn approx_min_vertex_cover(
     let out = integral_matching(
         g,
         &IntegralMatchingConfig {
-            sim: config.sim,
+            sim: config.sim.clone(),
             max_extractions: None,
         },
     )?;

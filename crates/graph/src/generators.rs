@@ -60,6 +60,36 @@ const GEO_POINT_CHUNK: usize = 1 << 13;
 /// Grid cells per task in the geometric edge scan.
 const GEO_CELL_CHUNK: usize = 1 << 12;
 
+/// Number of canonical pairs `(u, v)`, `u < v`, strictly before row `u` in
+/// the row-major enumeration of the `n`-vertex pair space.
+fn pair_row_offset(n: u64, u: u64) -> u64 {
+    // u·(2n − u − 1) / 2, computed in u128 so it is exact for any u32 n.
+    ((u as u128 * (2 * n as u128 - u as u128 - 1)) / 2) as u64
+}
+
+/// Decodes a linear index `k ∈ [0, n(n−1)/2)` into the `k`-th canonical
+/// pair `(u, v)`, `u < v`, in row-major order — the inverse of the
+/// triangular offset above. Row-major index order equals packed
+/// `(u << 32) | v` order, so sorted indices decode to sorted edges.
+fn pair_from_index(n: u64, k: u64) -> (u32, u32) {
+    debug_assert!((k as u128) < n as u128 * (n as u128 - 1) / 2);
+    // Float seed for the row: solve u² − (2n−1)u + 2k = 0, then correct
+    // the ±1 rounding slop with exact integer offsets.
+    let nf = n as f64;
+    let disc = ((2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * k as f64).max(0.0);
+    let mut u = (((2.0 * nf - 1.0) - disc.sqrt()) / 2.0) as u64;
+    u = u.min(n.saturating_sub(2));
+    while u > 0 && pair_row_offset(n, u) > k {
+        u -= 1;
+    }
+    while u + 1 < n && pair_row_offset(n, u + 1) <= k {
+        u += 1;
+    }
+    let v = u + 1 + (k - pair_row_offset(n, u));
+    debug_assert!(v < n);
+    (u as u32, v as u32)
+}
+
 /// The RNG of sampling chunk `chunk` for a generator seeded with `seed`.
 ///
 /// Chunk 0 **is** the historical sequential stream, so any graph that fits
@@ -125,13 +155,16 @@ pub fn gnp_with(n: usize, p: f64, seed: u64, exec: &ExecutorConfig) -> Result<Gr
         return Ok(complete(n));
     }
     let pairs = n as f64 * (n - 1) as f64 / 2.0;
-    let mut b = GraphBuilder::with_capacity(n, binomial_capacity(pairs, p));
+    let mut b = GraphBuilder::with_capacity_in(n, binomial_capacity(pairs, p), exec);
     // Geometric skip sampling: per row `u`, jump between successive
     // successes of a Bernoulli(p) stream over columns `u+1..n`, so the
     // running time is proportional to the number of edges generated.
     let log_q = (1.0 - p).ln();
     let rows = n - 1;
-    let sample_rows = |rng: &mut SmallRng, lo: usize, hi: usize, out: &mut Vec<Edge>| {
+    // Chunk 0 is the historical stream *and* the historical arithmetic:
+    // the division below rounds exactly like the pre-scale generator, so
+    // every pinned workload stays bit-identical.
+    let sample_rows_legacy = |rng: &mut SmallRng, lo: usize, hi: usize, out: &mut Vec<Edge>| {
         for row in lo..hi {
             let mut col = row as i64; // previous column; first candidate is row+1
             loop {
@@ -150,22 +183,48 @@ pub fn gnp_with(n: usize, p: f64, seed: u64, exec: &ExecutorConfig) -> Result<Gr
     if tasks <= 1 {
         let mut rng = chunk_rng(seed, 0);
         let mut out = Vec::new();
-        sample_rows(&mut rng, 0, rows, &mut out);
+        sample_rows_legacy(&mut rng, 0, rows, &mut out);
         b.extend_edges(out).expect("in range");
     } else {
-        let chunks: Vec<Vec<Edge>> = exec.run(tasks, |c| {
+        // Scale-tier chunks (≥ 1) take the fast branchless form: the
+        // reciprocal is hoisted so the inner loop is one log, one
+        // multiply and integer adds — no division, no data-dependent
+        // branch besides the row-exhausted check. Chunks emit packed
+        // `(u << 32) | v` words straight into pooled buffers.
+        let inv_log_q = 1.0 / log_q;
+        let chunks: Vec<Vec<u64>> = exec.run(tasks, |c| {
             let mut rng = chunk_rng(seed, c);
             let lo = c * GNP_ROW_CHUNK;
             let hi = (lo + GNP_ROW_CHUNK).min(rows);
             // Rows [lo, hi) own columns (row, n): expected count per row
             // is p·(n−1−row).
             let row_pairs: f64 = (lo..hi).map(|r| (n - 1 - r) as f64).sum();
-            let mut out = Vec::with_capacity(binomial_capacity(row_pairs, p));
-            sample_rows(&mut rng, lo, hi, &mut out);
+            let cap = binomial_capacity(row_pairs, p);
+            let mut out = exec.take_u64(cap);
+            if c == 0 {
+                let mut edges = Vec::with_capacity(cap);
+                sample_rows_legacy(&mut rng, lo, hi, &mut edges);
+                out.extend(edges.iter().map(|e| ((e.u() as u64) << 32) | e.v() as u64));
+            } else {
+                for row in lo..hi {
+                    let row_word = (row as u64) << 32;
+                    let mut col = row as i64;
+                    loop {
+                        let r: f64 = rng.gen::<f64>();
+                        let skip = ((1.0 - r).ln() * inv_log_q).floor() as i64;
+                        col += 1 + skip.max(0);
+                        if col >= n as i64 {
+                            break;
+                        }
+                        out.push(row_word | col as u64);
+                    }
+                }
+            }
             out
         });
         for chunk in chunks {
-            b.extend_edges(chunk).expect("in range");
+            b.extend_packed(&chunk);
+            exec.recycle_u64(chunk);
         }
     }
     Ok(b.build_with(exec))
@@ -197,7 +256,7 @@ pub fn gnm_with(n: usize, m: usize, seed: u64, exec: &ExecutorConfig) -> Result<
             message: format!("requested {m} edges but K_{n} has only {max_m}"),
         });
     }
-    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut b = GraphBuilder::with_capacity_in(n, m, exec);
     let sample_distinct =
         |rng: &mut SmallRng, quota: usize, set: &mut std::collections::HashSet<(u32, u32)>| {
             while set.len() < quota {
@@ -223,38 +282,72 @@ pub fn gnm_with(n: usize, m: usize, seed: u64, exec: &ExecutorConfig) -> Result<
                 b.add_edge(u, v).expect("in range");
             }
         } else {
-            let samples: Vec<Vec<(u32, u32)>> = exec.run(tasks, |c| {
+            // Scale path: every chunk draws a fixed quota of uniform
+            // linear indices into the n(n−1)/2 canonical pair space (one
+            // seed-derived stream each), the sorted union is deduplicated,
+            // and skip-sampled top-up sweeps repair the collision
+            // shortfall — no hash table anywhere, and every buffer comes
+            // from the scratch arena.
+            let total_pairs = pair_row_offset(n as u64, n as u64 - 1);
+            let mut chosen = exec.take_u64(m + 16);
+            let quotas: Vec<Vec<u64>> = exec.run(tasks, |c| {
                 let quota = GNM_CHUNK.min(m - c * GNM_CHUNK);
                 let mut rng = chunk_rng(seed, c);
-                let mut local = std::collections::HashSet::with_capacity(quota * 2);
-                sample_distinct(&mut rng, quota, &mut local);
-                let mut local: Vec<(u32, u32)> = local.into_iter().collect();
-                local.sort_unstable();
+                let mut local = exec.take_u64(quota);
+                for _ in 0..quota {
+                    local.push(rng.gen_range(0..total_pairs));
+                }
                 local
             });
-            let mut chosen = std::collections::HashSet::with_capacity(m * 2);
-            for chunk in samples {
-                for (u, v) in chunk {
-                    if chosen.insert((u, v)) {
-                        b.add_edge(u, v).expect("in range");
-                    }
-                }
+            for q in quotas {
+                chosen.extend_from_slice(&q);
+                exec.recycle_u64(q);
             }
-            // Cross-chunk collisions left a shortfall; top up from a
-            // dedicated stream (deterministic: the stream and the set
-            // contents are both thread-count-independent).
-            let mut rng = chunk_rng(seed, tasks);
+            chosen.sort_unstable();
+            chosen.dedup();
+            // Top-up rounds: sweep the pair space with a geometric skip
+            // walk whose hit rate is sized to twice the shortfall (fresh
+            // stream per round), keeping the first `short` new hits. The
+            // walk is strictly increasing, so hits are sorted and
+            // distinct by construction; truncating a sweep keeps its
+            // low-index prefix, a bias of O(shortfall / m) — the
+            // shortfall is the cross-chunk collision count, vanishingly
+            // small next to m.
+            let mut round = 0usize;
             while chosen.len() < m {
-                let u = rng.gen_range(0..n as u32);
-                let v = rng.gen_range(0..n as u32);
-                if u == v {
-                    continue;
+                let short = m - chosen.len();
+                let free = total_pairs - chosen.len() as u64;
+                let p_hit = ((2.0 * short as f64) / free as f64).min(1.0);
+                let log_q = (1.0 - p_hit).ln();
+                let mut rng = chunk_rng(seed, tasks + round);
+                let mut fresh: Vec<u64> = Vec::with_capacity(short);
+                let mut cand: u64 = 0;
+                loop {
+                    let r: f64 = rng.gen::<f64>();
+                    let skip = ((1.0 - r).ln() / log_q).floor().max(0.0) as u64;
+                    cand = cand.saturating_add(skip);
+                    if cand >= total_pairs || fresh.len() == short {
+                        break;
+                    }
+                    if chosen.binary_search(&cand).is_err() {
+                        fresh.push(cand);
+                    }
+                    cand += 1;
                 }
-                let key = if u < v { (u, v) } else { (v, u) };
-                if chosen.insert(key) {
-                    b.add_edge(key.0, key.1).expect("in range");
-                }
+                chosen.extend_from_slice(&fresh);
+                chosen.sort_unstable();
+                round += 1;
             }
+            // Row-major pair-index order equals packed edge order, so the
+            // sorted indices decode straight into a sorted packed run.
+            let mut packed = exec.take_u64(m);
+            for &k in chosen.iter() {
+                let (u, v) = pair_from_index(n as u64, k);
+                packed.push(((u as u64) << 32) | v as u64);
+            }
+            b.extend_packed(&packed);
+            exec.recycle_u64(packed);
+            exec.recycle_u64(chosen);
         }
     } else {
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -324,32 +417,41 @@ pub fn bipartite_gnp_with(
         }
         return Ok(b.build_with(exec));
     }
-    let mut b = GraphBuilder::with_capacity(n, binomial_capacity(pairs as f64, p));
+    let mut b = GraphBuilder::with_capacity_in(n, binomial_capacity(pairs as f64, p), exec);
     if p > 0.0 {
         let log_q = (1.0 - p).ln();
+        // Chunk 0 keeps the historical division; later chunks hoist the
+        // reciprocal (same fast form as the scale-tier `gnp` chunks).
+        let inv_log_q = 1.0 / log_q;
         let tasks = n_left.div_ceil(BIP_ROW_CHUNK);
-        let chunks: Vec<Vec<Edge>> = exec.run(tasks, |c| {
+        let chunks: Vec<Vec<u64>> = exec.run(tasks, |c| {
             let mut rng = chunk_rng(seed, c);
             let lo = c * BIP_ROW_CHUNK;
             let hi = (lo + BIP_ROW_CHUNK).min(n_left);
             let row_pairs = (hi - lo) as f64 * n_right as f64;
-            let mut out = Vec::with_capacity(binomial_capacity(row_pairs, p));
+            let mut out = exec.take_u64(binomial_capacity(row_pairs, p));
             for row in lo..hi {
+                let row_word = (row as u64) << 32;
                 let mut col = -1i64; // first candidate is column 0
                 loop {
                     let r: f64 = rng.gen::<f64>();
-                    let skip = ((1.0 - r).ln() / log_q).floor() as i64;
+                    let skip = if c == 0 {
+                        ((1.0 - r).ln() / log_q).floor() as i64
+                    } else {
+                        ((1.0 - r).ln() * inv_log_q).floor() as i64
+                    };
                     col += 1 + skip.max(0);
                     if col >= n_right as i64 {
                         break;
                     }
-                    out.push(Edge::new(row as u32, (n_left as i64 + col) as u32));
+                    out.push(row_word | (n_left as i64 + col) as u64);
                 }
             }
             out
         });
         for chunk in chunks {
-            b.extend_edges(chunk).expect("in range");
+            b.extend_packed(&chunk);
+            exec.recycle_u64(chunk);
         }
     }
     Ok(b.build_with(exec))
@@ -882,12 +984,13 @@ pub fn random_geometric_with(
         .concat()
     };
     // Grid-bucket the points so the expected running time is
-    // O(n + |E|) instead of O(n²). The grid is a flat row-major
-    // `Vec<Vec<u32>>` indexed by cell coordinates — deterministic
-    // iteration order and no hashing on the hot path. The side length is
-    // capped near √n so the table stays O(n) cells even for tiny radii;
-    // a cell is then at least `radius` wide either way, so the 3×3
-    // neighborhood scan below remains exhaustive.
+    // O(n + |E|) instead of O(n²). The grid is a CSR-style flat table —
+    // one offsets array and one payload array, built by a counting-sort
+    // pass — so bucketing costs two allocations (both pooled) instead of
+    // one `Vec` per cell. The side length is capped near √n so the table
+    // stays O(n) cells even for tiny radii; a cell is then at least
+    // `radius` wide either way, so the neighborhood stencil below remains
+    // exhaustive.
     let side = ((1.0 / radius.max(1e-9)).floor() as usize).clamp(1, (n as f64).sqrt() as usize + 1);
     let cell_of = |x: f64, y: f64| -> (usize, usize) {
         (
@@ -895,48 +998,77 @@ pub fn random_geometric_with(
             ((y * side as f64) as usize).min(side - 1),
         )
     };
-    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); side * side];
-    for (i, &(x, y)) in points.iter().enumerate() {
+    let cells = side * side;
+    // Counting-sort pass 1: cell id per point + per-cell counts.
+    let mut cell_id = exec.take_u32(n);
+    let mut grid_off = exec.take_u32(cells + 1);
+    grid_off.resize(cells + 1, 0);
+    for &(x, y) in &points {
         let (cx, cy) = cell_of(x, y);
-        grid[cy * side + cx].push(i as u32);
+        let c = cy * side + cx;
+        cell_id.push(c as u32);
+        grid_off[c + 1] += 1;
     }
+    for c in 0..cells {
+        grid_off[c + 1] += grid_off[c];
+    }
+    // Pass 2: scatter point ids, cursor per cell.
+    let mut cursor = exec.take_u32(cells);
+    cursor.extend_from_slice(&grid_off[..cells]);
+    let mut payload = exec.take_u32(n);
+    payload.resize(n, 0);
+    for (i, &c) in cell_id.iter().enumerate() {
+        let at = cursor[c as usize] as usize;
+        payload[at] = i as u32;
+        cursor[c as usize] += 1;
+    }
+    exec.recycle_u32(cell_id);
+    exec.recycle_u32(cursor);
+    let bucket = |c: usize| -> &[u32] { &payload[grid_off[c] as usize..grid_off[c + 1] as usize] };
     let r2 = radius * radius;
     let expected = binomial_capacity(
         n as f64 * n.saturating_sub(1) as f64 / 2.0,
         (std::f64::consts::PI * r2).min(1.0),
     );
-    let mut b = GraphBuilder::with_capacity(n, expected);
+    let mut b = GraphBuilder::with_capacity_in(n, expected, exec);
     // Edge scan, chunked over cells: each task owns a fixed cell range and
-    // emits the `u < v` pairs of its cells' 3×3 neighborhoods — cell
-    // ownership never depends on the thread count, and the builder's
-    // sort + dedup normalizes emission order anyway.
-    let scan: Vec<Vec<Edge>> = exec.run_chunked(side * side, GEO_CELL_CHUNK, |cell_range| {
-        let mut out = Vec::new();
+    // emits each candidate pair exactly once — within-cell pairs plus the
+    // four forward-neighbor cells (the half stencil), half the probes of
+    // the full 3×3 sweep. Cell ownership never depends on the thread
+    // count, and the builder's sort + dedup normalizes emission order.
+    let scan: Vec<Vec<u64>> = exec.run_chunked(cells, GEO_CELL_CHUNK, |cell_range| {
+        let mut out = exec.take_u64(0);
+        let probe = |u: u32, v: u32, out: &mut Vec<u64>| {
+            let (x1, y1) = points[u as usize];
+            let (x2, y2) = points[v as usize];
+            let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
+            if d2 <= r2 {
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                out.push(((a as u64) << 32) | b as u64);
+            }
+        };
         for cell in cell_range {
             let (cy, cx) = (cell / side, cell % side);
-            let members = &grid[cell];
+            let members = bucket(cell);
             if members.is_empty() {
                 continue;
             }
-            for dy in -1i64..=1 {
-                for dx in -1i64..=1 {
-                    let nx = cx as i64 + dx;
-                    let ny = cy as i64 + dy;
-                    if nx < 0 || ny < 0 || nx >= side as i64 || ny >= side as i64 {
-                        continue;
-                    }
-                    let neighbors = &grid[ny as usize * side + nx as usize];
-                    for &u in members {
-                        for &v in neighbors {
-                            if u < v {
-                                let (x1, y1) = points[u as usize];
-                                let (x2, y2) = points[v as usize];
-                                let d2 = (x1 - x2).powi(2) + (y1 - y2).powi(2);
-                                if d2 <= r2 {
-                                    out.push(Edge::new(u, v));
-                                }
-                            }
-                        }
+            for (i, &u) in members.iter().enumerate() {
+                for &v in &members[i + 1..] {
+                    probe(u, v, &mut out);
+                }
+            }
+            // Forward half-plane: (+1,0), (−1,+1), (0,+1), (+1,+1).
+            for (dx, dy) in [(1i64, 0i64), (-1, 1), (0, 1), (1, 1)] {
+                let nx = cx as i64 + dx;
+                let ny = cy as i64 + dy;
+                if nx < 0 || ny < 0 || nx >= side as i64 || ny >= side as i64 {
+                    continue;
+                }
+                let neighbors = bucket(ny as usize * side + nx as usize);
+                for &u in members {
+                    for &v in neighbors {
+                        probe(u, v, &mut out);
                     }
                 }
             }
@@ -944,8 +1076,11 @@ pub fn random_geometric_with(
         out
     });
     for chunk in scan {
-        b.extend_edges(chunk).expect("in range");
+        b.extend_packed(&chunk);
+        exec.recycle_u64(chunk);
     }
+    exec.recycle_u32(grid_off);
+    exec.recycle_u32(payload);
     Ok(b.build_with(exec))
 }
 
@@ -1227,6 +1362,33 @@ mod tests {
             }
         }
         assert_eq!(g, legacy.build());
+    }
+
+    #[test]
+    fn pair_index_decode_is_exact() {
+        // Exhaustive inverse check at small n: the k-th canonical pair in
+        // row-major order decodes back from k, in order.
+        for n in [2u64, 3, 7, 100] {
+            let mut k = 0u64;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    assert_eq!(pair_from_index(n, k), (u, v), "n={n} k={k}");
+                    k += 1;
+                }
+            }
+            assert_eq!(k, n * (n - 1) / 2);
+        }
+        // Spot-check the float seed + integer correction at scale-tier
+        // sizes, including both row boundaries.
+        for n in [1u64 << 20, (1 << 24) + 17] {
+            let total = n * (n - 1) / 2;
+            for k in [0, 1, n - 2, n - 1, n, total / 2, total - 2, total - 1] {
+                let (u, v) = pair_from_index(n, k);
+                assert!(u < v && (v as u64) < n);
+                let back = pair_row_offset(n, u as u64) + (v as u64 - u as u64 - 1);
+                assert_eq!(back, k, "n={n} k={k} decoded ({u},{v})");
+            }
+        }
     }
 
     #[test]

@@ -10,12 +10,19 @@
 //!
 //! The CSR arrays are the *only* owned representation (see DESIGN.md §2b):
 //!
-//! * `offsets` — `n + 1` words; neighbors of `v` live at
+//! * `offsets` — `n + 1` entries; neighbors of `v` live at
 //!   `adj[offsets[v]..offsets[v+1]]`;
 //! * `adj` — `2m` vertex ids, each undirected edge stored twice, per-vertex
 //!   sorted;
-//! * `fwd_offsets` — `n + 1` words of *forward-edge* prefix sums:
+//! * `fwd_offsets` — `n + 1` entries of *forward-edge* prefix sums:
 //!   `fwd_offsets[v]` counts canonical edges `{a, b}`, `a < b`, with `a < v`.
+//!
+//! Both offset arrays are **u32-packed** ([`OffsetArray`]): their values
+//! are bounded by `2m` directed edges, so until a graph exceeds 2³²
+//! directed edges they fit in half the memory (and half the cache lines)
+//! of the historical `Vec<usize>` layout. The checked u64 fallback above
+//! that bound is behaviourally identical — [`PartialEq`] on [`Graph`] and
+//! [`OffsetArray`] compares logical values, never representation width.
 //!
 //! The canonical sorted edge list (`u < v`, lexicographic) is **not** stored.
 //! [`Graph::edges`] returns an [`EdgesView`] that derives it on demand from
@@ -36,10 +43,136 @@
 //! contract extended to graph construction.
 
 use crate::error::GraphError;
-use mmvc_substrate::ExecutorConfig;
+use mmvc_substrate::{ExecutorConfig, ScratchPool};
 
 /// Identifier of a vertex: a dense index in `0..n`.
 pub type VertexId = u32;
+
+/// A CSR offset (prefix-sum) array, u32-packed with a checked u64
+/// fallback.
+///
+/// Offset values are bounded by the number of *directed* edges (`2m`),
+/// so almost every graph this workspace can hold fits the `U32` variant —
+/// half the bytes and cache traffic of the historical `Vec<usize>`. The
+/// `U64` variant exists for graphs beyond 2³² directed edges (and for the
+/// fallback tests that force it). Equality is *logical*: a `U32` and a
+/// `U64` array holding the same values compare equal, as do comparisons
+/// against `&[usize]` references — representation width is an
+/// implementation detail, never part of graph identity.
+#[derive(Debug, Clone)]
+pub enum OffsetArray {
+    /// Packed offsets: every value `< 2³²`.
+    U32(Vec<u32>),
+    /// Wide offsets for graphs beyond 2³² directed edges.
+    U64(Vec<u64>),
+}
+
+impl OffsetArray {
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self {
+            OffsetArray::U32(v) => v.len(),
+            OffsetArray::U64(v) => v.len(),
+        }
+    }
+
+    /// Whether the array has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th offset as a `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> usize {
+        match self {
+            OffsetArray::U32(v) => v[i] as usize,
+            OffsetArray::U64(v) => v[i] as usize,
+        }
+    }
+
+    /// The adjacent pair `(get(i), get(i + 1))` — one representation
+    /// branch instead of two for the ubiquitous slice-bounds lookup.
+    #[inline]
+    pub fn pair(&self, i: usize) -> (usize, usize) {
+        match self {
+            OffsetArray::U32(v) => (v[i] as usize, v[i + 1] as usize),
+            OffsetArray::U64(v) => (v[i] as usize, v[i + 1] as usize),
+        }
+    }
+
+    /// The last offset (the total the prefix sums run to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array is empty.
+    pub fn last(&self) -> usize {
+        match self {
+            OffsetArray::U32(v) => *v.last().expect("offsets never empty") as usize,
+            OffsetArray::U64(v) => *v.last().expect("offsets never empty") as usize,
+        }
+    }
+
+    /// `true` for the u64 fallback representation.
+    pub fn is_wide(&self) -> bool {
+        matches!(self, OffsetArray::U64(_))
+    }
+
+    /// Resident bytes of the backing array.
+    pub fn byte_len(&self) -> usize {
+        match self {
+            OffsetArray::U32(v) => v.len() * 4,
+            OffsetArray::U64(v) => v.len() * 8,
+        }
+    }
+
+    /// Iterator over the offsets as `usize` values.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len()).map(|i| self.get(i))
+    }
+
+    /// Number of leading entries `<= x` (the array is non-decreasing);
+    /// the `partition_point` the edge view's owner lookup runs on.
+    pub(crate) fn partition_point_le(&self, x: usize) -> usize {
+        match self {
+            OffsetArray::U32(v) => v.partition_point(|&o| o as usize <= x),
+            OffsetArray::U64(v) => v.partition_point(|&o| o as usize <= x),
+        }
+    }
+
+    /// Packs a `usize` prefix-sum vector, narrow unless `wide` is forced.
+    fn pack(values: &[usize], wide: bool) -> Self {
+        let fits = values.last().is_none_or(|&t| t <= u32::MAX as usize);
+        if fits && !wide {
+            OffsetArray::U32(values.iter().map(|&x| x as u32).collect())
+        } else {
+            OffsetArray::U64(values.iter().map(|&x| x as u64).collect())
+        }
+    }
+}
+
+impl PartialEq for OffsetArray {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl Eq for OffsetArray {}
+
+impl PartialEq<[usize]> for OffsetArray {
+    fn eq(&self, other: &[usize]) -> bool {
+        self.len() == other.len() && self.iter().zip(other.iter()).all(|(a, &b)| a == b)
+    }
+}
+
+impl PartialEq<&[usize]> for OffsetArray {
+    fn eq(&self, other: &&[usize]) -> bool {
+        self == *other
+    }
+}
 
 /// An undirected edge, canonically stored with `u() <= v()`.
 ///
@@ -122,16 +255,17 @@ impl Edge {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     n: usize,
-    /// CSR offsets: neighbors of `v` live at `adj[offsets[v]..offsets[v+1]]`.
-    offsets: Vec<usize>,
+    /// CSR offsets (u32-packed): neighbors of `v` live at
+    /// `adj[offsets.get(v)..offsets.get(v+1)]`.
+    offsets: OffsetArray,
     /// Flat, per-vertex-sorted neighbor array (each undirected edge appears
     /// twice).
     adj: Vec<VertexId>,
-    /// Forward-edge prefix sums: `fwd_offsets[v]` counts canonical edges
-    /// `{a, b}` with `a < b` and `a < v`; `fwd_offsets[n]` is `|E|`. This is
-    /// what lets [`EdgesView`] derive the canonical edge list from the CSR
-    /// arrays instead of owning a second copy.
-    fwd_offsets: Vec<usize>,
+    /// Forward-edge prefix sums (u32-packed): `fwd_offsets[v]` counts
+    /// canonical edges `{a, b}` with `a < b` and `a < v`; `fwd_offsets[n]`
+    /// is `|E|`. This is what lets [`EdgesView`] derive the canonical edge
+    /// list from the CSR arrays instead of owning a second copy.
+    fwd_offsets: OffsetArray,
 }
 
 impl Graph {
@@ -166,7 +300,7 @@ impl Graph {
 
     /// Number of undirected edges `|E|`.
     pub fn num_edges(&self) -> usize {
-        *self.fwd_offsets.last().expect("fwd_offsets never empty")
+        self.fwd_offsets.last()
     }
 
     /// Returns `true` if the graph has no edges.
@@ -197,7 +331,8 @@ impl Graph {
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
         assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
-        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+        let (s, e) = self.offsets.pair(v);
+        &self.adj[s..e]
     }
 
     /// The *forward* neighbors of `v`: those with id greater than `v`, a
@@ -210,14 +345,16 @@ impl Graph {
     pub fn forward_neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
         assert!(v < self.n, "vertex {v} out of range (n = {})", self.n);
-        let fc = self.fwd_offsets[v + 1] - self.fwd_offsets[v];
-        &self.adj[self.offsets[v + 1] - fc..self.offsets[v + 1]]
+        let (fs, fe) = self.fwd_offsets.pair(v);
+        let end = self.offsets.get(v + 1);
+        &self.adj[end - (fe - fs)..end]
     }
 
-    /// The raw CSR offset array (`n + 1` entries). Together with
+    /// The raw CSR offset array (`n + 1` entries, u32-packed — see
+    /// [`OffsetArray`]). Together with
     /// [`csr_adjacency`](Self::csr_adjacency) this is the whole graph;
     /// exposed for zero-copy consumers and the builder-equivalence tests.
-    pub fn csr_offsets(&self) -> &[usize] {
+    pub fn csr_offsets(&self) -> &OffsetArray {
         &self.offsets
     }
 
@@ -229,8 +366,8 @@ impl Graph {
     /// Resident bytes of the CSR representation (the arrays; excludes the
     /// struct header). The figure `bench_scale` reports as graph memory.
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * std::mem::size_of::<usize>()
-            + self.fwd_offsets.len() * std::mem::size_of::<usize>()
+        self.offsets.byte_len()
+            + self.fwd_offsets.byte_len()
             + self.adj.len() * std::mem::size_of::<VertexId>()
     }
 
@@ -246,7 +383,10 @@ impl Graph {
     /// Maximum degree Δ of the graph (0 for an edgeless graph).
     pub fn max_degree(&self) -> usize {
         (0..self.n)
-            .map(|v| self.offsets[v + 1] - self.offsets[v])
+            .map(|v| {
+                let (s, e) = self.offsets.pair(v);
+                e - s
+            })
             .max()
             .unwrap_or(0)
     }
@@ -459,7 +599,7 @@ impl<'g> EdgesView<'g> {
         );
         let u = self.owner_of(i);
         let fwd = self.g.forward_neighbors(u as VertexId);
-        let v = fwd[i - self.g.fwd_offsets[u]];
+        let v = fwd[i - self.g.fwd_offsets.get(u)];
         Edge {
             u: u as VertexId,
             v,
@@ -477,7 +617,7 @@ impl<'g> EdgesView<'g> {
         let fwd = self.g.forward_neighbors(e.u());
         fwd.binary_search(&e.v())
             .ok()
-            .map(|k| self.g.fwd_offsets[u] + k)
+            .map(|k| self.g.fwd_offsets.get(u) + k)
     }
 
     /// Iterator over all canonical edges, in lexicographic order.
@@ -518,7 +658,7 @@ impl<'g> EdgesView<'g> {
 
     /// The smaller endpoint of the `i`-th canonical edge (`i < len()`).
     fn owner_of(&self, i: usize) -> usize {
-        self.g.fwd_offsets.partition_point(|&o| o <= i) - 1
+        self.g.fwd_offsets.partition_point_le(i) - 1
     }
 }
 
@@ -561,12 +701,12 @@ impl Iterator for EdgeIter<'_> {
             return None;
         }
         // Advance past vertices whose forward edges are exhausted.
-        while self.g.fwd_offsets[self.u + 1] <= self.next {
+        while self.g.fwd_offsets.get(self.u + 1) <= self.next {
             self.u += 1;
         }
         let u = self.u;
-        let fc = self.g.fwd_offsets[u + 1] - self.g.fwd_offsets[u];
-        let pos = self.g.offsets[u + 1] - fc + (self.next - self.g.fwd_offsets[u]);
+        let (fs, fe) = self.g.fwd_offsets.pair(u);
+        let pos = self.g.offsets.get(u + 1) - (fe - fs) + (self.next - fs);
         self.next += 1;
         Some(Edge {
             u: u as VertexId,
@@ -589,10 +729,21 @@ const PAR_BUILD_THRESHOLD: usize = 1 << 15;
 
 /// Staged edges per bucketing task in the chunked build (pass 1). Fixed —
 /// never a function of the thread count — per the determinism contract.
-const BUILD_EDGE_CHUNK: usize = 1 << 16;
+/// Raised from 2¹⁶ in PR 6: fewer, larger tasks cut per-task overhead,
+/// which is what made threaded builds slower than sequential on the
+/// 1-core CI host.
+const BUILD_EDGE_CHUNK: usize = 1 << 17;
 
 /// Vertices per scatter task in the chunked build (pass 2). Fixed, as above.
 const BUILD_VERTEX_CHUNK: usize = 1 << 15;
+
+/// Packs a canonical edge as `(u << 32) | v`. Lexicographic edge order
+/// and packed integer order coincide, so sort + dedup on packed words is
+/// byte-equivalent to sort + dedup on [`Edge`] values.
+#[inline]
+fn pack_edge(e: Edge) -> u64 {
+    ((e.u as u64) << 32) | e.v as u64
+}
 
 /// Incremental builder for [`Graph`].
 ///
@@ -603,10 +754,23 @@ const BUILD_VERTEX_CHUNK: usize = 1 << 15;
 /// Either way the resulting graph is byte-identical — construction is
 /// normalized by a per-vertex sort + dedup, so thread count can never leak
 /// into the CSR arrays.
+///
+/// Edges are staged as packed `(u << 32) | v` words, which lets the
+/// staging buffer itself come from (and return to) a
+/// [`ScratchPool`] — see
+/// [`with_capacity_in`](Self::with_capacity_in). A warm pool makes
+/// repeated builds allocate essentially nothing beyond the final CSR
+/// arrays.
 #[derive(Debug, Clone, Default)]
 pub struct GraphBuilder {
     n: usize,
-    edges: Vec<Edge>,
+    /// Staged edges, packed `(u << 32) | v` with `u < v` (canonical).
+    edges: Vec<u64>,
+    /// Arena the staging buffer came from (and returns to after the
+    /// build), when the builder was created via `with_capacity_in`.
+    pool: Option<ScratchPool>,
+    /// Test knob: force the u64 offset fallback regardless of size.
+    force_wide: bool,
 }
 
 impl GraphBuilder {
@@ -615,6 +779,8 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             edges: Vec::new(),
+            pool: None,
+            force_wide: false,
         }
     }
 
@@ -625,7 +791,32 @@ impl GraphBuilder {
         GraphBuilder {
             n,
             edges: Vec::with_capacity(m),
+            pool: None,
+            force_wide: false,
         }
+    }
+
+    /// Like [`with_capacity`](Self::with_capacity), but the staging buffer
+    /// is drawn from `exec`'s scratch arena (when one is attached) and
+    /// recycled into it when the build completes — so repeated builds of
+    /// similarly-sized graphs reuse one staging allocation.
+    pub fn with_capacity_in(n: usize, m: usize, exec: &ExecutorConfig) -> Self {
+        GraphBuilder {
+            n,
+            edges: exec.take_u64(m),
+            pool: exec.scratch().cloned(),
+            force_wide: false,
+        }
+    }
+
+    /// Forces the u64 offset fallback the builder would normally reserve
+    /// for graphs beyond 2³² directed edges. The resulting graph is
+    /// logically identical to the packed build — this knob exists so the
+    /// fallback path is testable without staging 2³² edges.
+    #[doc(hidden)]
+    pub fn force_wide_offsets(&mut self) -> &mut Self {
+        self.force_wide = true;
+        self
     }
 
     /// Number of vertices this builder was created with.
@@ -662,7 +853,7 @@ impl GraphBuilder {
         if u == v {
             return Err(GraphError::SelfLoop { vertex: u });
         }
-        self.edges.push(Edge::new(u, v));
+        self.edges.push(pack_edge(Edge::new(u, v)));
         Ok(self)
     }
 
@@ -685,9 +876,20 @@ impl GraphBuilder {
                     n: self.n,
                 });
             }
-            self.edges.push(e);
+            self.edges.push(pack_edge(e));
         }
         Ok(self)
+    }
+
+    /// Bulk-stages pre-packed canonical edges (`(u << 32) | v`, `u < v`,
+    /// `v < n`) — the generators' pooled fast path. Invariants are the
+    /// caller's responsibility; debug builds audit them.
+    pub(crate) fn extend_packed(&mut self, packed: &[u64]) {
+        debug_assert!(packed.iter().all(|&p| {
+            let (u, v) = ((p >> 32) as u32, p as u32);
+            u < v && (v as usize) < self.n
+        }));
+        self.edges.extend_from_slice(packed);
     }
 
     /// Finalizes into an immutable [`Graph`] on a default executor,
@@ -725,10 +927,11 @@ impl GraphBuilder {
         let n = self.n;
         let mut degree = vec![0usize; n];
         let mut fwd_offsets = vec![0usize; n + 1];
-        for e in &self.edges {
-            degree[e.u() as usize] += 1;
-            degree[e.v() as usize] += 1;
-            fwd_offsets[e.u() as usize + 1] += 1;
+        for &p in &self.edges {
+            let (u, v) = ((p >> 32) as usize, (p as u32) as usize);
+            degree[u] += 1;
+            degree[v] += 1;
+            fwd_offsets[u + 1] += 1;
         }
         let mut offsets = vec![0usize; n + 1];
         for v in 0..n {
@@ -737,39 +940,227 @@ impl GraphBuilder {
         }
         let mut adj = vec![0 as VertexId; 2 * self.edges.len()];
         let mut cursor = offsets.clone();
-        for e in &self.edges {
-            adj[cursor[e.u() as usize]] = e.v();
-            cursor[e.u() as usize] += 1;
-            adj[cursor[e.v() as usize]] = e.u();
-            cursor[e.v() as usize] += 1;
+        for &p in &self.edges {
+            let (u, v) = ((p >> 32) as usize, (p as u32) as usize);
+            adj[cursor[u]] = v as VertexId;
+            cursor[u] += 1;
+            adj[cursor[v]] = u as VertexId;
+            cursor[v] += 1;
         }
         // Neighbor lists are sorted because edges were processed in sorted
         // order for `u`, but for `v` sides we must sort explicitly.
         for v in 0..n {
             adj[offsets[v]..offsets[v + 1]].sort_unstable();
         }
+        if let Some(pool) = &self.pool {
+            pool.recycle_u64(std::mem::take(&mut self.edges));
+        }
+        let wide = self.force_wide;
         Graph {
             n,
-            offsets,
+            offsets: OffsetArray::pack(&offsets, wide),
             adj,
-            fwd_offsets,
+            fwd_offsets: OffsetArray::pack(&fwd_offsets, wide),
         }
     }
 
-    /// Two-pass chunked counting-sort build.
+    /// Two-pass chunked counting-sort build, u32-packed and arena-backed.
     ///
-    /// Pass 1 buckets both directions of every staged edge by the owning
-    /// vertex range (fixed-size edge chunks, one task each). Pass 2, one
-    /// task per fixed-size vertex range, runs the counting sort locally:
-    /// degree count → prefix offsets → scatter, then per-vertex sort +
-    /// dedup *in place* and forward-degree counting. The main thread
-    /// concatenates the per-range outputs in range order.
+    /// Pass 1 counting-sorts both directions of every staged edge by the
+    /// owning vertex range, each fixed-size edge chunk writing its own
+    /// disjoint slab of **one** flat (pooled) directed-pair buffer — a
+    /// per-range cursor array makes every store sequential within its
+    /// range segment instead of a random per-edge scatter. Pass 2, one
+    /// task per fixed-size vertex range, walks the per-chunk segments of
+    /// its range and runs the counting sort proper: degree count → prefix
+    /// offsets → scatter, then per-vertex sort + dedup *in place* and
+    /// forward-degree counting — all counters, offsets and cursors `u32`.
+    /// The main thread concatenates the per-range outputs in range order
+    /// and recycles every working buffer into the arena.
+    ///
+    /// Builds that could overflow the u32 counters (beyond 2³² directed
+    /// edges) — or that request it via the test knob — take the checked
+    /// u64 fallback, which produces a logically identical graph.
     ///
     /// Determinism: chunk and range boundaries depend only on the input
-    /// (never the thread count), results come back slot-indexed in task
-    /// order, and the per-vertex sort + dedup normalizes any scatter-order
+    /// (never the thread count), slab and result slots are task-indexed,
+    /// and the per-vertex sort + dedup normalizes any scatter-order
     /// variation — so the output is byte-identical across executors.
     fn build_chunked(self, exec: &ExecutorConfig) -> Graph {
+        if self.force_wide || 2 * self.edges.len() > u32::MAX as usize {
+            return self.build_chunked_wide(exec);
+        }
+        let n = self.n;
+        let pool = self.pool;
+        let staged = self.edges;
+        let ranges = n.div_ceil(BUILD_VERTEX_CHUNK).max(1);
+        let chunks = staged.len().div_ceil(BUILD_EDGE_CHUNK);
+
+        // Pass 1: chunk `c` owns the slab `directed[2*lo(c)..2*hi(c)]` and
+        // counting-sorts its directed pairs `(owner << 32) | neighbor` by
+        // the owner's vertex range. Returns the per-chunk range offsets
+        // (within the slab) that pass 2 uses to locate each segment.
+        let mut directed = exec.take_u64(2 * staged.len());
+        directed.resize(2 * staged.len(), 0);
+        let slab_bounds: Vec<usize> = (0..=chunks)
+            .map(|c| 2 * (c * BUILD_EDGE_CHUNK).min(staged.len()))
+            .collect();
+        let chunk_offs: Vec<Vec<u32>> = {
+            let staged = &staged;
+            exec.run_slabs(&mut directed, &slab_bounds, |c, slab| {
+                let lo = c * BUILD_EDGE_CHUNK;
+                let hi = (lo + BUILD_EDGE_CHUNK).min(staged.len());
+                let mut counts = exec.take_u32(ranges + 1);
+                counts.resize(ranges + 1, 0);
+                for &p in &staged[lo..hi] {
+                    counts[(p >> 32) as usize / BUILD_VERTEX_CHUNK + 1] += 1;
+                    counts[(p as u32) as usize / BUILD_VERTEX_CHUNK + 1] += 1;
+                }
+                for i in 0..ranges {
+                    counts[i + 1] += counts[i];
+                }
+                let mut cursor = exec.take_u32(ranges);
+                cursor.extend_from_slice(&counts[..ranges]);
+                for &p in &staged[lo..hi] {
+                    let (u, v) = (p >> 32, (p as u32) as u64);
+                    let ru = u as usize / BUILD_VERTEX_CHUNK;
+                    slab[cursor[ru] as usize] = p;
+                    cursor[ru] += 1;
+                    let rv = v as usize / BUILD_VERTEX_CHUNK;
+                    slab[cursor[rv] as usize] = (v << 32) | u;
+                    cursor[rv] += 1;
+                }
+                exec.recycle_u32(cursor);
+                counts
+            })
+        };
+        // The flat buffer carries everything; recycle staging now to
+        // halve the transient peak.
+        if let Some(p) = exec.scratch().or(pool.as_ref()) {
+            p.recycle_u64(staged);
+        } else {
+            drop(staged);
+        }
+
+        // Pass 2: per vertex range, the counting sort proper over the
+        // range's segments of every chunk slab.
+        type RangePart = (Vec<u32>, Vec<u32>, Vec<u32>);
+        let parts: Vec<RangePart> = {
+            let directed = &directed;
+            let chunk_offs = &chunk_offs;
+            let slab_bounds = &slab_bounds;
+            let segs = move |r: usize| {
+                (0..chunks).map(move |c| {
+                    let sb = slab_bounds[c];
+                    let off = &chunk_offs[c];
+                    &directed[sb + off[r] as usize..sb + off[r + 1] as usize]
+                })
+            };
+            exec.run(ranges, |r| {
+                let base = r * BUILD_VERTEX_CHUNK;
+                let size = BUILD_VERTEX_CHUNK.min(n - base);
+                // Degree count (duplicates included), then prefix offsets.
+                let mut bounds = exec.take_u32(size + 1);
+                bounds.resize(size + 1, 0);
+                for seg in segs(r) {
+                    for &p in seg {
+                        bounds[(p >> 32) as usize - base + 1] += 1;
+                    }
+                }
+                for i in 0..size {
+                    bounds[i + 1] += bounds[i];
+                }
+                // Scatter neighbors into the per-vertex segments.
+                let total = bounds[size] as usize;
+                let mut buf = exec.take_u32(total);
+                buf.resize(total, 0);
+                let mut cursor = exec.take_u32(size);
+                cursor.extend_from_slice(&bounds[..size]);
+                for seg in segs(r) {
+                    for &p in seg {
+                        let lv = (p >> 32) as usize - base;
+                        buf[cursor[lv] as usize] = p as u32;
+                        cursor[lv] += 1;
+                    }
+                }
+                exec.recycle_u32(cursor);
+                // Per-vertex sort + dedup in place, compacting
+                // front-to-back (the write cursor never overtakes the
+                // read cursor).
+                let mut deg = exec.take_u32(size);
+                deg.resize(size, 0);
+                let mut fwd = exec.take_u32(size);
+                fwd.resize(size, 0);
+                let mut w = 0usize;
+                for lv in 0..size {
+                    let (s, e) = (bounds[lv] as usize, bounds[lv + 1] as usize);
+                    buf[s..e].sort_unstable();
+                    let start_w = w;
+                    let mut prev = u32::MAX;
+                    for idx in s..e {
+                        let x = buf[idx];
+                        if x != prev {
+                            buf[w] = x;
+                            w += 1;
+                            prev = x;
+                        }
+                    }
+                    deg[lv] = (w - start_w) as u32;
+                    let gv = (base + lv) as u32;
+                    fwd[lv] =
+                        ((w - start_w) - buf[start_w..w].partition_point(|&x| x <= gv)) as u32;
+                }
+                buf.truncate(w);
+                exec.recycle_u32(bounds);
+                (buf, deg, fwd)
+            })
+        };
+        exec.recycle_u64(directed);
+        for co in chunk_offs {
+            exec.recycle_u32(co);
+        }
+
+        // Assemble: concatenate per-range outputs in range order (the
+        // final CSR arrays are the product, not scratch — they are the
+        // only fresh allocations of a warm-pool build).
+        let total: usize = parts.iter().map(|(buf, _, _)| buf.len()).sum();
+        let mut offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut fwd_offsets: Vec<u32> = Vec::with_capacity(n + 1);
+        let mut adj: Vec<VertexId> = Vec::with_capacity(total);
+        offsets.push(0);
+        fwd_offsets.push(0);
+        let (mut off, mut f) = (0u32, 0u32);
+        for (buf, deg, fwd) in &parts {
+            adj.extend_from_slice(buf);
+            for &d in deg {
+                off += d;
+                offsets.push(off);
+            }
+            for &c in fwd {
+                f += c;
+                fwd_offsets.push(f);
+            }
+        }
+        for (buf, deg, fwd) in parts {
+            exec.recycle_u32(buf);
+            exec.recycle_u32(deg);
+            exec.recycle_u32(fwd);
+        }
+        Graph {
+            n,
+            offsets: OffsetArray::U32(offsets),
+            adj,
+            fwd_offsets: OffsetArray::U32(fwd_offsets),
+        }
+    }
+
+    /// The checked u64 fallback of [`build_chunked`](Self::build_chunked):
+    /// the historical per-chunk bucket-vector pipeline with `usize`
+    /// counters throughout, producing wide offset arrays. Taken when the
+    /// staged edge count could overflow the packed path's u32 counters
+    /// (beyond 2³² directed edges) or when forced by the test knob; the
+    /// resulting graph is logically identical to the packed build.
+    fn build_chunked_wide(self, exec: &ExecutorConfig) -> Graph {
         let n = self.n;
         let edges = self.edges;
         let ranges = n.div_ceil(BUILD_VERTEX_CHUNK).max(1);
@@ -778,10 +1169,10 @@ impl GraphBuilder {
         // owner's vertex range, one task per fixed-size edge chunk.
         let buckets: Vec<Vec<Vec<u64>>> = exec.run_chunked(edges.len(), BUILD_EDGE_CHUNK, |r| {
             let mut local: Vec<Vec<u64>> = vec![Vec::new(); ranges];
-            for e in &edges[r] {
-                let (u, v) = (e.u() as u64, e.v() as u64);
-                local[e.u() as usize / BUILD_VERTEX_CHUNK].push((u << 32) | v);
-                local[e.v() as usize / BUILD_VERTEX_CHUNK].push((v << 32) | u);
+            for &p in &edges[r] {
+                let (u, v) = (p >> 32, (p as u32) as u64);
+                local[u as usize / BUILD_VERTEX_CHUNK].push(p);
+                local[v as usize / BUILD_VERTEX_CHUNK].push((v << 32) | u);
             }
             local
         });
@@ -840,28 +1231,28 @@ impl GraphBuilder {
 
         // Assemble: concatenate per-range outputs in range order.
         let total: usize = parts.iter().map(|(buf, _, _)| buf.len()).sum();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut fwd_offsets = Vec::with_capacity(n + 1);
+        let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+        let mut fwd_offsets: Vec<u64> = Vec::with_capacity(n + 1);
         let mut adj = Vec::with_capacity(total);
         offsets.push(0);
         fwd_offsets.push(0);
-        let (mut off, mut f) = (0usize, 0usize);
+        let (mut off, mut f) = (0u64, 0u64);
         for (buf, deg, fwd) in &parts {
             adj.extend_from_slice(buf);
             for &d in deg {
-                off += d as usize;
+                off += d as u64;
                 offsets.push(off);
             }
             for &c in fwd {
-                f += c as usize;
+                f += c as u64;
                 fwd_offsets.push(f);
             }
         }
         Graph {
             n,
-            offsets,
+            offsets: OffsetArray::U64(offsets),
             adj,
-            fwd_offsets,
+            fwd_offsets: OffsetArray::U64(fwd_offsets),
         }
     }
 }
@@ -1023,11 +1414,83 @@ mod tests {
         let g = petersen();
         assert_eq!(g.csr_offsets().len(), 11);
         assert_eq!(g.csr_adjacency().len(), 30);
+        assert!(!g.csr_offsets().is_wide(), "small graphs pack to u32");
         assert_eq!(
             g.memory_bytes(),
-            11 * 8 + 11 * 8 + 30 * 4,
-            "offsets + fwd_offsets + adj"
+            11 * 4 + 11 * 4 + 30 * 4,
+            "u32-packed offsets + fwd_offsets + adj"
         );
+    }
+
+    #[test]
+    fn offset_array_logical_equality_and_accessors() {
+        let narrow = OffsetArray::U32(vec![0, 2, 5, 9]);
+        let wide = OffsetArray::U64(vec![0, 2, 5, 9]);
+        assert_eq!(narrow, wide, "equality ignores representation width");
+        assert_eq!(narrow, &[0usize, 2, 5, 9][..]);
+        assert_ne!(narrow, OffsetArray::U32(vec![0, 2, 5, 8]));
+        assert_eq!(narrow.len(), 4);
+        assert!(!narrow.is_empty());
+        assert_eq!(narrow.get(2), 5);
+        assert_eq!(narrow.pair(1), (2, 5));
+        assert_eq!(narrow.last(), 9);
+        assert_eq!(wide.last(), 9);
+        assert!(!narrow.is_wide() && wide.is_wide());
+        assert_eq!(narrow.byte_len(), 16);
+        assert_eq!(wide.byte_len(), 32);
+        assert_eq!(narrow.iter().collect::<Vec<_>>(), vec![0, 2, 5, 9]);
+        assert_eq!(narrow.partition_point_le(5), 3);
+    }
+
+    #[test]
+    fn forced_wide_offsets_build_identical_graphs() {
+        // The u64 fallback (mocked via the test knob — really staging
+        // 2^32 edges is not a unit test) must produce a graph logically
+        // identical to the packed build, on both build paths.
+        let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| (i % 40, 40 + (i * 7) % 60)).collect();
+        let mut packed = GraphBuilder::new(100);
+        let mut wide = GraphBuilder::new(100);
+        wide.force_wide_offsets();
+        for &(u, v) in &pairs {
+            packed.add_edge(u, v).unwrap();
+            wide.add_edge(u, v).unwrap();
+        }
+        let gp = packed.build();
+        let gw = wide.build();
+        assert!(!gp.csr_offsets().is_wide());
+        assert!(gw.csr_offsets().is_wide() && gw.fwd_offsets.is_wide());
+        assert_eq!(gp, gw, "logical equality across representations");
+        assert_eq!(gp.csr_offsets(), gw.csr_offsets());
+        assert_eq!(gw.num_edges(), gp.num_edges());
+        assert_eq!(gw.memory_bytes(), gp.memory_bytes() + 2 * 101 * 4);
+    }
+
+    #[test]
+    fn pooled_builder_recycles_staging_and_scratch() {
+        use mmvc_substrate::ScratchPool;
+        // Two identical chunked builds through one arena: the second
+        // must be served almost entirely from retained buffers.
+        let n = 40_000usize;
+        let pool = ScratchPool::new();
+        let exec = ExecutorConfig::sequential().with_scratch(&pool);
+        let build = || {
+            let mut b = GraphBuilder::with_capacity_in(n, 3 * (n - 1), &exec);
+            for i in 0..n as u32 - 1 {
+                b.add_edge(i, i + 1).unwrap();
+                b.add_edge(i + 1, i).unwrap();
+                b.add_edge(i, i + 1).unwrap();
+            }
+            b.build_with(&exec)
+        };
+        let g1 = build();
+        let cold = pool.stats();
+        assert!(cold.allocations > 0, "cold build allocates");
+        pool.reset_stats();
+        let g2 = build();
+        let warm = pool.stats();
+        assert_eq!(g1, g2);
+        assert_eq!(warm.allocated_bytes, 0, "warm build reuses everything");
+        assert!(warm.reuses >= cold.allocations);
     }
 
     #[test]

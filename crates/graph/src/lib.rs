@@ -58,11 +58,11 @@ pub mod vertex_cover;
 pub mod weighted;
 
 pub use error::GraphError;
-pub use graph::{Edge, EdgeIter, EdgesView, Graph, GraphBuilder, VertexId};
+pub use graph::{Edge, EdgeIter, EdgesView, Graph, GraphBuilder, OffsetArray, VertexId};
 
 #[cfg(test)]
 mod proptests {
-    use crate::{generators, matching, mis, vertex_cover, Graph};
+    use crate::{generators, matching, mis, scenarios, vertex_cover, Graph, GraphBuilder};
     use proptest::prelude::*;
 
     /// Strategy: a random graph described by (n, edge density seed).
@@ -124,6 +124,36 @@ mod proptests {
                 prop_assert!(g.has_edge(e.u(), e.v()));
                 prop_assert!(keep[e.u() as usize] && keep[e.v() as usize]);
             }
+        }
+
+        #[test]
+        fn packed_and_wide_builds_are_byte_identical_on_base_scenarios(
+            idx in 0usize..64,
+            n in 16usize..200,
+            seed in 0u64..500
+        ) {
+            // The u32/u64 CSR boundary contract: the wide-offset fallback
+            // (the representation graphs beyond 2³² directed edges get)
+            // must be logically byte-identical to the packed build on
+            // every base scenario — same offsets sequence, same adjacency
+            // bytes, equal graphs.
+            let base: Vec<_> = scenarios::base().collect();
+            let sc = base[idx % base.len()];
+            let g = sc.build_with(n, seed).expect("base scenario builds");
+            let nv = g.num_vertices();
+            let mut packed = GraphBuilder::with_capacity(nv, g.num_edges());
+            let mut wide = GraphBuilder::with_capacity(nv, g.num_edges());
+            wide.force_wide_offsets();
+            packed.extend_edges(g.edges().iter()).expect("in range");
+            wide.extend_edges(g.edges().iter()).expect("in range");
+            let gp = packed.build();
+            let gw = wide.build();
+            prop_assert!(!gp.csr_offsets().is_wide(), "{} stayed packed", sc.name);
+            prop_assert!(gw.csr_offsets().is_wide(), "{} forced wide", sc.name);
+            prop_assert_eq!(gp.csr_offsets(), gw.csr_offsets());
+            prop_assert_eq!(gp.csr_adjacency(), gw.csr_adjacency());
+            prop_assert_eq!(&gp, &gw, "{} diverged across offset widths", sc.name);
+            prop_assert_eq!(&gp, &g, "{} rebuild diverged from original", sc.name);
         }
 
         #[test]

@@ -392,6 +392,20 @@ const REGISTRY: &[Scenario] = &[
         scale: true,
         build: ring_lattice,
     },
+    Scenario {
+        name: "scale-gnp-16m",
+        description: "G(n, p) at average degree 8, n = 2^24 (u32-packed CSR headline)",
+        default_n: 1 << 24,
+        scale: true,
+        build: gnp_sparse,
+    },
+    Scenario {
+        name: "scale-gnm-16m",
+        description: "G(n, m) with m = 4n, n = 2^24",
+        default_n: 1 << 24,
+        scale: true,
+        build: gnm,
+    },
 ];
 
 /// All registered scenarios, in stable display order (base tier, then

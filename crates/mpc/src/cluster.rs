@@ -81,8 +81,8 @@ impl Cluster {
     }
 
     /// The executor running per-machine closures.
-    pub fn executor(&self) -> ExecutorConfig {
-        self.executor
+    pub fn executor(&self) -> &ExecutorConfig {
+        &self.executor
     }
 
     /// Opens a new round.

@@ -132,6 +132,10 @@ struct AppState {
     metrics: Metrics,
     workers: usize,
     max_n: usize,
+    /// One scratch arena shared by every served run: repeat requests
+    /// (cache misses included) rebuild graphs and per-round masks out of
+    /// recycled buffers instead of fresh allocations.
+    scratch: mmvc_substrate::ScratchPool,
 }
 
 /// The bound daemon: accept loop plus worker pool.
@@ -180,6 +184,7 @@ impl Server {
                 metrics: Metrics::new(),
                 workers,
                 max_n: config.max_n,
+                scratch: mmvc_substrate::ScratchPool::new(),
             }),
             stop: Arc::new(AtomicBool::new(false)),
             workers,
@@ -373,6 +378,10 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
             .max_n
             .map_or(state.max_n, |m| m.min(state.max_n)),
     );
+    // Served runs share the daemon's scratch arena: the cache key ignores
+    // the executor (it never changes a reported number), so pooling is
+    // invisible to clients — it just stops repeat builds from allocating.
+    spec.executor = spec.executor.clone().with_scratch(&state.scratch);
 
     // Resolve the workload's cache identity — and, for file workloads,
     // the bytes — *once*, so the hash in the key is the hash of exactly

@@ -38,6 +38,8 @@
 //! assert_eq!(ExecutorConfig::sequential().run(8, |i| i * i), squares);
 //! ```
 
+use crate::ScratchPool;
+
 /// Task counts below this run sequentially by default — spawning a thread
 /// costs more than a trivial round saves.
 const DEFAULT_SEQUENTIAL_BELOW: usize = 2;
@@ -46,15 +48,35 @@ const DEFAULT_SEQUENTIAL_BELOW: usize = 2;
 /// calling thread, or fanned out over a fixed pool of scoped OS threads.
 ///
 /// Results are deterministic and schedule-independent by construction —
-/// see the module-level docs for the rules that guarantee it. The
-/// config is `Copy` and cheap to pass around; build it once at the top of
+/// see the module-level docs for the rules that guarantee it. The config
+/// is `Clone` and cheap to pass around (cloning shares the attached
+/// scratch arena, it never copies buffers); build it once at the top of
 /// a run (it resolves [`std::thread::available_parallelism`] at
 /// construction, not per round) and thread it through algorithm configs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// An optional [`ScratchPool`] rides along
+/// ([`with_scratch`](Self::with_scratch)): the builder, generators and
+/// per-round scans draw their working buffers from it via
+/// [`take_u32`](Self::take_u32) / [`take_u64`](Self::take_u64), so
+/// repeated builds stop re-allocating. Configs without a pool fall back
+/// to plain allocation — behaviour, and therefore every byte of output,
+/// is identical either way. Equality ignores the pool: two configs are
+/// equal iff they execute identically.
+#[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     threads: usize,
     sequential_below: usize,
+    scratch: Option<ScratchPool>,
 }
+
+impl PartialEq for ExecutorConfig {
+    /// Pool-blind: equality compares the execution parameters only.
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads && self.sequential_below == other.sequential_below
+    }
+}
+
+impl Eq for ExecutorConfig {}
 
 impl ExecutorConfig {
     /// Runs every task on the calling thread.
@@ -62,6 +84,7 @@ impl ExecutorConfig {
         ExecutorConfig {
             threads: 1,
             sequential_below: DEFAULT_SEQUENTIAL_BELOW,
+            scratch: None,
         }
     }
 
@@ -81,6 +104,65 @@ impl ExecutorConfig {
         ExecutorConfig {
             threads: threads.max(1),
             sequential_below: DEFAULT_SEQUENTIAL_BELOW,
+            scratch: None,
+        }
+    }
+
+    /// Attaches a scratch arena; buffer-hungry passes threaded over this
+    /// config will draw from (and recycle into) `pool`.
+    #[must_use]
+    pub fn with_scratch(mut self, pool: &ScratchPool) -> Self {
+        self.scratch = Some(pool.clone());
+        self
+    }
+
+    /// Ensures a scratch arena is attached, creating a fresh one if
+    /// needed. The run driver calls this once per run so every round
+    /// shares one arena.
+    #[must_use]
+    pub fn ensure_scratch(mut self) -> Self {
+        if self.scratch.is_none() {
+            self.scratch = Some(ScratchPool::new());
+        }
+        self
+    }
+
+    /// The attached scratch arena, if any.
+    pub fn scratch(&self) -> Option<&ScratchPool> {
+        self.scratch.as_ref()
+    }
+
+    /// Takes an empty `Vec<u32>` with at least `min_cap` capacity from
+    /// the attached arena, or allocates fresh when no pool is attached.
+    pub fn take_u32(&self, min_cap: usize) -> Vec<u32> {
+        match &self.scratch {
+            Some(p) => p.take_u32(min_cap),
+            None => Vec::with_capacity(min_cap),
+        }
+    }
+
+    /// Returns a `u32` buffer to the attached arena (dropped when no
+    /// pool is attached).
+    pub fn recycle_u32(&self, buf: Vec<u32>) {
+        if let Some(p) = &self.scratch {
+            p.recycle_u32(buf);
+        }
+    }
+
+    /// Takes an empty `Vec<u64>` with at least `min_cap` capacity from
+    /// the attached arena, or allocates fresh when no pool is attached.
+    pub fn take_u64(&self, min_cap: usize) -> Vec<u64> {
+        match &self.scratch {
+            Some(p) => p.take_u64(min_cap),
+            None => Vec::with_capacity(min_cap),
+        }
+    }
+
+    /// Returns a `u64` buffer to the attached arena (dropped when no
+    /// pool is attached).
+    pub fn recycle_u64(&self, buf: Vec<u64>) {
+        if let Some(p) = &self.scratch {
+            p.recycle_u64(buf);
         }
     }
 
@@ -163,6 +245,77 @@ impl ExecutorConfig {
             let start = t * chunk_size;
             work(start..(start + chunk_size).min(items))
         })
+    }
+
+    /// Splits `data` at the caller-fixed `bounds` (ascending offsets,
+    /// `bounds[0] == 0`, `bounds[last] == data.len()`) into one disjoint
+    /// mutable slab per task and runs `work(task_index, slab)` on each,
+    /// returning the per-task results in task order.
+    ///
+    /// This is the primitive that lets the counting-sort graph builder
+    /// scatter into a **single** flat (pooled) buffer from many tasks at
+    /// once without locks or unsafe: the borrow is split up front, the
+    /// slab boundaries depend only on the input, and each task owns its
+    /// slab exclusively — so the buffer contents are byte-identical for
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is not an ascending cover of `data`.
+    pub fn run_slabs<T, R, F>(&self, data: &mut [T], bounds: &[usize], work: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut [T]) -> R + Sync,
+    {
+        assert!(
+            !bounds.is_empty() && bounds[0] == 0 && bounds[bounds.len() - 1] == data.len(),
+            "bounds must cover data exactly"
+        );
+        let tasks = bounds.len() - 1;
+        if tasks == 0 {
+            return Vec::new();
+        }
+        // Split the single borrow into per-task slabs up front.
+        let mut slabs: Vec<&mut [T]> = Vec::with_capacity(tasks);
+        let mut rest = data;
+        for w in bounds.windows(2) {
+            assert!(w[0] <= w[1], "bounds must be ascending");
+            let (slab, tail) = rest.split_at_mut(w[1] - w[0]);
+            slabs.push(slab);
+            rest = tail;
+        }
+        let threads = self.threads.min(tasks);
+        if threads <= 1 || tasks < self.sequential_below {
+            return slabs
+                .iter_mut()
+                .enumerate()
+                .map(|(i, slab)| work(i, slab))
+                .collect();
+        }
+        let mut slots: Vec<Option<R>> = (0..tasks).map(|_| None).collect();
+        let chunk = tasks.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (ci, (slab_chunk, slot_chunk)) in slabs
+                .chunks_mut(chunk)
+                .zip(slots.chunks_mut(chunk))
+                .enumerate()
+            {
+                let work = &work;
+                scope.spawn(move || {
+                    let base = ci * chunk;
+                    for (off, (slab, slot)) in
+                        slab_chunk.iter_mut().zip(slot_chunk.iter_mut()).enumerate()
+                    {
+                        *slot = Some(work(base + off, slab));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slab slot filled"))
+            .collect()
     }
 }
 
@@ -252,6 +405,71 @@ mod tests {
     #[should_panic(expected = "chunk_size")]
     fn zero_chunk_size_panics() {
         ExecutorConfig::sequential().run_chunked(10, 0, |_| ());
+    }
+
+    #[test]
+    fn run_slabs_writes_disjoint_slabs_identically_across_threads() {
+        let bounds = [0usize, 3, 3, 10, 16];
+        let expect: Vec<u32> = {
+            let mut d = vec![0u32; 16];
+            let mut b = ExecutorConfig::sequential();
+            b = b.sequential_below(0);
+            let lens = b.run_slabs(&mut d, &bounds, |i, slab| {
+                for (k, x) in slab.iter_mut().enumerate() {
+                    *x = (i as u32) * 100 + k as u32;
+                }
+                slab.len()
+            });
+            assert_eq!(lens, vec![3, 0, 7, 6]);
+            d
+        };
+        for t in [2, 3, 8] {
+            let mut d = vec![0u32; 16];
+            let lens = ExecutorConfig::with_threads(t)
+                .sequential_below(0)
+                .run_slabs(&mut d, &bounds, |i, slab| {
+                    for (k, x) in slab.iter_mut().enumerate() {
+                        *x = (i as u32) * 100 + k as u32;
+                    }
+                    slab.len()
+                });
+            assert_eq!(lens, vec![3, 0, 7, 6], "{t} threads");
+            assert_eq!(d, expect, "{t} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cover data exactly")]
+    fn run_slabs_rejects_partial_cover() {
+        let mut d = vec![0u32; 4];
+        ExecutorConfig::sequential().run_slabs(&mut d, &[0, 2], |_, _| ());
+    }
+
+    #[test]
+    fn scratch_helpers_fall_back_without_a_pool() {
+        let exec = ExecutorConfig::sequential();
+        assert!(exec.scratch().is_none());
+        let b = exec.take_u32(10);
+        assert!(b.capacity() >= 10);
+        exec.recycle_u32(b); // dropped, no pool
+
+        let pooled = exec.clone().ensure_scratch();
+        assert!(pooled.scratch().is_some());
+        pooled.recycle_u64(Vec::with_capacity(8));
+        let b = pooled.take_u64(4);
+        assert_eq!(pooled.scratch().unwrap().stats().reuses, 1);
+        pooled.recycle_u64(b);
+        // ensure_scratch is idempotent: the arena is preserved.
+        let again = pooled.clone().ensure_scratch();
+        assert_eq!(again.scratch().unwrap().stats().reuses, 1);
+    }
+
+    #[test]
+    fn equality_is_pool_blind() {
+        let a = ExecutorConfig::with_threads(4);
+        let b = ExecutorConfig::with_threads(4).ensure_scratch();
+        assert_eq!(a, b);
+        assert_ne!(a, ExecutorConfig::with_threads(2));
     }
 
     #[test]

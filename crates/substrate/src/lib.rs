@@ -25,6 +25,12 @@
 //! * [`WorkerPool`] — the streaming counterpart for jobs that arrive
 //!   over time (the serving layer's connection pool), under the same
 //!   schedule-independence discipline;
+//! * [`ScratchPool`] / [`ScratchStats`] — the reusable scratch-buffer
+//!   arena the builder, generators and per-round scans draw their
+//!   working buffers from (threaded through [`ExecutorConfig`]), with
+//!   the allocation counters `bench_scale` reports;
+//! * [`Bitset`] — the word-packed membership mask the hot MIS/matching
+//!   scans use instead of `Vec<bool>`;
 //! * [`SubstrateError`] — the substrate-agnostic failure type every
 //!   model-specific error converts into.
 //!
@@ -44,16 +50,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bitset;
 mod engine;
 mod error;
 mod executor;
 mod pool;
+mod scratch;
 mod trace;
 
+pub use bitset::Bitset;
 pub use engine::RoundLedger;
 pub use error::SubstrateError;
 pub use executor::ExecutorConfig;
 pub use pool::WorkerPool;
+pub use scratch::{ScratchPool, ScratchStats};
 pub use trace::{ExecutionTrace, RoundSummary};
 
 /// A metered execution substrate.

@@ -1,0 +1,274 @@
+//! A reusable scratch-buffer arena shared across graph builds and
+//! algorithm rounds.
+//!
+//! The scale tier spends most of its time in counting-sort passes and
+//! per-round vertex scans whose working buffers (`Vec<u32>` counters,
+//! cursors and degree arrays; `Vec<u64>` packed-pair staging) have the
+//! same sizes build after build and round after round. Allocating them
+//! fresh each time is pure overhead — and on the 1-core CI host the
+//! allocator churn is what made threaded builds *slower* than sequential
+//! (BENCH_scale.json, scale-gnp-1m before PR 6).
+//!
+//! [`ScratchPool`] is the fix: a typed pool of recycled buffers behind an
+//! `Arc<Mutex<..>>` handle, threaded through
+//! [`ExecutorConfig`](crate::ExecutorConfig) so every layer (builder,
+//! generators, per-round scans) draws from the same arena. The pool
+//! retains every recycled buffer — it grows to the peak working set of
+//! the largest build it has seen and holds it, which is exactly the
+//! arena bargain: after the first (cold) build, repeated builds allocate
+//! ~0 fresh buffer bytes. Call [`ScratchPool::trim`] to release the
+//! retained memory explicitly.
+//!
+//! Determinism: the pool hands out *capacity*, never contents — every
+//! `take_*` returns an empty (`len == 0`) buffer, and callers fill it
+//! from scratch. Which physical allocation a task receives can vary with
+//! scheduling, but the bytes computed never do, so the executor
+//! byte-identity contract is untouched.
+//!
+//! ```
+//! use mmvc_substrate::ScratchPool;
+//!
+//! let pool = ScratchPool::new();
+//! let mut buf = pool.take_u32(1024);
+//! assert!(buf.capacity() >= 1024 && buf.is_empty());
+//! buf.extend(0..10u32);
+//! pool.recycle_u32(buf);
+//!
+//! // The second take reuses the first buffer: no fresh allocation.
+//! let again = pool.take_u32(1024);
+//! assert_eq!(pool.stats().reuses, 1);
+//! assert_eq!(pool.stats().allocations, 1);
+//! pool.recycle_u32(again);
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+/// Allocation counters of a [`ScratchPool`], cumulative since creation or
+/// the last [`reset_stats`](ScratchPool::reset_stats).
+///
+/// `allocations` / `allocated_bytes` count fresh memory the pool had to
+/// request from the allocator (including growing a too-small recycled
+/// buffer — only the grown-by bytes are charged). `reuses` /
+/// `reused_bytes` count requests served entirely from retained capacity.
+/// These are the numbers `bench_scale` reports as the arena columns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Requests that needed fresh allocator memory.
+    pub allocations: u64,
+    /// Fresh bytes requested from the allocator.
+    pub allocated_bytes: u64,
+    /// Requests served from retained capacity alone.
+    pub reuses: u64,
+    /// Bytes of retained capacity handed back out.
+    pub reused_bytes: u64,
+}
+
+impl ScratchStats {
+    /// Total `take_*` calls observed.
+    pub fn takes(&self) -> u64 {
+        self.allocations + self.reuses
+    }
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    stats: ScratchStats,
+}
+
+/// Best-fit take from one shelf: prefer the smallest retained buffer with
+/// `capacity >= min_cap`; otherwise grow the largest retained buffer;
+/// otherwise allocate fresh. Returns an empty buffer with
+/// `capacity >= min_cap`.
+fn take_from<T>(shelf: &mut Vec<Vec<T>>, stats: &mut ScratchStats, min_cap: usize) -> Vec<T> {
+    let word = std::mem::size_of::<T>();
+    let mut best: Option<(usize, usize)> = None; // (index, capacity), best fit
+    let mut largest: Option<(usize, usize)> = None;
+    for (i, b) in shelf.iter().enumerate() {
+        let c = b.capacity();
+        if c >= min_cap && best.is_none_or(|(_, bc)| c < bc) {
+            best = Some((i, c));
+        }
+        if largest.is_none_or(|(_, lc)| c > lc) {
+            largest = Some((i, c));
+        }
+    }
+    if let Some((i, _)) = best {
+        stats.reuses += 1;
+        stats.reused_bytes += (min_cap * word) as u64;
+        let mut b = shelf.swap_remove(i);
+        b.clear();
+        return b;
+    }
+    stats.allocations += 1;
+    if let Some((i, cap)) = largest {
+        // Grow the largest retained buffer; charge only the delta.
+        stats.allocated_bytes += ((min_cap - cap) * word) as u64;
+        let mut b = shelf.swap_remove(i);
+        b.clear();
+        b.reserve(min_cap);
+        b
+    } else {
+        stats.allocated_bytes += (min_cap * word) as u64;
+        Vec::with_capacity(min_cap)
+    }
+}
+
+/// A shared, thread-safe arena of recycled scratch buffers.
+///
+/// Cloning the pool clones the *handle* — all clones share one arena, so
+/// a pool attached to an [`ExecutorConfig`](crate::ExecutorConfig) at the
+/// top of a run is visible to every layer the config is threaded
+/// through. See the module docs for the retention and determinism rules.
+#[derive(Debug, Clone, Default)]
+pub struct ScratchPool {
+    inner: Arc<Mutex<PoolInner>>,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes an empty `Vec<u32>` with at least `min_cap` capacity,
+    /// reusing retained buffers when possible.
+    pub fn take_u32(&self, min_cap: usize) -> Vec<u32> {
+        let mut inner = self.inner.lock().expect("scratch pool poisoned");
+        let PoolInner { u32s, stats, .. } = &mut *inner;
+        take_from(u32s, stats, min_cap)
+    }
+
+    /// Returns a `u32` buffer to the pool. Contents are discarded; the
+    /// capacity is retained for future [`take_u32`](Self::take_u32) calls.
+    pub fn recycle_u32(&self, mut buf: Vec<u32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut inner = self.inner.lock().expect("scratch pool poisoned");
+        inner.u32s.push(buf);
+    }
+
+    /// Takes an empty `Vec<u64>` with at least `min_cap` capacity,
+    /// reusing retained buffers when possible.
+    pub fn take_u64(&self, min_cap: usize) -> Vec<u64> {
+        let mut inner = self.inner.lock().expect("scratch pool poisoned");
+        let PoolInner { u64s, stats, .. } = &mut *inner;
+        take_from(u64s, stats, min_cap)
+    }
+
+    /// Returns a `u64` buffer to the pool. Contents are discarded; the
+    /// capacity is retained for future [`take_u64`](Self::take_u64) calls.
+    pub fn recycle_u64(&self, mut buf: Vec<u64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        let mut inner = self.inner.lock().expect("scratch pool poisoned");
+        inner.u64s.push(buf);
+    }
+
+    /// Snapshot of the cumulative allocation counters.
+    pub fn stats(&self) -> ScratchStats {
+        self.inner.lock().expect("scratch pool poisoned").stats
+    }
+
+    /// Resets the counters (retained buffers are kept). `bench_scale`
+    /// calls this between the cold and warm measurement windows.
+    pub fn reset_stats(&self) {
+        self.inner.lock().expect("scratch pool poisoned").stats = ScratchStats::default();
+    }
+
+    /// Bytes of capacity currently retained (idle in the pool).
+    pub fn retained_bytes(&self) -> usize {
+        let inner = self.inner.lock().expect("scratch pool poisoned");
+        inner.u32s.iter().map(|b| b.capacity() * 4).sum::<usize>()
+            + inner.u64s.iter().map(|b| b.capacity() * 8).sum::<usize>()
+    }
+
+    /// Releases all retained buffers (counters are kept).
+    pub fn trim(&self) {
+        let mut inner = self.inner.lock().expect("scratch pool poisoned");
+        inner.u32s.clear();
+        inner.u64s.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_take_allocates_warm_take_reuses() {
+        let pool = ScratchPool::new();
+        let b = pool.take_u64(100);
+        assert!(b.capacity() >= 100 && b.is_empty());
+        assert_eq!(pool.stats().allocations, 1);
+        assert_eq!(pool.stats().allocated_bytes, 800);
+        pool.recycle_u64(b);
+
+        let b = pool.take_u64(50); // smaller request: served from retained
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(pool.stats().allocations, 1, "no fresh allocation");
+        pool.recycle_u64(b);
+    }
+
+    #[test]
+    fn growing_a_retained_buffer_charges_only_the_delta() {
+        let pool = ScratchPool::new();
+        pool.recycle_u32({
+            let mut v = Vec::with_capacity(10);
+            v.push(7u32); // contents must be discarded on recycle
+            v
+        });
+        let b = pool.take_u32(100);
+        assert!(b.is_empty(), "recycled contents discarded");
+        assert!(b.capacity() >= 100);
+        let s = pool.stats();
+        assert_eq!(s.allocations, 1);
+        assert_eq!(s.allocated_bytes, (100 - 10) * 4);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let pool = ScratchPool::new();
+        pool.recycle_u32(Vec::with_capacity(1000));
+        pool.recycle_u32(Vec::with_capacity(64));
+        let b = pool.take_u32(50);
+        assert!(b.capacity() < 1000, "best fit picks the 64-cap buffer");
+        pool.recycle_u32(b);
+    }
+
+    #[test]
+    fn clones_share_the_arena() {
+        let pool = ScratchPool::new();
+        let other = pool.clone();
+        other.recycle_u64(Vec::with_capacity(32));
+        let b = pool.take_u64(16);
+        assert_eq!(pool.stats().reuses, 1);
+        assert_eq!(other.stats(), pool.stats());
+        pool.recycle_u64(b);
+    }
+
+    #[test]
+    fn trim_and_reset() {
+        let pool = ScratchPool::new();
+        pool.recycle_u32(Vec::with_capacity(100));
+        assert_eq!(pool.retained_bytes(), 400);
+        pool.trim();
+        assert_eq!(pool.retained_bytes(), 0);
+        let _ = pool.take_u32(8);
+        assert!(pool.stats().takes() > 0);
+        pool.reset_stats();
+        assert_eq!(pool.stats(), ScratchStats::default());
+    }
+
+    #[test]
+    fn zero_capacity_recycle_is_dropped() {
+        let pool = ScratchPool::new();
+        pool.recycle_u32(Vec::new());
+        assert_eq!(pool.retained_bytes(), 0);
+    }
+}

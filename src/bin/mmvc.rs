@@ -362,7 +362,7 @@ fn cmd_mis(args: &[String]) -> Result<(), String> {
     match model.as_str() {
         "mpc" => {
             let mut cfg = GreedyMisConfig::new(seed);
-            cfg.executor = executor;
+            cfg.executor = executor.clone();
             let out = greedy_mpc_mis(&g, &cfg).map_err(|e| e.to_string())?;
             println!("mis_size    : {}", out.mis.len());
             println!("mpc_rounds  : {}", out.trace.rounds());
@@ -371,7 +371,7 @@ fn cmd_mis(args: &[String]) -> Result<(), String> {
         }
         "clique" => {
             let mut cfg = CliqueMisConfig::new(seed);
-            cfg.executor = executor;
+            cfg.executor = executor.clone();
             let out = clique_mis(&g, &cfg).map_err(|e| e.to_string())?;
             println!("mis_size      : {}", out.mis.len());
             println!("clique_rounds : {}", out.trace.rounds());

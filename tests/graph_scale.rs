@@ -5,7 +5,7 @@
 //! self-loops) must be preserved exactly.
 
 use mmvc::graph::{scenarios, Edge, Graph, GraphBuilder, VertexId};
-use mmvc::substrate::ExecutorConfig;
+use mmvc::substrate::{ExecutorConfig, ScratchPool};
 
 const SEED: u64 = 0xC0FFEE;
 
@@ -129,6 +129,84 @@ fn sequential_vs_threaded_graph_equality_at_n_2_20() {
             seq.csr_adjacency(),
             thr.csr_adjacency(),
             "adjacency diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn warm_arena_rebuilds_allocate_zero_fresh_bytes() {
+    // The scratch-arena pin behind BENCH_scale's allocation columns:
+    // after one warm-up build at the widest thread count, a sequential
+    // rebuild of the same workload allocates exactly zero fresh buffer
+    // bytes — the pool's shelves already hold every counting/bucket/
+    // staging buffer the build needs. Threaded rebuilds may race a
+    // handful of concurrent takes past the shelf supply, so they get a
+    // small transient margin (well under the ≥10× reduction BENCH_scale
+    // asserts); everything else must come from the arena.
+    let sc = scenarios::get("scale-gnp-1m").unwrap();
+    let n = 1 << 17;
+    let pool = ScratchPool::new();
+    let warmup = sc
+        .build_with_exec(
+            n,
+            SEED,
+            &ExecutorConfig::with_threads(4).with_scratch(&pool),
+        )
+        .unwrap();
+    let cold = pool.stats().allocated_bytes;
+    assert!(cold > 0, "cold build must populate the arena");
+    for threads in [1usize, 2, 4] {
+        let exec = if threads == 1 {
+            ExecutorConfig::sequential().with_scratch(&pool)
+        } else {
+            ExecutorConfig::with_threads(threads).with_scratch(&pool)
+        };
+        pool.reset_stats();
+        let rebuilt = sc.build_with_exec(n, SEED, &exec).unwrap();
+        let stats = pool.stats();
+        if threads == 1 {
+            assert_eq!(
+                stats.allocated_bytes, 0,
+                "warm sequential rebuild allocated fresh bytes \
+                 ({} allocations)",
+                stats.allocations
+            );
+        } else {
+            assert!(
+                10 * stats.allocated_bytes <= cold,
+                "warm rebuild at {threads} threads allocated {} fresh bytes \
+                 vs {cold} cold — arena not reused",
+                stats.allocated_bytes
+            );
+        }
+        assert!(stats.reuses > 0, "rebuild must draw from the arena");
+        assert_eq!(rebuilt, warmup, "pooling must not change the graph");
+    }
+}
+
+#[test]
+fn threaded_build_never_allocates_meaningfully_more_than_sequential() {
+    // The parallel-build regression pin: per-chunk buffer churn (a fresh
+    // Vec per chunk per pass, roughly 2× the sequential total) is what
+    // made t2/t4 slower than seq at the million-vertex tier. With the
+    // arena in place a cold threaded build allocates the same set of
+    // buffers as a cold sequential build, plus at most a sliver of
+    // transient top-up when concurrent takes outrun the shelves — pinned
+    // here at 5%, far below the churn this test exists to catch.
+    let sc = scenarios::get("scale-gnp-1m").unwrap();
+    let n = 1 << 17;
+    let cold_bytes = |exec: ExecutorConfig| {
+        let pool = ScratchPool::new();
+        sc.build_with_exec(n, SEED, &exec.with_scratch(&pool))
+            .unwrap();
+        pool.stats().allocated_bytes
+    };
+    let seq = cold_bytes(ExecutorConfig::sequential());
+    for threads in [2usize, 4] {
+        let thr = cold_bytes(ExecutorConfig::with_threads(threads));
+        assert!(
+            thr <= seq + seq / 20,
+            "cold build at {threads} threads allocated {thr} bytes vs {seq} sequential"
         );
     }
 }

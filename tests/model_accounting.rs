@@ -133,7 +133,7 @@ fn engine_determinism_mis_on_both_substrates() {
     let mut clique_baseline = None;
     for exec in executors() {
         let mut cfg = GreedyMisConfig::new(7);
-        cfg.executor = exec;
+        cfg.executor = exec.clone();
         let out = greedy_mpc_mis(&g, &cfg).unwrap();
         assert!(out.prefix_phases >= 1, "phase loop must run");
         let key = (
@@ -148,7 +148,7 @@ fn engine_determinism_mis_on_both_substrates() {
         }
 
         let mut cfg = CliqueMisConfig::new(7);
-        cfg.executor = exec;
+        cfg.executor = exec.clone();
         let out = clique_mis(&g, &cfg).unwrap();
         let key = (out.mis.members().to_vec(), out.prefix_phases, out.trace);
         match &clique_baseline {
@@ -169,7 +169,7 @@ fn engine_determinism_matching_and_filtering() {
     let mut filter_baseline = None;
     for exec in executors() {
         let mut cfg = MpcMatchingConfig::new(eps(), 11);
-        cfg.executor = exec;
+        cfg.executor = exec.clone();
         let out = mpc_simulation(&g, &cfg).unwrap();
         assert!(out.phases >= 1, "phase loop must run");
         let key = (
@@ -184,7 +184,7 @@ fn engine_determinism_matching_and_filtering() {
         }
 
         let mut cfg = FilteringConfig::new(11);
-        cfg.executor = exec;
+        cfg.executor = exec.clone();
         let out = filtering_maximal_matching(&g, &cfg).unwrap();
         assert!(out.filter_rounds >= 1, "filtering must iterate");
         let key = (

@@ -75,7 +75,7 @@ fn pin_mpc_mis_invariant_under_executor() {
         ExecutorConfig::with_threads(8),
     ] {
         let mut cfg = GreedyMisConfig::new(SEED);
-        cfg.executor = exec;
+        cfg.executor = exec.clone();
         let out = greedy_mpc_mis(&fixture(), &cfg).unwrap();
         assert_eq!(out.mis.len(), 66, "pin moved under {exec:?}");
     }
@@ -91,7 +91,7 @@ fn pin_clique_mis_invariant_under_executor() {
         ExecutorConfig::with_threads(8),
     ] {
         let mut cfg = CliqueMisConfig::new(SEED);
-        cfg.executor = exec;
+        cfg.executor = exec.clone();
         let out = clique_mis(&fixture(), &cfg).unwrap();
         assert_eq!(out.mis.len(), 72);
         match &baseline {

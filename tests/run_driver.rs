@@ -72,6 +72,8 @@ fn scenario_registry_seeding_pins() {
         ("scale-geometric-1m", 256, 1346),
         ("scale-planted-1m", 256, 633),
         ("scale-ring-1m", 256, 767),
+        ("scale-gnp-16m", 256, 1009),
+        ("scale-gnm-16m", 256, 1024),
     ];
     assert_eq!(
         pins.len(),
