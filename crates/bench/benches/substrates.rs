@@ -90,17 +90,13 @@ fn bench_substrates(c: &mut Criterion) {
                 greedy_mpc_mis(&g, &cfg).expect("fits budget").mis.len()
             })
         });
-        group.bench_with_input(
-            BenchmarkId::new("clique_mis_8k", name),
-            &exec,
-            |b, exec| {
-                b.iter(|| {
-                    let mut cfg = CliqueMisConfig::new(1);
-                    cfg.executor = exec.clone();
-                    clique_mis(&g, &cfg).expect("feasible routing").mis.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("clique_mis_8k", name), &exec, |b, exec| {
+            b.iter(|| {
+                let mut cfg = CliqueMisConfig::new(1);
+                cfg.executor = exec.clone();
+                clique_mis(&g, &cfg).expect("feasible routing").mis.len()
+            })
+        });
     }
     group.finish();
 }

@@ -1,8 +1,12 @@
 //! `mmvc_loadgen` — deterministic load generation against `mmvc serve`,
 //! the serving-performance counterpart of `bench_report`.
 //!
-//! Replays seeded request mixes and writes `BENCH_serve.json`
-//! (throughput, latency percentiles, cache hit rate — one row per mix):
+//! Replays seeded request mixes over **keep-alive connections** (each
+//! client thread reuses one connection for `--reqs-per-conn` requests
+//! before reconnecting, keeping up to `--pipeline` requests in flight
+//! per connection — the wrk-style closed loop) and writes
+//! `BENCH_serve.json` (throughput, latency percentiles, cache/store
+//! hit rates, connection reuse — one row per mix):
 //!
 //! * `uniform` — requests drawn uniformly from a fixed spec pool that
 //!   fits the cache (the steady-state mix: everything hits after one
@@ -11,21 +15,28 @@
 //!   cache *smaller than the pool* (the production-shaped mix: a few
 //!   hot specs dominate and LRU keeps exactly those resident);
 //! * `cache-bust` — every request a fresh seed (the adversarial mix:
-//!   nothing can hit, measuring pure run throughput).
+//!   nothing can hit, measuring pure run throughput);
+//! * `warm-restart` — half the schedule against a daemon with a
+//!   persistent store, then a **daemon restart over the same store
+//!   directory**, then the other half: the row proves a restarted
+//!   daemon keeps its hit rate (`post_restart.hits` answered from disk
+//!   without re-running).
 //!
 //! ```text
 //! cargo run --release -p mmvc-serve --bin mmvc_loadgen -- \
 //!     [--addr HOST:PORT] [--smoke] [--out PATH] [--requests N]
-//!     [--clients C] [--workers W] [--seed S]
+//!     [--clients C] [--workers W] [--reqs-per-conn R] [--pipeline D]
+//!     [--seed S]
 //! ```
 //!
 //! Without `--addr`, a fresh in-process daemon is spawned per mix on an
 //! ephemeral port (`--workers` sizes its pool) and shut down cleanly —
 //! the zero-setup mode CI uses, and it keeps the rows independent: each
 //! mix starts against a cold cache. With `--addr`, the external daemon's
-//! cache persists across mixes (noted by `"server"` in the artifact).
-//! The request *schedule* is a pure function of `--seed`; the measured
-//! numbers are the only nondeterministic outputs.
+//! cache persists across mixes (noted by `"server"` in the artifact) and
+//! the `warm-restart` mix is skipped — the generator cannot restart a
+//! server it does not own. The request *schedule* is a pure function of
+//! `--seed`; the measured numbers are the only nondeterministic outputs.
 
 use mmvc_bench::Json;
 use mmvc_core::run::AlgorithmKind;
@@ -63,6 +74,8 @@ struct Config {
     requests: usize,
     clients: usize,
     workers: usize,
+    reqs_per_conn: u64,
+    pipeline: u64,
     seed: u64,
 }
 
@@ -72,9 +85,11 @@ impl Default for Config {
             addr: None,
             smoke: false,
             out: "BENCH_serve.json".to_string(),
-            requests: 400,
+            requests: 20_000,
             clients: 4,
             workers: 4,
+            reqs_per_conn: 1000,
+            pipeline: 8,
             seed: 0x10AD,
         }
     }
@@ -83,7 +98,7 @@ impl Default for Config {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mmvc_loadgen [--addr HOST:PORT] [--smoke] [--out PATH] [--requests N] \
-         [--clients C] [--workers W] [--seed S]"
+         [--clients C] [--workers W] [--reqs-per-conn R] [--pipeline D] [--seed S]"
     );
     ExitCode::FAILURE
 }
@@ -118,6 +133,16 @@ fn parse_args(args: &[String]) -> Option<Config> {
                 cfg.workers = value(i)?.parse::<usize>().ok()?.max(1);
                 i += 2;
             }
+            "--reqs-per-conn" => {
+                cfg.reqs_per_conn = value(i)?.parse::<u64>().ok()?.max(1);
+                i += 2;
+            }
+            "--pipeline" => {
+                // The server stops reading a connection at 64 unanswered
+                // requests; a deeper client window would only stall.
+                cfg.pipeline = value(i)?.parse::<u64>().ok()?.clamp(1, 64);
+                i += 2;
+            }
             "--seed" => {
                 cfg.seed = value(i)?.parse().ok()?;
                 i += 2;
@@ -132,9 +157,9 @@ fn parse_args(args: &[String]) -> Option<Config> {
     Some(cfg)
 }
 
-/// The fixed spec pool the `uniform` and `hot-key` mixes draw from:
-/// every algorithm kind over a rotating scenario, at a size small
-/// enough that a cold run is milliseconds.
+/// The fixed spec pool the `uniform`, `hot-key`, and `warm-restart`
+/// mixes draw from: every algorithm kind over a rotating scenario, at a
+/// size small enough that a cold run is milliseconds.
 fn spec_pool(smoke: bool, seed: u64) -> Vec<String> {
     let scenarios = [
         "gnp-sparse",
@@ -160,10 +185,12 @@ fn spec_pool(smoke: bool, seed: u64) -> Vec<String> {
 }
 
 /// One mix's request schedule: the body of request `i`.
+#[derive(PartialEq, Eq)]
 enum Mix {
     Uniform,
     HotKey,
     CacheBust,
+    WarmRestart,
 }
 
 impl Mix {
@@ -172,6 +199,7 @@ impl Mix {
             Mix::Uniform => "uniform",
             Mix::HotKey => "hot-key",
             Mix::CacheBust => "cache-bust",
+            Mix::WarmRestart => "warm-restart",
         }
     }
 
@@ -180,7 +208,7 @@ impl Mix {
     /// row measures skew under eviction pressure, not pool memoization.
     fn cache_capacity(&self, pool_len: usize) -> usize {
         match self {
-            Mix::Uniform | Mix::CacheBust => 512,
+            Mix::Uniform | Mix::CacheBust | Mix::WarmRestart => 512,
             Mix::HotKey => (pool_len / 4).max(2),
         }
     }
@@ -190,7 +218,7 @@ impl Mix {
     fn schedule(&self, cfg: &Config, pool: &[String]) -> Vec<String> {
         let mut rng = Rng::new(cfg.seed ^ fnv(self.name().as_bytes()));
         match self {
-            Mix::Uniform => (0..cfg.requests)
+            Mix::Uniform | Mix::WarmRestart => (0..cfg.requests)
                 .map(|_| pool[(rng.next_u64() as usize) % pool.len()].clone())
                 .collect(),
             Mix::HotKey => {
@@ -235,29 +263,56 @@ fn fnv(bytes: &[u8]) -> u64 {
     mmvc_serve::fnv1a(bytes)
 }
 
+/// Post-restart accounting for the `warm-restart` mix: the second-half
+/// phase served by the restarted daemon.
+struct PostRestart {
+    requests: usize,
+    hits: u64,
+}
+
 /// Measured outcome of one mix.
 struct MixResult {
     mix: &'static str,
     requests: usize,
     distinct_specs: usize,
     hits: u64,
+    store_hits: u64,
     misses: u64,
     errors: u64,
+    connections: u64,
+    keepalive_reuses: i64,
+    bytes_served: i64,
     wall_s: f64,
     latencies_ms: Vec<f64>,
+    post_restart: Option<PostRestart>,
 }
 
 impl MixResult {
+    fn merge(mut self, other: MixResult) -> MixResult {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.store_hits += other.store_hits;
+        self.misses += other.misses;
+        self.errors += other.errors;
+        self.connections += other.connections;
+        self.keepalive_reuses += other.keepalive_reuses;
+        self.bytes_served += other.bytes_served;
+        self.wall_s += other.wall_s;
+        self.latencies_ms.extend(other.latencies_ms);
+        self
+    }
+
     /// `cache_capacity` is `None` when driving an external daemon: its
     /// cache is configured out of band, and reporting the in-process
     /// default would claim pressure that never applied.
-    fn to_json(&self, clients: usize, cache_capacity: Option<usize>) -> Json {
-        let (p50, p90, p99) = metrics::percentiles(self.latencies_ms.clone());
-        let answered = self.hits + self.misses;
+    fn to_json(&self, clients: usize, reqs_per_conn: u64, cache_capacity: Option<usize>) -> Json {
+        let (p50, p90, p99, p999) = metrics::percentiles(self.latencies_ms.clone());
+        let answered = self.hits + self.store_hits + self.misses;
         Json::obj(vec![
             ("mix", Json::Str(self.mix.to_string())),
             ("requests", Json::Int(self.requests as i64)),
             ("clients", Json::Int(clients as i64)),
+            ("reqs_per_conn", Json::Int(reqs_per_conn as i64)),
             ("distinct_specs", Json::Int(self.distinct_specs as i64)),
             (
                 "cache_capacity",
@@ -267,16 +322,20 @@ impl MixResult {
                 },
             ),
             ("cache_hits", Json::Int(self.hits as i64)),
+            ("store_hits", Json::Int(self.store_hits as i64)),
             ("cache_misses", Json::Int(self.misses as i64)),
             ("errors", Json::Int(self.errors as i64)),
             (
                 "hit_rate",
                 Json::Float(if answered > 0 {
-                    self.hits as f64 / answered as f64
+                    (self.hits + self.store_hits) as f64 / answered as f64
                 } else {
                     0.0
                 }),
             ),
+            ("connections", Json::Int(self.connections as i64)),
+            ("keepalive_reuses", Json::Int(self.keepalive_reuses)),
+            ("bytes_served", Json::Int(self.bytes_served)),
             (
                 "throughput_rps",
                 Json::Float(self.requests as f64 / self.wall_s.max(1e-9)),
@@ -287,36 +346,161 @@ impl MixResult {
                     ("p50", Json::Float(p50)),
                     ("p90", Json::Float(p90)),
                     ("p99", Json::Float(p99)),
+                    ("p999", Json::Float(p999)),
                 ]),
+            ),
+            (
+                "post_restart",
+                match &self.post_restart {
+                    Some(pr) => Json::obj(vec![
+                        ("requests", Json::Int(pr.requests as i64)),
+                        ("hits", Json::Int(pr.hits as i64)),
+                        (
+                            "hit_rate",
+                            Json::Float(if pr.requests > 0 {
+                                pr.hits as f64 / pr.requests as f64
+                            } else {
+                                0.0
+                            }),
+                        ),
+                    ]),
+                    None => Json::Null,
+                },
             ),
         ])
     }
 }
 
-/// Replays one schedule with `clients` threads (client `c` takes
-/// requests `c, c+C, c+2C, …` — a deterministic partition).
-fn drive(addr: &str, schedule: &[String], clients: usize) -> MixResult {
+/// Reads `(keepalive_reuses, bytes_served)` from the daemon's
+/// `/metrics`, so rows can report server-side reuse (a delta of two
+/// snapshots works for external daemons too).
+fn server_stats(addr: &str) -> (i64, i64) {
+    let Ok(resp) = client::get(addr, "/metrics") else {
+        return (0, 0);
+    };
+    let Ok(doc) = Json::parse(&resp.text()) else {
+        return (0, 0);
+    };
+    let int = |key: &str| doc.get(key).and_then(Json::as_i64).unwrap_or(0);
+    (int("keepalive_reuses"), int("bytes_served"))
+}
+
+/// Replays one schedule with `clients` keep-alive threads (client `c`
+/// takes requests `c, c+C, c+2C, …` — a deterministic partition). Each
+/// thread keeps up to `pipeline` requests in flight on its connection
+/// (batched into one write, responses drained in order — the wrk-style
+/// closed loop that measures the server rather than the client's
+/// round-trip context switches) and reuses the connection for up to
+/// `reqs_per_conn` requests, reconnecting when the quota is reached,
+/// the server answers `connection: close`, or an I/O error poisons the
+/// stream. Latency is send-to-response for each request, so at depths
+/// above 1 it includes time queued behind the window's earlier
+/// requests.
+fn drive(
+    addr: &str,
+    schedule: &[String],
+    clients: usize,
+    reqs_per_conn: u64,
+    pipeline: u64,
+) -> MixResult {
+    use std::collections::VecDeque;
+    use std::io::Write;
+
+    let (reuses_before, bytes_before) = server_stats(addr);
     let started = Instant::now();
-    let outcomes: Vec<(u64, u64, u64, Vec<f64>)> = std::thread::scope(|scope| {
+    let outcomes: Vec<(u64, u64, u64, u64, u64, Vec<f64>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
-                    let (mut hits, mut misses, mut errors) = (0u64, 0u64, 0u64);
-                    let mut latencies = Vec::new();
-                    for body in schedule.iter().skip(c).step_by(clients) {
-                        let t0 = Instant::now();
-                        match client::request(addr, "POST", "/run", body.as_bytes()) {
-                            Ok(resp) if resp.status == 200 => {
-                                match resp.header("x-cache") {
-                                    Some("hit") => hits += 1,
-                                    _ => misses += 1,
+                    let my: Vec<&String> = schedule.iter().skip(c).step_by(clients).collect();
+                    let (mut hits, mut store_hits, mut misses, mut errors) =
+                        (0u64, 0u64, 0u64, 0u64);
+                    let mut opened = 0u64;
+                    let mut latencies = Vec::with_capacity(my.len());
+                    let mut conn: Option<client::Conn> = None;
+                    // Send timestamps of requests written but not yet
+                    // answered; `next` is the first unsent index.
+                    // Invariant: next == answered + inflight.len().
+                    let mut inflight: VecDeque<Instant> = VecDeque::new();
+                    let mut next = 0usize;
+                    let mut answered = 0usize;
+                    let mut wbuf = Vec::with_capacity(4096);
+                    while answered < my.len() {
+                        if conn.is_none() {
+                            match client::Conn::connect(addr) {
+                                Ok(cn) => {
+                                    conn = Some(cn);
+                                    opened += 1;
                                 }
-                                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                                Err(_) => {
+                                    // Spend one scheduled request on the
+                                    // failure and try again for the rest.
+                                    errors += 1;
+                                    answered += 1;
+                                    next += 1;
+                                    continue;
+                                }
                             }
-                            _ => errors += 1,
+                        }
+                        let cn = conn.as_mut().expect("connection was just ensured");
+                        // Fill the window: batch every sendable request
+                        // into one write.
+                        wbuf.clear();
+                        while next < my.len()
+                            && (inflight.len() as u64) < pipeline
+                            && cn.requests_sent() < reqs_per_conn
+                        {
+                            cn.encode_request_into(&mut wbuf, "POST", "/run", my[next].as_bytes());
+                            inflight.push_back(Instant::now());
+                            next += 1;
+                        }
+                        if inflight.is_empty() {
+                            // Nothing in flight and the quota exhausted:
+                            // rotate to a fresh connection.
+                            conn = None;
+                            continue;
+                        }
+                        let io = (|| {
+                            if !wbuf.is_empty() {
+                                cn.stream_mut().write_all(&wbuf)?;
+                                cn.stream_mut().flush()?;
+                            }
+                            cn.read_next_response()
+                        })();
+                        match io {
+                            Ok(resp) => {
+                                let t0 = inflight
+                                    .pop_front()
+                                    .expect("a response implies an in-flight request");
+                                answered += 1;
+                                if resp.status == 200 {
+                                    match resp.header("x-cache") {
+                                        Some("hit") => hits += 1,
+                                        Some("store") => store_hits += 1,
+                                        _ => misses += 1,
+                                    }
+                                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                                } else {
+                                    errors += 1;
+                                }
+                                if !resp.keep_alive() {
+                                    // Requests pipelined past a closing
+                                    // response are gone; count them.
+                                    errors += inflight.len() as u64;
+                                    answered += inflight.len();
+                                    inflight.clear();
+                                    conn = None;
+                                }
+                            }
+                            Err(_) => {
+                                errors += inflight.len() as u64;
+                                answered += inflight.len();
+                                inflight.clear();
+                                conn = None;
+                            }
                         }
                     }
-                    (hits, misses, errors, latencies)
+                    (hits, store_hits, misses, errors, opened, latencies)
                 })
             })
             .collect();
@@ -326,6 +510,7 @@ fn drive(addr: &str, schedule: &[String], clients: usize) -> MixResult {
             .collect()
     });
     let wall_s = started.elapsed().as_secs_f64();
+    let (reuses_after, bytes_after) = server_stats(addr);
 
     let mut result = MixResult {
         mix: "",
@@ -337,18 +522,115 @@ fn drive(addr: &str, schedule: &[String], clients: usize) -> MixResult {
             distinct.len()
         },
         hits: 0,
+        store_hits: 0,
         misses: 0,
         errors: 0,
+        connections: 0,
+        keepalive_reuses: reuses_after - reuses_before,
+        bytes_served: bytes_after - bytes_before,
         wall_s,
         latencies_ms: Vec::new(),
+        post_restart: None,
     };
-    for (h, m, e, lat) in outcomes {
+    for (h, s, m, e, o, lat) in outcomes {
         result.hits += h;
+        result.store_hits += s;
         result.misses += m;
         result.errors += e;
+        result.connections += o;
         result.latencies_ms.extend(lat);
     }
     result
+}
+
+/// Spawns an in-process daemon, returning `(addr, join-thread, handle)`.
+fn spawn_server(
+    workers: usize,
+    cache_capacity: usize,
+    store_dir: Option<String>,
+) -> Result<
+    (
+        String,
+        std::thread::JoinHandle<std::io::Result<()>>,
+        mmvc_serve::ServerHandle,
+    ),
+    std::io::Error,
+> {
+    let server = Server::bind(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        cache_capacity,
+        store_dir,
+        ..ServeConfig::default()
+    })?;
+    let addr = server.local_addr()?.to_string();
+    let handle = server.handle()?;
+    let thread = std::thread::spawn(move || server.run());
+    Ok((addr, thread, handle))
+}
+
+fn stop_server(
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+    handle: &mmvc_serve::ServerHandle,
+) {
+    handle.shutdown();
+    if thread.join().expect("server thread panicked").is_err() {
+        eprintln!("warning: in-process server exited with an error");
+    }
+}
+
+/// The `warm-restart` mix: first half of the schedule populates a
+/// store-backed daemon, the daemon is shut down and restarted over the
+/// same directory (cold memory, warm disk), and the second half proves
+/// disk hits survive the restart.
+fn drive_warm_restart(
+    cfg: &Config,
+    schedule: &[String],
+    cache_capacity: usize,
+) -> Option<MixResult> {
+    let store_dir = std::env::temp_dir().join(format!("mmvc-loadgen-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_dir_s = store_dir.display().to_string();
+    let split = schedule.len() / 2;
+    let (phase1, phase2) = schedule.split_at(split);
+
+    let (addr, thread, handle) =
+        match spawn_server(cfg.workers, cache_capacity, Some(store_dir_s.clone())) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot bind in-process server: {e}");
+                return None;
+            }
+        };
+    let warm = drive(&addr, phase1, cfg.clients, cfg.reqs_per_conn, cfg.pipeline);
+    stop_server(thread, &handle);
+
+    // Restart over the same store directory: memory cache cold, disk warm.
+    let (addr, thread, handle) = match spawn_server(cfg.workers, cache_capacity, Some(store_dir_s))
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot restart in-process server: {e}");
+            return None;
+        }
+    };
+    let restarted = drive(&addr, phase2, cfg.clients, cfg.reqs_per_conn, cfg.pipeline);
+    stop_server(thread, &handle);
+    let _ = std::fs::remove_dir_all(&store_dir);
+
+    let post = PostRestart {
+        requests: restarted.requests,
+        hits: restarted.hits + restarted.store_hits,
+    };
+    let mut merged = warm.merge(restarted);
+    merged.post_restart = Some(post);
+    merged.distinct_specs = {
+        let mut distinct: Vec<&String> = schedule.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        distinct.len()
+    };
+    Some(merged)
 }
 
 fn main() -> ExitCode {
@@ -360,63 +642,69 @@ fn main() -> ExitCode {
     let pool = spec_pool(cfg.smoke, cfg.seed);
     let mut rows = Vec::new();
     let mut total_errors = 0u64;
-    for mix in [Mix::Uniform, Mix::HotKey, Mix::CacheBust] {
-        // A fresh in-process daemon per mix (cold cache → independent
-        // rows), unless pointed at an external one.
-        let (addr, server_thread, handle) = match &cfg.addr {
-            Some(addr) => (addr.clone(), None, None),
-            None => {
-                let server = match Server::bind(&ServeConfig {
-                    addr: "127.0.0.1:0".to_string(),
-                    workers: cfg.workers,
-                    cache_capacity: mix.cache_capacity(pool.len()),
-                    ..ServeConfig::default()
-                }) {
-                    Ok(s) => s,
+    for mix in [Mix::Uniform, Mix::HotKey, Mix::CacheBust, Mix::WarmRestart] {
+        let schedule = mix.schedule(&cfg, &pool);
+        let capacity = mix.cache_capacity(pool.len());
+
+        let mut result = if mix == Mix::WarmRestart {
+            if cfg.addr.is_some() {
+                eprintln!("warm-restart: skipped (cannot restart an external daemon)");
+                continue;
+            }
+            match drive_warm_restart(&cfg, &schedule, capacity) {
+                Some(r) => r,
+                None => return ExitCode::FAILURE,
+            }
+        } else {
+            // A fresh in-process daemon per mix (cold cache → independent
+            // rows), unless pointed at an external one.
+            let (addr, server) = match &cfg.addr {
+                Some(addr) => (addr.clone(), None),
+                None => match spawn_server(cfg.workers, capacity, None) {
+                    Ok((addr, thread, handle)) => (addr, Some((thread, handle))),
                     Err(e) => {
                         eprintln!("cannot bind in-process server: {e}");
                         return ExitCode::FAILURE;
                     }
-                };
-                let addr = server.local_addr().expect("bound socket has an address");
-                let hd = server.handle().expect("bound socket has an address");
-                let thread = std::thread::spawn(move || server.run());
-                (addr.to_string(), Some(thread), Some(hd))
+                },
+            };
+            let r = drive(
+                &addr,
+                &schedule,
+                cfg.clients,
+                cfg.reqs_per_conn,
+                cfg.pipeline,
+            );
+            if let Some((thread, handle)) = server {
+                stop_server(thread, &handle);
             }
+            r
         };
-
-        let schedule = mix.schedule(&cfg, &pool);
-        let mut result = drive(&addr, &schedule, cfg.clients);
         result.mix = mix.name();
         total_errors += result.errors;
         eprintln!(
-            "{:<11} {} requests ({} distinct) in {:.2}s: {:.0} rps, {} hits / {} misses, {} errors",
+            "{:<12} {} requests ({} distinct) in {:.2}s: {:.0} rps, {} hits / {} store / {} misses, \
+             {} conns, {} errors",
             result.mix,
             result.requests,
             result.distinct_specs,
             result.wall_s,
             result.requests as f64 / result.wall_s.max(1e-9),
             result.hits,
+            result.store_hits,
             result.misses,
+            result.connections,
             result.errors
         );
         rows.push(result.to_json(
             cfg.clients,
-            cfg.addr.is_none().then(|| mix.cache_capacity(pool.len())),
+            cfg.reqs_per_conn,
+            cfg.addr.is_none().then_some(capacity),
         ));
-
-        if let Some(handle) = handle {
-            handle.shutdown();
-        }
-        if let Some(thread) = server_thread {
-            if thread.join().expect("server thread panicked").is_err() {
-                eprintln!("warning: in-process server exited with an error");
-            }
-        }
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::Str("mmvc-serve-bench/v1".to_string())),
+        ("schema", Json::Str("mmvc-serve-bench/v2".to_string())),
         (
             "mode",
             Json::Str(if cfg.smoke { "smoke" } else { "full" }.to_string()),
@@ -438,6 +726,8 @@ fn main() -> ExitCode {
             },
         ),
         ("clients", Json::Int(cfg.clients as i64)),
+        ("reqs_per_conn", Json::Int(cfg.reqs_per_conn as i64)),
+        ("pipeline", Json::Int(cfg.pipeline as i64)),
         ("seed", Json::Int(cfg.seed as i64)),
         ("rows", Json::Arr(rows)),
     ]);

@@ -2,11 +2,16 @@
 //!
 //! Keys are canonical serialized specs (see
 //! [`cache_key`](crate::cache_key)); values are complete response
-//! bodies. The cache is *sound* — a hit is byte-identical to a cold run
-//! — precisely because the run layer pins report determinism: a
-//! `RunReport` (minus wall time, which the daemon zeroes) is a pure
-//! function of its spec, and file workloads carry a content hash in the
-//! key, so a changed input file can never alias a stale entry.
+//! bodies as shared `Arc<[u8]>` — the rendered bytes exist once, and
+//! every hit (and every connection writing them) holds a cheap clone of
+//! the same allocation, so serving a hot report copies the head only,
+//! never the payload. The cache is *sound* — a hit is byte-identical to
+//! a cold run — precisely because the run layer pins report
+//! determinism: a `RunReport` (minus wall time, which the daemon
+//! zeroes) is a pure function of its spec, and file workloads carry a
+//! content hash in the key, so a changed input file can never alias a
+//! stale entry. The disk-persistent tier below this one lives in
+//! [`store`](crate::store).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -27,7 +32,7 @@ pub struct ReportCache {
 
 #[derive(Debug)]
 struct Entry {
-    body: Arc<Vec<u8>>,
+    body: Arc<[u8]>,
     last_used: u64,
 }
 
@@ -58,7 +63,7 @@ impl ReportCache {
     }
 
     /// Looks up a key, refreshing its recency on a hit.
-    pub fn get(&mut self, key: &str) -> Option<Arc<Vec<u8>>> {
+    pub fn get(&mut self, key: &str) -> Option<Arc<[u8]>> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(key).map(|e| {
@@ -72,7 +77,7 @@ impl ReportCache {
     /// Re-inserting an existing key replaces the body (identical bytes
     /// by determinism — two threads racing on the same cold spec) and
     /// refreshes recency.
-    pub fn insert(&mut self, key: String, body: Arc<Vec<u8>>) {
+    pub fn insert(&mut self, key: String, body: Arc<[u8]>) {
         if self.capacity == 0 {
             return;
         }
@@ -101,8 +106,8 @@ impl ReportCache {
 mod tests {
     use super::*;
 
-    fn body(s: &str) -> Arc<Vec<u8>> {
-        Arc::new(s.as_bytes().to_vec())
+    fn body(s: &str) -> Arc<[u8]> {
+        Arc::from(s.as_bytes())
     }
 
     #[test]
@@ -110,7 +115,7 @@ mod tests {
         let mut c = ReportCache::new(4);
         assert!(c.get("a").is_none());
         c.insert("a".into(), body("alpha"));
-        assert_eq!(c.get("a").unwrap().as_slice(), b"alpha");
+        assert_eq!(c.get("a").unwrap().as_ref(), &b"alpha"[..]);
         assert_eq!(c.len(), 1);
         assert!(!c.is_empty());
         assert_eq!(c.capacity(), 4);
@@ -137,7 +142,7 @@ mod tests {
         c.insert("b".into(), body("2"));
         c.insert("a".into(), body("new"));
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get("a").unwrap().as_slice(), b"new");
+        assert_eq!(c.get("a").unwrap().as_ref(), &b"new"[..]);
         assert!(c.get("b").is_some());
     }
 

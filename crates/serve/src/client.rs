@@ -2,10 +2,14 @@
 //! load generator, the integration tests, and the CI smoke script all
 //! speak to `mmvc serve` through this one code path.
 //!
-//! One request per connection (the daemon answers `Connection: close`),
-//! `Content-Length` framing only.
+//! [`Conn`] is the persistent form — one TCP connection carrying many
+//! requests under keep-alive, reading each response by its
+//! `Content-Length` frame (never `read_to_end`, which would block until
+//! the server hangs up). The free [`request`]/[`get`] helpers keep the
+//! old one-shot shape (they send `Connection: close`) for callers that
+//! genuinely want a fresh connection per request.
 
-use std::io::{Read, Write};
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -33,9 +37,115 @@ impl Response {
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
     }
+
+    /// Whether the server will keep the connection open for another
+    /// request (`connection: keep-alive`).
+    pub fn keep_alive(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+    }
 }
 
-/// Sends one request and reads the full response.
+/// A persistent keep-alive connection to the daemon.
+///
+/// ```no_run
+/// let mut conn = mmvc_serve::client::Conn::connect("127.0.0.1:7411")?;
+/// let a = conn.request("GET", "/healthz", b"")?;
+/// let b = conn.request("GET", "/metrics", b"")?; // same TCP connection
+/// assert_eq!(a.status, 200);
+/// assert_eq!(b.status, 200);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct Conn {
+    stream: BufReader<TcpStream>,
+    /// How many requests this connection has carried.
+    sent: u64,
+}
+
+impl Conn {
+    /// Opens a connection with 30-second read/write timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/configure failures.
+    pub fn connect(addr: &str) -> std::io::Result<Conn> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream: BufReader::new(stream),
+            sent: 0,
+        })
+    }
+
+    /// Requests carried by this connection so far.
+    pub fn requests_sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Sends one request and reads its framed response, leaving the
+    /// connection open for the next call (as long as the server answered
+    /// `connection: keep-alive` — check [`Response::keep_alive`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures writing or reading, or an unparseable response. The
+    /// connection should be dropped and reopened after any error — the
+    /// stream position is no longer trustworthy.
+    pub fn request(&mut self, method: &str, path: &str, body: &[u8]) -> std::io::Result<Response> {
+        let mut wire = Vec::with_capacity(128 + body.len());
+        self.encode_request_into(&mut wire, method, path, body);
+        let stream = self.stream.get_mut();
+        stream.write_all(&wire)?;
+        stream.flush()?;
+        read_response(&mut self.stream)
+    }
+
+    /// Appends the wire bytes of one request to `buf` and counts it as
+    /// sent — the pipelined form of [`request`](Self::request). The
+    /// caller batches several encoded requests into a single write on
+    /// [`stream_mut`](Self::stream_mut), then collects each framed
+    /// response in order with
+    /// [`read_next_response`](Self::read_next_response).
+    pub fn encode_request_into(
+        &mut self,
+        buf: &mut Vec<u8>,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) {
+        buf.extend_from_slice(
+            format!(
+                "{method} {path} HTTP/1.1\r\nhost: mmvc\r\ncontent-length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        buf.extend_from_slice(body);
+        self.sent += 1;
+    }
+
+    /// The underlying socket, for writing batched pipelined requests.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        self.stream.get_mut()
+    }
+
+    /// Reads the next framed response off the connection — one per
+    /// request previously encoded with
+    /// [`encode_request_into`](Self::encode_request_into).
+    ///
+    /// # Errors
+    ///
+    /// See [`request`](Self::request): after any error the connection
+    /// should be dropped.
+    pub fn read_next_response(&mut self) -> std::io::Result<Response> {
+        read_response(&mut self.stream)
+    }
+}
+
+/// Sends one request on a fresh connection (`Connection: close`) and
+/// reads the full response.
 ///
 /// # Errors
 ///
@@ -52,13 +162,10 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> std::io::Re
     stream.write_all(head.as_bytes())?;
     stream.write_all(body)?;
     stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse_response(&raw)
+    read_response(&mut BufReader::new(stream))
 }
 
-/// Convenience: `GET` with no body.
+/// Convenience: `GET` with no body on a fresh connection.
 ///
 /// # Errors
 ///
@@ -74,12 +181,38 @@ fn bad(what: &str) -> std::io::Error {
     )
 }
 
-fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
-    let head_end = raw
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .ok_or_else(|| bad("no header terminator"))?;
-    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("non-UTF-8 head"))?;
+/// Reads exactly one framed response from the stream: the head up to
+/// `\r\n\r\n`, then `Content-Length` body bytes — no more, so the next
+/// pipelined/keep-alive response stays in the stream.
+///
+/// # Errors
+///
+/// I/O failures or an unparseable head.
+pub fn read_response<R: BufRead>(stream: &mut R) -> std::io::Result<Response> {
+    let mut head = Vec::with_capacity(256);
+    'collect: loop {
+        // Scan the reader's internal buffer instead of issuing one
+        // read() per byte; consume only up to the head terminator so
+        // body bytes (and any pipelined next response) stay unread.
+        let buf = stream.fill_buf()?;
+        if buf.is_empty() {
+            return Err(bad("connection closed mid-head"));
+        }
+        let mut taken = 0;
+        for &byte in buf {
+            head.push(byte);
+            taken += 1;
+            if head.ends_with(b"\r\n\r\n") {
+                stream.consume(taken);
+                break 'collect;
+            }
+        }
+        stream.consume(taken);
+        if head.len() > 64 * 1024 {
+            return Err(bad("head too large"));
+        }
+    }
+    let head = std::str::from_utf8(&head[..head.len() - 4]).map_err(|_| bad("non-UTF-8 head"))?;
     let mut lines = head.split("\r\n");
     let status_line = lines.next().ok_or_else(|| bad("empty head"))?;
     // Interim "100 Continue" responses are not sent by the daemon unless
@@ -90,7 +223,7 @@ fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| bad("status line"))?;
     let mut headers = Vec::new();
-    let mut content_length: Option<usize> = None;
+    let mut content_length = 0usize;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(bad("header line"));
@@ -98,20 +231,12 @@ fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length = Some(value.parse().map_err(|_| bad("content-length"))?);
+            content_length = value.parse().map_err(|_| bad("content-length"))?;
         }
         headers.push((name, value));
     }
-    let body_start = head_end + 4;
-    let body = match content_length {
-        Some(len) => {
-            if raw.len() < body_start + len {
-                return Err(bad("truncated body"));
-            }
-            raw[body_start..body_start + len].to_vec()
-        }
-        None => raw[body_start..].to_vec(),
-    };
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
     Ok(Response {
         status,
         headers,
@@ -122,21 +247,50 @@ fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
 
     #[test]
-    fn parses_a_response() {
-        let raw = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 3\r\nx-cache: hit\r\n\r\n{}\ntrailing-ignored";
-        let r = parse_response(raw).unwrap();
+    fn parses_a_response_without_consuming_past_its_frame() {
+        let raw: &[u8] = b"HTTP/1.1 200 OK\r\ncontent-type: application/json\r\ncontent-length: 3\r\nx-cache: hit\r\nconnection: keep-alive\r\n\r\n{}\nNEXT";
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let r = read_response(&mut cursor).unwrap();
         assert_eq!(r.status, 200);
         assert_eq!(r.header("x-cache"), Some("hit"));
         assert_eq!(r.body, b"{}\n");
         assert_eq!(r.text(), "{}\n");
+        assert!(r.keep_alive());
+        // The next response's bytes are still unread.
+        let mut rest = Vec::new();
+        cursor.read_to_end(&mut rest).unwrap();
+        assert_eq!(rest, b"NEXT");
+    }
+
+    #[test]
+    fn reads_consecutive_framed_responses() {
+        let raw: &[u8] =
+            b"HTTP/1.1 200 OK\r\ncontent-length: 1\r\n\r\naHTTP/1.1 404 Not Found\r\ncontent-length: 2\r\nconnection: close\r\n\r\nbc";
+        let mut cursor = std::io::Cursor::new(raw.to_vec());
+        let first = read_response(&mut cursor).unwrap();
+        assert_eq!((first.status, first.body.as_slice()), (200, &b"a"[..]));
+        let second = read_response(&mut cursor).unwrap();
+        assert_eq!((second.status, second.body.as_slice()), (404, &b"bc"[..]));
+        assert!(!second.keep_alive());
     }
 
     #[test]
     fn rejects_garbage() {
-        assert!(parse_response(b"garbage").is_err());
-        assert!(parse_response(b"HTTP/1.1 abc\r\n\r\n").is_err());
-        assert!(parse_response(b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc").is_err());
+        for raw in [
+            &b"garbage"[..],
+            b"HTTP/1.1 abc\r\n\r\n",
+            b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nabc",
+            b"HTTP/1.1 200 OK\r\nbroken header\r\n\r\n",
+        ] {
+            let mut cursor = std::io::Cursor::new(raw.to_vec());
+            assert!(
+                read_response(&mut cursor).is_err(),
+                "accepted {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
     }
 }

@@ -1,27 +1,34 @@
-//! A minimal, strict HTTP/1.1 reader and writer over any byte stream.
+//! A minimal, strict HTTP/1.1 request parser and response renderer.
 //!
-//! Just enough of RFC 9112 for the serving daemon: one request per
-//! connection (`Connection: close` on every response), `Content-Length`
-//! bodies only (no chunked transfer), bounded head and body sizes so a
-//! hostile peer cannot balloon memory, and `Expect: 100-continue`
-//! handling so stock clients (curl) work with larger bodies.
+//! Just enough of RFC 9112 for the serving daemon, reshaped for the
+//! readiness-driven reactor in `lib.rs`: parsing is **incremental and
+//! buffer-based** — [`parse_head`] inspects whatever bytes have arrived
+//! so far and either yields a complete head (plus how many bytes it
+//! consumed) or asks for more — so one connection can carry many
+//! pipelined requests, with heads split across arbitrary TCP segment
+//! boundaries. Framing is `Content-Length` only (no chunked transfer),
+//! head and body sizes are bounded so a hostile peer cannot balloon
+//! memory, and `Connection`/version negotiation decides keep-alive per
+//! request.
 //!
-//! Kept free of `TcpStream` specifics — everything is generic over
-//! [`Read`]/[`Write`] — so the parser is unit-testable on in-memory
-//! buffers.
+//! Kept free of socket specifics — everything works on byte slices — so
+//! the parser unit-tests on in-memory buffers and the reactor feeds it
+//! straight from its per-connection read buffer.
 
-use std::io::{Read, Write};
+use std::io::Write;
 
 /// Largest accepted request head (request line + headers), in bytes.
+/// Exceeding it is a `431 Request Header Fields Too Large`.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
 
-/// Largest accepted request body, in bytes.
+/// Largest accepted request body, in bytes. Exceeding it is a
+/// `413 Content Too Large`.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 
-/// A parsed request: the method, the request target (path), and the
-/// headers/body the daemon cares about.
+/// A parsed request head: the request line plus the headers the daemon
+/// cares about, including the negotiated framing decisions.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Request {
+pub struct Head {
     /// Request method (`GET`, `POST`, …), verbatim.
     pub method: String,
     /// Request target, e.g. `/run`. Query strings are not split off —
@@ -31,70 +38,87 @@ pub struct Request {
     pub content_length: usize,
     /// Whether the client sent `Expect: 100-continue`.
     pub expect_continue: bool,
-    /// The request body (read separately via [`read_body`]).
+    /// Whether the connection may carry another request after this one:
+    /// HTTP/1.1 defaults to keep-alive unless the client sends
+    /// `Connection: close`; HTTP/1.0 defaults to close unless it sends
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
+}
+
+/// A complete request: the head plus its (possibly empty) body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The parsed head.
+    pub head: Head,
+    /// The request body (`content_length` bytes).
     pub body: Vec<u8>,
 }
 
-/// Why a request could not be read.
-#[derive(Debug)]
+/// Why a request could not be parsed. Each variant maps to one response
+/// status (see [`HttpError::status`]); all of them end the connection
+/// after the error is written, because the byte stream can no longer be
+/// trusted to frame a next request.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpError {
-    /// The underlying stream failed.
-    Io(std::io::Error),
-    /// The bytes were not a parseable HTTP/1.1 request.
+    /// The bytes were not a parseable HTTP/1.1 request (`400`).
     Malformed(&'static str),
-    /// The head or body exceeded its size bound.
-    TooLarge(&'static str),
+    /// The head exceeded [`MAX_HEAD_BYTES`] (`431`).
+    HeadTooLarge,
+    /// The declared body exceeded [`MAX_BODY_BYTES`] (`413`).
+    BodyTooLarge,
+}
+
+impl HttpError {
+    /// The response status for this parse failure.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::Malformed(_) => 400,
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+        }
+    }
 }
 
 impl std::fmt::Display for HttpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            HttpError::Io(e) => write!(f, "i/o error: {e}"),
             HttpError::Malformed(what) => write!(f, "malformed request: {what}"),
-            HttpError::TooLarge(what) => write!(f, "request too large: {what}"),
+            HttpError::HeadTooLarge => {
+                write!(f, "request head larger than {MAX_HEAD_BYTES} bytes")
+            }
+            HttpError::BodyTooLarge => {
+                write!(f, "request body larger than {MAX_BODY_BYTES} bytes")
+            }
         }
     }
 }
 
-impl std::error::Error for HttpError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            HttpError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
+impl std::error::Error for HttpError {}
 
-impl From<std::io::Error> for HttpError {
-    fn from(e: std::io::Error) -> Self {
-        HttpError::Io(e)
-    }
-}
-
-/// Reads and parses the request head (request line and headers), up to
-/// and including the blank line. The body is *not* read — call
-/// [`read_body`] after optionally acknowledging `Expect: 100-continue`.
+/// Incrementally parses a request head from the front of `buf`.
+///
+/// Returns `Ok(Some((head, consumed)))` when `buf` starts with a
+/// complete head (`consumed` covers it, terminator included — the body,
+/// if any, starts at `buf[consumed..]`), and `Ok(None)` when more bytes
+/// are needed. The caller re-invokes with the grown buffer; partial
+/// heads across reads are the normal case, not an error.
 ///
 /// # Errors
 ///
-/// [`HttpError`] on stream failure, a head larger than
-/// [`MAX_HEAD_BYTES`], a declared body larger than [`MAX_BODY_BYTES`],
-/// or anything that is not an HTTP/1.x request.
-pub fn read_head<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
-    // Read byte-at-a-time until CRLFCRLF: the head is tiny and this
-    // avoids buffering past the body boundary.
-    let mut head = Vec::with_capacity(256);
-    let mut byte = [0u8; 1];
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD_BYTES {
-            return Err(HttpError::TooLarge("head"));
+/// [`HttpError`] when the bytes can never become a valid request: no
+/// terminator within [`MAX_HEAD_BYTES`], a malformed request line or
+/// header, or a declared body over [`MAX_BODY_BYTES`].
+pub fn parse_head(buf: &[u8]) -> Result<Option<(Head, usize)>, HttpError> {
+    let window = &buf[..buf.len().min(MAX_HEAD_BYTES)];
+    let Some(end) = find_terminator(window) else {
+        if buf.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
         }
-        match stream.read(&mut byte)? {
-            0 => return Err(HttpError::Malformed("connection closed mid-head")),
-            _ => head.push(byte[0]),
-        }
-    }
-    let head = std::str::from_utf8(&head).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
+        return Ok(None);
+    };
+    let consumed = end + 4;
+    let head =
+        std::str::from_utf8(&buf[..end]).map_err(|_| HttpError::Malformed("non-UTF-8 head"))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split(' ');
@@ -105,6 +129,8 @@ pub fn read_head<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
     if !version.starts_with("HTTP/1.") {
         return Err(HttpError::Malformed("not HTTP/1.x"));
     }
+    // HTTP/1.1 keep-alive is the default; HTTP/1.0 must opt in.
+    let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
     let mut expect_continue = false;
@@ -115,41 +141,41 @@ pub fn read_head<R: Read>(stream: &mut R) -> Result<Request, HttpError> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(HttpError::Malformed("header line"));
         };
-        let name = name.trim().to_ascii_lowercase();
+        let name = name.trim();
         let value = value.trim();
-        match name.as_str() {
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| HttpError::Malformed("content-length"))?;
-                if content_length > MAX_BODY_BYTES {
-                    return Err(HttpError::TooLarge("body"));
-                }
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .parse()
+                .map_err(|_| HttpError::Malformed("content-length"))?;
+            if content_length > MAX_BODY_BYTES {
+                return Err(HttpError::BodyTooLarge);
             }
-            "expect" => expect_continue = value.eq_ignore_ascii_case("100-continue"),
-            _ => {}
+        } else if name.eq_ignore_ascii_case("expect") {
+            expect_continue = value.eq_ignore_ascii_case("100-continue");
+        } else if name.eq_ignore_ascii_case("connection") {
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
     }
 
-    Ok(Request {
-        method: method.to_string(),
-        target: target.to_string(),
-        content_length,
-        expect_continue,
-        body: Vec::new(),
-    })
+    Ok(Some((
+        Head {
+            method: method.to_string(),
+            target: target.to_string(),
+            content_length,
+            expect_continue,
+            keep_alive,
+        },
+        consumed,
+    )))
 }
 
-/// Reads the declared body into `request.body`.
-///
-/// # Errors
-///
-/// [`HttpError::Io`] on stream failure or a body shorter than declared.
-pub fn read_body<R: Read>(stream: &mut R, request: &mut Request) -> Result<(), HttpError> {
-    let mut body = vec![0u8; request.content_length];
-    stream.read_exact(&mut body)?;
-    request.body = body;
-    Ok(())
+/// Position of `\r\n\r\n` in `buf`, if present.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
 /// The reason phrase for the status codes the daemon emits.
@@ -160,83 +186,116 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// Writes a complete response: status line, standard headers
-/// (`Content-Type: application/json`, `Content-Length`, `Connection:
-/// close`), any extra headers, and the body.
+/// Renders a complete response head: status line, standard headers
+/// (`Content-Type: application/json`, `Content-Length`, and the
+/// negotiated `Connection`), plus any extra headers.
 ///
-/// # Errors
-///
-/// Propagates stream write failures.
-pub fn write_response<W: Write>(
-    stream: &mut W,
+/// The body is deliberately **not** part of the rendered bytes: cached
+/// bodies are shared `Arc<[u8]>`s the reactor writes straight from, so
+/// a response is always (fresh small head) + (shared body), with no
+/// per-response copy of the payload.
+pub fn render_head(
     status: u16,
     extra_headers: &[(&str, &str)],
-    body: &[u8],
-) -> std::io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: close\r\n",
+    body_len: usize,
+    keep_alive: bool,
+) -> Vec<u8> {
+    let mut head = Vec::with_capacity(128);
+    let _ = write!(
+        head,
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {body_len}\r\nconnection: {}\r\n",
         reason(status),
-        body.len()
+        if keep_alive { "keep-alive" } else { "close" },
     );
     for (name, value) in extra_headers {
-        head.push_str(name);
-        head.push_str(": ");
-        head.push_str(value);
-        head.push_str("\r\n");
+        let _ = write!(head, "{name}: {value}\r\n");
     }
-    head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
-    stream.flush()
+    head.extend_from_slice(b"\r\n");
+    head
 }
 
-/// Writes the `100 Continue` interim response acknowledging an
-/// `Expect: 100-continue` request.
-///
-/// # Errors
-///
-/// Propagates stream write failures.
-pub fn write_continue<W: Write>(stream: &mut W) -> std::io::Result<()> {
-    stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
-    stream.flush()
-}
+/// The `100 Continue` interim response acknowledging an
+/// `Expect: 100-continue` request, as raw bytes.
+pub const CONTINUE_BYTES: &[u8] = b"HTTP/1.1 100 Continue\r\n\r\n";
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
-        let mut cursor = std::io::Cursor::new(raw.to_vec());
-        let mut req = read_head(&mut cursor)?;
-        read_body(&mut cursor, &mut req)?;
-        Ok(req)
+    fn parse_complete(raw: &[u8]) -> Result<(Head, usize), HttpError> {
+        Ok(parse_head(raw)?.expect("head should be complete"))
     }
 
     #[test]
     fn parses_get_without_body() {
-        let req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
-        assert_eq!(req.method, "GET");
-        assert_eq!(req.target, "/healthz");
-        assert_eq!(req.content_length, 0);
-        assert!(req.body.is_empty());
-        assert!(!req.expect_continue);
+        let (head, consumed) = parse_complete(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(head.method, "GET");
+        assert_eq!(head.target, "/healthz");
+        assert_eq!(head.content_length, 0);
+        assert!(!head.expect_continue);
+        assert!(head.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert_eq!(consumed, b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n".len());
     }
 
     #[test]
     fn parses_post_with_body_and_case_insensitive_headers() {
-        let req = parse(
-            b"POST /run HTTP/1.1\r\nHost: x\r\nCONTENT-LENGTH: 4\r\nExpect: 100-Continue\r\n\r\n{\"a\"",
-        )
-        .unwrap();
-        assert_eq!(req.method, "POST");
-        assert_eq!(req.content_length, 4);
-        assert_eq!(req.body, b"{\"a\"");
-        assert!(req.expect_continue);
+        let raw =
+            b"POST /run HTTP/1.1\r\nHost: x\r\nCONTENT-LENGTH: 4\r\nExpect: 100-Continue\r\n\r\n{\"a\"";
+        let (head, consumed) = parse_complete(raw).unwrap();
+        assert_eq!(head.method, "POST");
+        assert_eq!(head.content_length, 4);
+        assert!(head.expect_continue);
+        assert_eq!(&raw[consumed..], b"{\"a\"", "body starts after the head");
+    }
+
+    #[test]
+    fn keep_alive_negotiation_matrix() {
+        let cases: &[(&[u8], bool)] = &[
+            (b"GET / HTTP/1.1\r\n\r\n", true),
+            (b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false),
+            (b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\n\r\n", false),
+            (b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true),
+            (b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", true),
+        ];
+        for (raw, expected) in cases {
+            let (head, _) = parse_complete(raw).unwrap();
+            assert_eq!(
+                head.keep_alive,
+                *expected,
+                "{:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn partial_heads_ask_for_more_bytes() {
+        let raw = b"POST /run HTTP/1.1\r\ncontent-length: 2\r\n\r\nok";
+        // Every proper prefix that lacks the terminator parses to None.
+        for cut in 0..raw.len() - 4 {
+            assert_eq!(parse_head(&raw[..cut]).unwrap(), None, "cut={cut}");
+        }
+        let (head, consumed) = parse_complete(raw).unwrap();
+        assert_eq!(head.content_length, 2);
+        assert_eq!(consumed, raw.len() - 2);
+    }
+
+    #[test]
+    fn pipelined_heads_parse_one_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (first, consumed) = parse_complete(raw).unwrap();
+        assert_eq!(first.target, "/a");
+        let (second, rest) = parse_complete(&raw[consumed..]).unwrap();
+        assert_eq!(second.target, "/b");
+        assert_eq!(consumed + rest, raw.len());
     }
 
     #[test]
@@ -248,65 +307,60 @@ mod tests {
             b"GET /x HTTP/1.1 extra\r\n\r\n",
             b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
             b"GET /x HTTP/1.1\r\ncontent-length: ten\r\n\r\n",
-            b"GET /x HTTP/1.1\r\n",
+            b"\xFF\xFE /x HTTP/1.1\r\n\r\n",
         ] {
-            assert!(
-                parse(raw).is_err(),
-                "accepted {:?}",
-                String::from_utf8_lossy(raw)
-            );
+            let err = parse_head(raw).unwrap_err();
+            assert_eq!(err.status(), 400, "{:?}", String::from_utf8_lossy(raw));
         }
     }
 
     #[test]
-    fn rejects_oversized_declarations() {
-        let raw = format!(
+    fn rejects_oversized_declarations_with_dedicated_statuses() {
+        let body = format!(
             "POST /run HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
             MAX_BODY_BYTES + 1
         );
-        assert!(matches!(
-            parse(raw.as_bytes()),
-            Err(HttpError::TooLarge("body"))
-        ));
-        let huge = format!(
+        let err = parse_head(body.as_bytes()).unwrap_err();
+        assert_eq!(err, HttpError::BodyTooLarge);
+        assert_eq!(err.status(), 413);
+
+        let huge = format!("GET /x HTTP/1.1\r\npad: {}", "y".repeat(MAX_HEAD_BYTES));
+        let err = parse_head(huge.as_bytes()).unwrap_err();
+        assert_eq!(err, HttpError::HeadTooLarge);
+        assert_eq!(err.status(), 431);
+
+        // A huge buffer whose terminator sits beyond the cap is rejected
+        // even though a terminator exists somewhere.
+        let late = format!(
             "GET /x HTTP/1.1\r\npad: {}\r\n\r\n",
             "y".repeat(MAX_HEAD_BYTES)
         );
-        assert!(matches!(
-            parse(huge.as_bytes()),
-            Err(HttpError::TooLarge("head"))
-        ));
+        assert_eq!(
+            parse_head(late.as_bytes()).unwrap_err(),
+            HttpError::HeadTooLarge
+        );
     }
 
     #[test]
-    fn short_body_is_an_io_error() {
-        assert!(matches!(
-            parse(b"POST /run HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
-            Err(HttpError::Io(_))
-        ));
-    }
-
-    #[test]
-    fn writes_responses_with_exact_framing() {
-        let mut out = Vec::new();
-        write_response(&mut out, 200, &[("x-cache", "hit")], b"{}\n").unwrap();
-        let text = String::from_utf8(out).unwrap();
+    fn renders_heads_with_exact_framing() {
+        let head = render_head(200, &[("x-cache", "hit")], 3, true);
+        let text = String::from_utf8(head).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 3\r\n"));
         assert!(text.contains("x-cache: hit\r\n"));
-        assert!(text.contains("connection: close\r\n"));
-        assert!(text.ends_with("\r\n\r\n{}\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
 
-        let mut cont = Vec::new();
-        write_continue(&mut cont).unwrap();
-        assert_eq!(cont, b"HTTP/1.1 100 Continue\r\n\r\n");
+        let closing = String::from_utf8(render_head(431, &[], 0, false)).unwrap();
+        assert!(closing.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"));
+        assert!(closing.contains("connection: close\r\n"));
     }
 
     #[test]
-    fn error_display_and_source() {
-        let e = HttpError::from(std::io::Error::other("boom"));
-        assert!(e.to_string().contains("boom"));
-        assert!(std::error::Error::source(&e).is_some());
-        assert!(std::error::Error::source(&HttpError::Malformed("x")).is_none());
+    fn error_display_and_status() {
+        assert!(HttpError::Malformed("x").to_string().contains("malformed"));
+        assert!(HttpError::HeadTooLarge.to_string().contains("head"));
+        assert!(HttpError::BodyTooLarge.to_string().contains("body"));
+        assert_eq!(HttpError::Malformed("x").status(), 400);
     }
 }

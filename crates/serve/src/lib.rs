@@ -14,7 +14,7 @@
 //! | `GET /scenarios` | the scenario registry |
 //! | `GET /algorithms` | every [`AlgorithmKind`] |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | requests, cache hits/misses, latency percentiles, in-flight jobs |
+//! | `GET /metrics` | requests, cache/store hits, reuse counters, latency percentiles |
 //!
 //! ## Why the cache is sound
 //!
@@ -27,7 +27,35 @@
 //! construction*, and the integration tests prove it byte-for-byte.
 //! File workloads fold a content hash of the edge-list bytes into the
 //! key, so editing the file can never alias a stale entry
-//! (content-addressing, not path-addressing).
+//! (content-addressing, not path-addressing). The same determinism
+//! makes the disk tier ([`store`]) sound: a body read back from disk is
+//! the body any fresh run would produce.
+//!
+//! ## Architecture: a readiness reactor in front of a worker pool
+//!
+//! One reactor thread owns every socket. The listener and all accepted
+//! connections are nonblocking; each scheduler cycle accepts a burst,
+//! installs finished worker results, then gives every connection a
+//! write-flush, a read, and an incremental parse
+//! ([`http::parse_head`]). A connection is therefore never *waited on*
+//! — a client that dribbles its request head byte-by-byte costs one
+//! buffer and a few scans, not a blocked thread, and back-pressure is
+//! explicit (reads pause while a connection has too many unanswered
+//! pipelined requests or an oversized buffer).
+//!
+//! Requests — not connections — are the unit of dispatch. GETs and
+//! in-memory cache hits are answered inline by the reactor (zero
+//! hand-off, which is what pushes hit throughput past the 5× target on
+//! one core); only `POST /run` work that must execute or touch disk is
+//! submitted to the panic-safe [`mmvc_substrate::WorkerPool`], whose
+//! results come back through a [`mmvc_substrate::Completions`] mailbox
+//! and are re-sequenced per connection so pipelined responses leave in
+//! request order.
+//!
+//! Responses are written zero-copy: a response is a freshly rendered
+//! ~100-byte head plus a shared `Arc<[u8]>` body, handed to the socket
+//! with one vectored write — serving a hot report never copies the
+//! payload.
 //!
 //! ## Trust model
 //!
@@ -35,21 +63,22 @@
 //! way `mmvc run` trusts its invoker: `graph_file` names **server-local
 //! paths by design** (that is how user-supplied workloads reach the
 //! driver), so expose the port beyond localhost only behind
-//! authentication. Abuse is still bounded — request heads/bodies, the
-//! served `n` ([`MAX_SERVED_N`]), and graph-file sizes
-//! ([`MAX_GRAPH_FILE_BYTES`]) are all capped, and unparseable file
-//! errors never echo file contents back to the client.
+//! authentication. Abuse is still bounded — request heads
+//! ([`http::MAX_HEAD_BYTES`], 431 past it), bodies
+//! ([`http::MAX_BODY_BYTES`], 413), the served `n` ([`MAX_SERVED_N`]),
+//! graph-file sizes ([`MAX_GRAPH_FILE_BYTES`]), per-connection buffers,
+//! and pipeline depth are all capped, and unparseable file errors never
+//! echo file contents back to the client.
 //!
 //! ## Concurrency discipline
 //!
-//! Connections are handled by a fixed-size
-//! [`mmvc_substrate::WorkerPool`] under the substrate layer's
-//! schedule-independence contract: a response body is a pure function
-//! of the request bytes — never of worker identity, queue position, or
-//! timing — so `--workers 1` and `--workers 32` serve byte-identical
-//! bodies for the same requests. Served runs execute on the round
-//! engine's sequential executor, which by the engine's determinism
-//! contract never changes a reported number.
+//! The substrate layer's schedule-independence contract still holds:
+//! a response body is a pure function of the request bytes — never of
+//! worker identity, queue position, or timing — so `--workers 1` and
+//! `--workers 32` serve byte-identical bodies for the same requests.
+//! Served runs execute on the round engine's sequential executor, which
+//! by the engine's determinism contract never changes a reported
+//! number.
 //!
 //! ```no_run
 //! use mmvc_serve::{ServeConfig, Server};
@@ -67,6 +96,7 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod metrics;
+pub mod store;
 
 use cache::ReportCache;
 use metrics::Metrics;
@@ -74,21 +104,23 @@ use mmvc_bench::{report_json, Json};
 use mmvc_core::run::{run_on, AlgorithmKind, RunReport, RunSpec, SpecValue};
 use mmvc_core::CoreError;
 use mmvc_graph::scenarios;
-use mmvc_substrate::{ExecutorConfig, WorkerPool};
-use std::io::BufReader;
+use mmvc_substrate::{Completions, ExecutorConfig, WorkerPool};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use store::ReportStore;
 
 /// How the daemon binds and sizes itself.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7411` (port 0 = ephemeral).
     pub addr: String,
-    /// Worker threads handling connections (clamped to at least 1).
+    /// Worker threads executing cache-miss runs (clamped to at least 1).
     pub workers: usize,
-    /// Report-cache capacity in entries (0 disables caching).
+    /// In-memory report-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Admission cap on the *effective* workload size: a served spec whose
     /// scenario-default or explicit `n` exceeds this is refused with a 400
@@ -96,22 +128,35 @@ pub struct ServeConfig {
     /// million-vertex scale tier out; operators admit it explicitly with
     /// `mmvc serve --max-n` (e.g. `--max-n 2097152`).
     pub max_n: usize,
+    /// Directory for the disk-persistent report store (`None` disables
+    /// persistence). A daemon restarted over the same directory keeps
+    /// its hit rate: memory misses fall through to disk before running.
+    pub store_dir: Option<String>,
+    /// Keep-alive idle timeout in milliseconds: a connection with no
+    /// unanswered requests and no traffic for this long is closed.
+    pub idle_timeout_ms: u64,
+    /// Requests served per connection before the daemon answers
+    /// `connection: close` (clamped to at least 1). Bounds how long one
+    /// client can monopolize a connection slot.
+    pub max_requests_per_conn: u64,
 }
 
 impl Default for ServeConfig {
-    /// `127.0.0.1:7411`, 4 workers, 512 cached reports, scale tier refused.
+    /// `127.0.0.1:7411`, 4 workers, 512 cached reports, scale tier
+    /// refused, no disk store, 5 s idle timeout, 1024 requests per
+    /// connection.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:7411".to_string(),
             workers: 4,
             cache_capacity: 512,
             max_n: MAX_SERVED_N,
+            store_dir: None,
+            idle_timeout_ms: 5000,
+            max_requests_per_conn: 1024,
         }
     }
 }
-
-/// Per-connection socket timeout: a stalled peer must not pin a worker.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Default admission cap on the served workload size
 /// ([`ServeConfig::max_n`]). The HTTP layer caps request *bytes*; this
@@ -125,10 +170,77 @@ pub const MAX_SERVED_N: usize = 1 << 17;
 /// file is read into memory).
 pub const MAX_GRAPH_FILE_BYTES: u64 = 64 * 1024 * 1024;
 
-/// Shared state behind every worker: the report cache and the traffic
-/// counters.
+/// Most unanswered pipelined requests per connection: past this the
+/// reactor stops reading from the socket until responses drain, so a
+/// client cannot buy unbounded response memory with one TCP segment.
+const MAX_PIPELINED: u64 = 64;
+
+/// Hard cap on a connection's receive buffer; reads pause at the cap.
+const MAX_CONN_BUF: usize = 8 << 20;
+
+/// Bytes pulled per `read()` call on a ready socket.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Connections accepted per reactor cycle before polling existing ones.
+const ACCEPT_BURST: usize = 64;
+
+/// How long shutdown waits for in-flight responses to flush.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Most entries the reactor-local raw-request memo will hold, whatever
+/// the configured cache capacity.
+const RAW_MEMO_CAP: usize = 8192;
+
+/// The reactor's private shortcut for repeat `POST /run` bodies: exact
+/// request bytes → the shared response body already produced for them.
+///
+/// Sound because the whole request path is deterministic: identical
+/// body bytes parse to the identical spec, which admits identically
+/// (`max_n` is fixed for the server's lifetime) and addresses the same
+/// canonical cache entry — whose bytes are immutable per spec. Only
+/// 200-status in-memory hits are memoized, and `graph_file` specs never
+/// reach the memo (their bytes depend on a file that can change).
+/// Owned solely by the reactor thread, so lookups are a single unlocked
+/// hash probe — cheaper than re-parsing the spec JSON and re-rendering
+/// the canonical key on every hot hit.
+///
+/// Capacity follows the LRU's (`--cache-cap`, up to [`RAW_MEMO_CAP`]),
+/// so the operator's cached-bodies bound stays meaningful; when full
+/// the map is reset wholesale (an epoch clear is amortized O(1) and
+/// needs no recency bookkeeping on the hottest path).
+struct RawMemo {
+    map: HashMap<Vec<u8>, Arc<[u8]>>,
+    cap: usize,
+}
+
+impl RawMemo {
+    fn new(cap: usize) -> Self {
+        RawMemo {
+            map: HashMap::new(),
+            cap: cap.min(RAW_MEMO_CAP),
+        }
+    }
+
+    fn get(&self, body: &[u8]) -> Option<&Arc<[u8]>> {
+        self.map.get(body)
+    }
+
+    fn insert(&mut self, body: &[u8], reply: &Arc<[u8]>) {
+        if self.cap == 0 {
+            return;
+        }
+        if self.map.len() >= self.cap {
+            self.map.clear();
+        }
+        self.map.insert(body.to_vec(), Arc::clone(reply));
+    }
+}
+
+/// Shared state behind the reactor and every worker: the two cache
+/// tiers, the traffic counters, and the precomputed static bodies.
 struct AppState {
     cache: Mutex<ReportCache>,
+    store: Option<ReportStore>,
     metrics: Metrics,
     workers: usize,
     max_n: usize,
@@ -136,14 +248,20 @@ struct AppState {
     /// (cache misses included) rebuild graphs and per-round masks out of
     /// recycled buffers instead of fresh allocations.
     scratch: mmvc_substrate::ScratchPool,
+    /// Static endpoint bodies, rendered once and served as shared bytes.
+    healthz: Arc<[u8]>,
+    scenarios: Arc<[u8]>,
+    algorithms: Arc<[u8]>,
 }
 
-/// The bound daemon: accept loop plus worker pool.
+/// The bound daemon: reactor thread plus worker pool.
 pub struct Server {
     listener: TcpListener,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
     workers: usize,
+    idle_timeout: Duration,
+    max_requests_per_conn: u64,
 }
 
 /// A remote control for a running [`Server`] (cloneable, thread-safe).
@@ -154,11 +272,11 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Asks the accept loop to exit. Queued and in-flight requests are
-    /// drained before [`Server::run`] returns (the worker pool joins).
+    /// Asks the reactor to exit. Accepted requests are drained (bounded
+    /// by an internal deadline) before [`Server::run`] returns.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Poke the blocking accept() so it observes the flag.
+        // Poke the listener so even a sleeping reactor cycles promptly.
         let mut poke = self.addr;
         if poke.ip().is_unspecified() {
             poke.set_ip(IpAddr::V4(Ipv4Addr::LOCALHOST));
@@ -168,26 +286,38 @@ impl ServerHandle {
 }
 
 impl Server {
-    /// Binds the listener and builds the shared state; call
-    /// [`run`](Self::run) to start serving.
+    /// Binds the listener, opens the persistent store (when configured),
+    /// and builds the shared state; call [`run`](Self::run) to start
+    /// serving.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates bind and store-open failures.
     pub fn bind(config: &ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let workers = config.workers.max(1);
+        let store = match &config.store_dir {
+            Some(dir) => Some(ReportStore::open(dir)?),
+            None => None,
+        };
         Ok(Server {
             listener,
             state: Arc::new(AppState {
                 cache: Mutex::new(ReportCache::new(config.cache_capacity)),
+                store,
                 metrics: Metrics::new(),
                 workers,
                 max_n: config.max_n,
                 scratch: mmvc_substrate::ScratchPool::new(),
+                healthz: Arc::from(healthz_body()),
+                scenarios: Arc::from(scenarios_body()),
+                algorithms: Arc::from(algorithms_body()),
             }),
             stop: Arc::new(AtomicBool::new(false)),
             workers,
+            idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
+            max_requests_per_conn: config.max_requests_per_conn.max(1),
         })
     }
 
@@ -212,75 +342,538 @@ impl Server {
         })
     }
 
-    /// Serves until [`ServerHandle::shutdown`] is called: accepts
-    /// connections and hands each to the worker pool. Returns after all
-    /// accepted requests have been answered.
+    /// Runs the reactor until [`ServerHandle::shutdown`] is called:
+    /// accepts, reads, parses, dispatches, and writes — all on this
+    /// thread — while cache-miss runs execute on the worker pool.
+    /// Returns after in-flight responses have drained (or the drain
+    /// deadline passes).
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop failures (individual connection errors are
-    /// absorbed and surfaced in `/metrics` instead).
+    /// Reserved for future fatal reactor failures; individual connection
+    /// errors are absorbed and surfaced in `/metrics` instead.
     pub fn run(self) -> std::io::Result<()> {
         let pool = WorkerPool::new(self.workers);
-        for stream in self.listener.incoming() {
+        let completions: Arc<Completions<Completion>> = Arc::new(Completions::new());
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut completed: Vec<Completion> = Vec::new();
+        let mut next_gen: u64 = 0;
+        let mut spins: u32 = 0;
+        let mut raw_memo = RawMemo::new(lock_cache(&self.state).capacity());
+
+        loop {
             if self.stop.load(Ordering::SeqCst) {
                 break;
             }
-            match stream {
-                Ok(stream) => {
-                    let state = Arc::clone(&self.state);
-                    pool.submit(move || handle_connection(stream, &state));
+            let now = Instant::now();
+            let mut progress = false;
+
+            // Accept a bounded burst of new connections.
+            for _ in 0..ACCEPT_BURST {
+                match self.listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        self.state.metrics.bump(&self.state.metrics.connections);
+                        next_gen += 1;
+                        let conn = Conn::new(stream, next_gen, now);
+                        match free.pop() {
+                            Some(slot) => conns[slot] = Some(conn),
+                            None => conns.push(Some(conn)),
+                        }
+                        progress = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    // Persistent accept failures (e.g. fd exhaustion under
+                    // a connection flood) must not busy-spin the reactor.
+                    Err(_) => {
+                        std::thread::sleep(Duration::from_millis(10));
+                        break;
+                    }
                 }
-                // Persistent accept failures (e.g. fd exhaustion under a
-                // connection flood) must not busy-spin the accept loop.
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+
+            // Install finished worker results into their connections.
+            progress |= install_completions(
+                &completions,
+                &mut completed,
+                &mut conns,
+                &self.state.metrics,
+                now,
+            );
+
+            // Give every connection a flush, a read, and a parse.
+            for (idx, slot) in conns.iter_mut().enumerate() {
+                let Some(conn) = slot.as_mut() else {
+                    continue;
+                };
+                let mut drop_conn = false;
+                match flush_out(conn, &self.state) {
+                    Ok(flushed) => progress |= flushed,
+                    Err(()) => drop_conn = true,
+                }
+                if !drop_conn
+                    && !conn.stop_parsing
+                    && !conn.peer_eof
+                    && conn.unanswered() < MAX_PIPELINED
+                    && conn.buf.len() < MAX_CONN_BUF
+                {
+                    match read_some(conn, now) {
+                        ReadOutcome::Progress => {
+                            progress = true;
+                            conn.need_more = false;
+                        }
+                        ReadOutcome::Blocked => {}
+                        ReadOutcome::Failed => drop_conn = true,
+                    }
+                }
+                if !drop_conn
+                    && !conn.stop_parsing
+                    && !conn.need_more
+                    && conn.unanswered() < MAX_PIPELINED
+                    && !conn.buf.is_empty()
+                {
+                    parse_and_dispatch(
+                        conn,
+                        idx,
+                        &self.state,
+                        &pool,
+                        &completions,
+                        now,
+                        self.max_requests_per_conn,
+                        &mut raw_memo,
+                    );
+                    progress = true;
+                    if flush_out(conn, &self.state).is_err() {
+                        drop_conn = true;
+                    }
+                }
+                if !drop_conn {
+                    let done = conn.unanswered() == 0 && conn.out.is_empty();
+                    if (conn.stop_parsing || conn.peer_eof) && done {
+                        drop_conn = true;
+                    } else if now.duration_since(conn.last_activity) >= self.idle_timeout
+                        && (conn.unanswered() == 0 || !conn.out.is_empty())
+                    {
+                        // Idle keep-alive connection, or a peer too slow
+                        // to read its responses. Connections merely
+                        // waiting on a long worker-side run are spared.
+                        drop_conn = true;
+                    }
+                }
+                if drop_conn {
+                    *slot = None;
+                    free.push(idx);
+                    progress = true;
+                }
+            }
+
+            // Adaptive idle policy: spin while traffic flows, back off
+            // when nothing moved (no epoll under the no-new-deps rule,
+            // so readiness is discovered by polling).
+            if progress {
+                spins = 0;
+            } else {
+                spins = spins.saturating_add(1);
+                if spins <= 16 {
+                    std::thread::yield_now();
+                } else if spins <= 2048 {
+                    std::thread::sleep(Duration::from_micros(50));
+                } else {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
             }
         }
-        drop(pool); // joins workers, draining queued connections
+
+        // Graceful drain: stop parsing new requests, flush what was
+        // already accepted, bounded by the drain deadline.
+        let deadline = Instant::now() + DRAIN_DEADLINE;
+        for conn in conns.iter_mut().flatten() {
+            conn.stop_parsing = true;
+        }
+        loop {
+            let now = Instant::now();
+            install_completions(
+                &completions,
+                &mut completed,
+                &mut conns,
+                &self.state.metrics,
+                now,
+            );
+            for slot in conns.iter_mut() {
+                let Some(conn) = slot.as_mut() else {
+                    continue;
+                };
+                let finished = match flush_out(conn, &self.state) {
+                    Ok(_) => conn.unanswered() == 0 && conn.out.is_empty(),
+                    Err(()) => true,
+                };
+                if finished {
+                    *slot = None;
+                }
+            }
+            if conns.iter().all(Option::is_none) || now >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        drop(pool); // joins workers; orphan completions are discarded
         Ok(())
     }
 }
 
-/// One connection: read the request, route it, write the response, and
-/// account for it. All failure modes answer with an error body where the
-/// socket still works, and are dropped silently where it does not.
-fn handle_connection(mut stream: TcpStream, state: &AppState) {
-    let started = Instant::now();
-    state.metrics.bump(&state.metrics.in_flight);
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-
-    let reply = read_and_route(&mut stream, state);
-    if let Some(reply) = reply {
-        if reply.status >= 400 {
-            state.metrics.bump(&state.metrics.errors);
-        }
-        let mut extra: Vec<(&str, &str)> = Vec::new();
-        if let Some(cache_state) = reply.x_cache {
-            extra.push(("x-cache", cache_state));
-        }
-        let _ = http::write_response(&mut stream, reply.status, &extra, &reply.body);
-    }
-
-    state.metrics.bump(&state.metrics.requests);
-    state
-        .metrics
-        .in_flight
-        .fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
-    state
-        .metrics
-        .record_latency_ms(started.elapsed().as_secs_f64() * 1e3);
+/// One worker-pool result routed back to its connection.
+struct Completion {
+    conn: usize,
+    generation: u64,
+    seq: u64,
+    msg: OutMsg,
 }
 
-/// A routed response (`None` = connection unusable, drop it).
+/// A response staged for writing: a freshly rendered head plus a shared
+/// body, with write cursors so a partial write resumes where it left
+/// off. The body is an `Arc<[u8]>` clone of the cached bytes — writing
+/// it never copies the payload.
+struct OutMsg {
+    head: Vec<u8>,
+    body: Arc<[u8]>,
+    head_pos: usize,
+    body_pos: usize,
+    close_after: bool,
+    /// An interim message (`100 Continue`): not a real answer, so it
+    /// counts toward neither the request sequence nor the metrics.
+    interim: bool,
+    parsed_at: Instant,
+}
+
+impl OutMsg {
+    fn interim_continue(parsed_at: Instant) -> OutMsg {
+        OutMsg {
+            head: http::CONTINUE_BYTES.to_vec(),
+            body: Arc::from(&b""[..]),
+            head_pos: 0,
+            body_pos: 0,
+            close_after: false,
+            interim: true,
+            parsed_at,
+        }
+    }
+}
+
+/// Reactor-side connection state.
+struct Conn {
+    stream: TcpStream,
+    /// Guards a recycled slot against accepting a stale completion.
+    generation: u64,
+    /// Unparsed request bytes.
+    buf: Vec<u8>,
+    /// A parsed head whose body has not fully arrived.
+    pending_head: Option<(http::Head, usize)>,
+    sent_continue: bool,
+    /// Next request sequence number to assign.
+    next_seq: u64,
+    /// Next sequence number eligible to move into `out`.
+    promote_seq: u64,
+    /// Responses fully written.
+    written: u64,
+    /// Finished responses waiting for an earlier sequence number —
+    /// pipelined responses must leave in request order.
+    ready: BTreeMap<u64, OutMsg>,
+    /// In-order responses being written.
+    out: VecDeque<OutMsg>,
+    last_activity: Instant,
+    /// No more requests will be parsed (quota, parse error,
+    /// `Connection: close`, or shutdown).
+    stop_parsing: bool,
+    /// The peer half-closed; buffered complete requests still get
+    /// answered.
+    peer_eof: bool,
+    /// The parser exhausted `buf`; skip parsing until more bytes arrive.
+    need_more: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, generation: u64, now: Instant) -> Conn {
+        Conn {
+            stream,
+            generation,
+            buf: Vec::new(),
+            pending_head: None,
+            sent_continue: false,
+            next_seq: 0,
+            promote_seq: 0,
+            written: 0,
+            ready: BTreeMap::new(),
+            out: VecDeque::new(),
+            last_activity: now,
+            stop_parsing: false,
+            peer_eof: false,
+            need_more: false,
+        }
+    }
+
+    /// Requests assigned a sequence number but not yet fully written.
+    fn unanswered(&self) -> u64 {
+        self.next_seq - self.written
+    }
+}
+
+/// Moves finished worker results into their connections' reorder maps.
+fn install_completions(
+    completions: &Completions<Completion>,
+    completed: &mut Vec<Completion>,
+    conns: &mut [Option<Conn>],
+    metrics: &Metrics,
+    now: Instant,
+) -> bool {
+    if completions.is_empty() {
+        return false;
+    }
+    completions.drain_into(completed);
+    let mut any = false;
+    for c in completed.drain(..) {
+        metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(conn) = conns.get_mut(c.conn).and_then(Option::as_mut) {
+            // A stale generation means the slot was recycled: the
+            // original connection is gone, the result is dropped.
+            if conn.generation == c.generation {
+                conn.ready.insert(c.seq, c.msg);
+                conn.last_activity = now;
+                promote(conn);
+                any = true;
+            }
+        }
+    }
+    any
+}
+
+/// Moves consecutive finished responses from `ready` into the write
+/// queue.
+fn promote(conn: &mut Conn) {
+    while let Some(msg) = conn.ready.remove(&conn.promote_seq) {
+        conn.out.push_back(msg);
+        conn.promote_seq += 1;
+    }
+}
+
+enum ReadOutcome {
+    Progress,
+    Blocked,
+    Failed,
+}
+
+/// Pulls whatever the socket has ready into the connection buffer (a
+/// few chunks at most, so one firehose client cannot starve the rest of
+/// the cycle). EOF is recorded, not fatal: buffered requests still get
+/// answered.
+fn read_some(conn: &mut Conn, now: Instant) -> ReadOutcome {
+    let mut chunk = [0u8; READ_CHUNK];
+    let mut got = false;
+    for _ in 0..4 {
+        if conn.buf.len() >= MAX_CONN_BUF {
+            break;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = now;
+                got = true;
+                if n < chunk.len() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Failed,
+        }
+    }
+    if got {
+        ReadOutcome::Progress
+    } else {
+        ReadOutcome::Blocked
+    }
+}
+
+/// Writes as much of the queued responses as the socket accepts, head
+/// and shared body in one vectored write. `Err(())` means the
+/// connection is finished (write failure or a `Connection: close`
+/// response fully sent) and must be dropped.
+fn flush_out(conn: &mut Conn, state: &AppState) -> Result<bool, ()> {
+    let mut progress = false;
+    while let Some(front) = conn.out.front_mut() {
+        let head_rest = &front.head[front.head_pos..];
+        let body_rest = &front.body[front.body_pos..];
+        match conn
+            .stream
+            .write_vectored(&[IoSlice::new(head_rest), IoSlice::new(body_rest)])
+        {
+            Ok(0) => return Err(()),
+            Ok(mut n) => {
+                progress = true;
+                conn.last_activity = Instant::now();
+                let head_take = n.min(head_rest.len());
+                front.head_pos += head_take;
+                n -= head_take;
+                front.body_pos += n;
+                if front.head_pos == front.head.len() && front.body_pos == front.body.len() {
+                    let msg = conn.out.pop_front().expect("front exists");
+                    if !msg.interim {
+                        conn.written += 1;
+                        state.metrics.bump(&state.metrics.requests);
+                        state.metrics.add(
+                            &state.metrics.bytes_served,
+                            (msg.head.len() + msg.body.len()) as u64,
+                        );
+                        state.metrics.record_latency_ms(
+                            Instant::now().duration_since(msg.parsed_at).as_secs_f64() * 1e3,
+                        );
+                        if msg.close_after {
+                            return Err(());
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
+    }
+    Ok(progress)
+}
+
+/// Parses as many complete requests as the buffer holds, answering each
+/// inline ([`route_fast`]) or dispatching it to the pool, bounded by
+/// the pipeline cap and the per-connection request quota.
+#[allow(clippy::too_many_arguments)] // the reactor's one dispatch point
+fn parse_and_dispatch(
+    conn: &mut Conn,
+    idx: usize,
+    state: &Arc<AppState>,
+    pool: &WorkerPool,
+    completions: &Arc<Completions<Completion>>,
+    now: Instant,
+    max_requests: u64,
+    raw_memo: &mut RawMemo,
+) {
+    while !conn.stop_parsing && conn.unanswered() < MAX_PIPELINED {
+        if let Some((head, head_len)) = conn.pending_head.take() {
+            let total = head_len + head.content_length;
+            if conn.buf.len() < total {
+                // The body is still in flight. Acknowledge
+                // `Expect: 100-continue` once, and only when nothing
+                // else is queued ahead of it — an interim response must
+                // not jump an earlier request's answer.
+                if head.expect_continue
+                    && !conn.sent_continue
+                    && conn.unanswered() == 0
+                    && conn.out.is_empty()
+                {
+                    conn.sent_continue = true;
+                    conn.out.push_back(OutMsg::interim_continue(now));
+                }
+                conn.pending_head = Some((head, head_len));
+                conn.need_more = true;
+                break;
+            }
+            let body = conn.buf[head_len..total].to_vec();
+            conn.buf.drain(..total);
+            conn.sent_continue = false;
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            if seq > 0 {
+                state.metrics.bump(&state.metrics.keepalive_reuses);
+            }
+            let keep = head.keep_alive && seq + 1 < max_requests;
+            if !keep {
+                conn.stop_parsing = true;
+            }
+            let request = http::Request { head, body };
+            match route_fast(&request, state, raw_memo) {
+                Some(reply) => {
+                    conn.ready
+                        .insert(seq, build_msg(reply, keep, now, &state.metrics));
+                }
+                None => {
+                    state.metrics.bump(&state.metrics.in_flight);
+                    let state = Arc::clone(state);
+                    let completions = Arc::clone(completions);
+                    let generation = conn.generation;
+                    pool.submit(move || {
+                        let reply = handle_run(&state, &request.body);
+                        let msg = build_msg(reply, keep, now, &state.metrics);
+                        completions.push(Completion {
+                            conn: idx,
+                            generation,
+                            seq,
+                            msg,
+                        });
+                    });
+                }
+            }
+        } else {
+            match http::parse_head(&conn.buf) {
+                Ok(Some(pair)) => conn.pending_head = Some(pair),
+                Ok(None) => {
+                    conn.need_more = true;
+                    break;
+                }
+                Err(e) => {
+                    // The byte stream can no longer frame a next
+                    // request: answer the error and close.
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    let reply = Reply::error(e.status(), &e.to_string());
+                    conn.ready
+                        .insert(seq, build_msg(reply, false, now, &state.metrics));
+                    conn.stop_parsing = true;
+                    conn.buf.clear();
+                    break;
+                }
+            }
+        }
+    }
+    promote(conn);
+}
+
+/// Renders a reply into a staged response message, accounting errors.
+fn build_msg(reply: Reply, keep_alive: bool, parsed_at: Instant, metrics: &Metrics) -> OutMsg {
+    if reply.status >= 400 {
+        metrics.bump(&metrics.errors);
+    }
+    let mut extra: Vec<(&str, &str)> = Vec::new();
+    if let Some(cache_state) = reply.x_cache {
+        extra.push(("x-cache", cache_state));
+    }
+    let head = http::render_head(reply.status, &extra, reply.body.len(), keep_alive);
+    OutMsg {
+        head,
+        body: reply.body,
+        head_pos: 0,
+        body_pos: 0,
+        close_after: !keep_alive,
+        interim: false,
+        parsed_at,
+    }
+}
+
+/// A routed response: status, cache disposition, shared body bytes.
+#[derive(Debug)]
 struct Reply {
     status: u16,
     x_cache: Option<&'static str>,
-    body: Arc<Vec<u8>>,
+    body: Arc<[u8]>,
 }
 
 impl Reply {
-    fn ok(body: Arc<Vec<u8>>) -> Self {
+    fn ok(body: Arc<[u8]>) -> Self {
         Reply {
             status: 200,
             x_cache: None,
@@ -292,7 +885,7 @@ impl Reply {
         Reply {
             status,
             x_cache: None,
-            body: Arc::new(
+            body: Arc::from(
                 Json::obj(vec![("error", Json::Str(message.to_string()))])
                     .render()
                     .into_bytes(),
@@ -301,62 +894,87 @@ impl Reply {
     }
 }
 
-fn read_and_route(stream: &mut TcpStream, state: &AppState) -> Option<Reply> {
-    let mut reader = BufReader::new(stream.try_clone().ok()?);
-    let mut request = match http::read_head(&mut reader) {
-        Ok(request) => request,
-        Err(http::HttpError::Io(_)) => return None,
-        Err(e @ http::HttpError::Malformed(_)) => return Some(Reply::error(400, &e.to_string())),
-        Err(e @ http::HttpError::TooLarge(_)) => return Some(Reply::error(413, &e.to_string())),
-    };
-    if request.content_length > 0 {
-        if request.expect_continue {
-            http::write_continue(stream).ok()?;
-        }
-        if http::read_body(&mut reader, &mut request).is_err() {
-            return None;
-        }
-    }
-    Some(route(&request, state))
-}
-
-/// Maps a parsed request to its reply. Every body except `/metrics` is a
-/// pure function of the request — the worker-pool determinism contract.
-fn route(request: &http::Request, state: &AppState) -> Reply {
-    match (request.method.as_str(), request.target.as_str()) {
+/// Routes a parsed request on the reactor thread. `Some` is the answer
+/// (static bodies, `/metrics`, errors, and in-memory cache hits — all
+/// cheap); `None` means the request needs a worker (it executes a run
+/// or touches the disk store). Every body except `/metrics` is a pure
+/// function of the request — the worker-pool determinism contract.
+fn route_fast(request: &http::Request, state: &AppState, raw_memo: &mut RawMemo) -> Option<Reply> {
+    match (request.head.method.as_str(), request.head.target.as_str()) {
         ("POST", "/run") => {
             state.metrics.bump(&state.metrics.run_requests);
-            handle_run(state, &request.body)
+            fast_run(state, &request.body, raw_memo)
         }
-        ("GET", "/scenarios") => Reply::ok(Arc::new(scenarios_body())),
-        ("GET", "/algorithms") => Reply::ok(Arc::new(algorithms_body())),
-        ("GET", "/healthz") => Reply::ok(Arc::new(healthz_body())),
-        ("GET", "/metrics") => Reply::ok(Arc::new(metrics_body(state))),
-        (_, "/run" | "/scenarios" | "/algorithms" | "/healthz" | "/metrics") => {
-            Reply::error(405, &format!("method {} not allowed here", request.method))
-        }
-        (_, target) => Reply::error(404, &format!("no such endpoint `{target}`")),
+        ("GET", "/scenarios") => Some(Reply::ok(Arc::clone(&state.scenarios))),
+        ("GET", "/algorithms") => Some(Reply::ok(Arc::clone(&state.algorithms))),
+        ("GET", "/healthz") => Some(Reply::ok(Arc::clone(&state.healthz))),
+        ("GET", "/metrics") => Some(Reply::ok(Arc::from(metrics_body(state)))),
+        (method, "/run" | "/scenarios" | "/algorithms" | "/healthz" | "/metrics") => Some(
+            Reply::error(405, &format!("method {method} not allowed here")),
+        ),
+        (_, target) => Some(Reply::error(404, &format!("no such endpoint `{target}`"))),
     }
 }
 
-/// `POST /run`: body → spec → cache lookup → (on miss) execute → cache.
-fn handle_run(state: &AppState, body: &[u8]) -> Reply {
-    let spec = match parse_run_body(body) {
+/// The reactor-side `POST /run` fast path: answer from the raw-request
+/// memo or the in-memory cache without touching the pool or the disk.
+/// Returns `None` to dispatch to a worker (file workloads, memory
+/// misses).
+fn fast_run(state: &AppState, body: &[u8], raw_memo: &mut RawMemo) -> Option<Reply> {
+    if let Some(memoized) = raw_memo.get(body) {
+        state.metrics.bump(&state.metrics.cache_hits);
+        return Some(Reply {
+            status: 200,
+            x_cache: Some("hit"),
+            body: Arc::clone(memoized),
+        });
+    }
+    let mut spec = match parse_run_body(body) {
         Ok(spec) => spec,
-        Err(message) => return Reply::error(400, &message),
+        Err(message) => return Some(Reply::error(400, &message)),
     };
-    // Admission: resolve the *effective* workload size — the explicit `n`
-    // or the scenario's default — and refuse specs above the daemon's cap
-    // explicitly (the registry's scale tier lands here unless the operator
-    // raised `--max-n`). File workloads are checked after loading, when
-    // their vertex count is known.
+    if spec.graph_file.is_some() {
+        return None; // file I/O belongs on a worker
+    }
+    if let Err(refusal) = admit(&mut spec, state) {
+        return Some(refusal);
+    }
+    let key = cache_key(&spec, None);
+    let hit = lock_cache(state).get(&key);
+    match hit {
+        Some(cached) => {
+            state.metrics.bump(&state.metrics.cache_hits);
+            raw_memo.insert(body, &cached);
+            Some(Reply {
+                status: 200,
+                x_cache: Some("hit"),
+                body: cached,
+            })
+        }
+        None => None,
+    }
+}
+
+/// Shared admission: refuse oversized registry workloads, then fold the
+/// daemon's cap into the spec's budget and attach the scratch arena.
+///
+/// Runs identically on the fast path and the worker path — in
+/// particular the budget fold happens **before** [`cache_key`] is
+/// computed (the key includes `budget.max_n`), so both paths address
+/// the same cache entry for the same request bytes.
+fn admit(spec: &mut RunSpec, state: &AppState) -> Result<(), Reply> {
+    // Admission: resolve the *effective* workload size — the explicit
+    // `n` or the scenario's default — and refuse specs above the
+    // daemon's cap explicitly (the registry's scale tier lands here
+    // unless the operator raised `--max-n`). File workloads are checked
+    // after loading, when their vertex count is known.
     if spec.graph_file.is_none() {
         let effective_n = spec
             .n
             .or_else(|| scenarios::get(&spec.scenario).map(|sc| sc.default_n));
         if let Some(n) = effective_n {
             if n > state.max_n {
-                return Reply::error(
+                return Err(Reply::error(
                     400,
                     &format!(
                         "invalid parameter `n`: this spec resolves to n = {n}, but served \
@@ -364,24 +982,37 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
                          to admit scale-tier workloads",
                         state.max_n
                     ),
-                );
+                ));
             }
         }
     }
-
     // Backstop: fold the daemon's cap into the spec's admission budget
-    // (`RunBudget::max_n`), so workloads whose size is only known later —
-    // graph files in particular — are refused by the run driver itself.
-    let mut spec = spec;
+    // (`RunBudget::max_n`), so workloads whose size is only known later
+    // — graph files in particular — are refused by the run driver
+    // itself.
     spec.budget.max_n = Some(
         spec.budget
             .max_n
             .map_or(state.max_n, |m| m.min(state.max_n)),
     );
-    // Served runs share the daemon's scratch arena: the cache key ignores
-    // the executor (it never changes a reported number), so pooling is
-    // invisible to clients — it just stops repeat builds from allocating.
+    // Served runs share the daemon's scratch arena: the cache key
+    // ignores the executor (it never changes a reported number), so
+    // pooling is invisible to clients — it just stops repeat builds
+    // from allocating.
     spec.executor = spec.executor.clone().with_scratch(&state.scratch);
+    Ok(())
+}
+
+/// The worker-side `POST /run` path: body → spec → memory cache →
+/// persistent store → (on miss) execute → populate both tiers.
+fn handle_run(state: &AppState, body: &[u8]) -> Reply {
+    let mut spec = match parse_run_body(body) {
+        Ok(spec) => spec,
+        Err(message) => return Reply::error(400, &message),
+    };
+    if let Err(refusal) = admit(&mut spec, state) {
+        return refusal;
+    }
 
     // Resolve the workload's cache identity — and, for file workloads,
     // the bytes — *once*, so the hash in the key is the hash of exactly
@@ -418,6 +1049,7 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
     };
     let key = cache_key(&spec, file.as_ref().map(|(_, bytes)| fnv1a(bytes)));
 
+    // Memory tier (the fast path may have raced us into it).
     if let Some(body) = lock_cache(state).get(&key) {
         state.metrics.bump(&state.metrics.cache_hits);
         return Reply {
@@ -425,6 +1057,19 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
             x_cache: Some("hit"),
             body,
         };
+    }
+    // Disk tier: a restarted daemon finds yesterday's reports here and
+    // skips the run entirely.
+    if let Some(store) = &state.store {
+        if let Some(body) = store.load(&key) {
+            state.metrics.bump(&state.metrics.store_hits);
+            lock_cache(state).insert(key, Arc::clone(&body));
+            return Reply {
+                status: 200,
+                x_cache: Some("store"),
+                body,
+            };
+        }
     }
 
     let report = match &file {
@@ -461,9 +1106,15 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
         Err(e) => return Reply::error(400, &e.to_string()),
     };
 
-    let body = Arc::new(canonical_report_body(report));
+    let body: Arc<[u8]> = Arc::from(canonical_report_body(report));
     state.metrics.bump(&state.metrics.cache_misses);
-    lock_cache(state).insert(key, Arc::clone(&body));
+    lock_cache(state).insert(key.clone(), Arc::clone(&body));
+    if let Some(store) = &state.store {
+        // A failed write costs durability, not availability.
+        if store.save(&key, &body).is_err() {
+            state.metrics.bump(&state.metrics.store_errors);
+        }
+    }
     Reply {
         status: 200,
         x_cache: Some("miss"),
@@ -532,7 +1183,8 @@ pub fn canonical_report_body(mut report: RunReport) -> Vec<u8> {
 /// key names the *content* that ran, not the path. The executor is
 /// deliberately excluded — by the round engine's contract it never
 /// changes a report — and override knobs are not expressible in
-/// `POST /run` bodies (every served spec carries the defaults).
+/// `POST /run` bodies (every served spec carries the defaults). The
+/// same key addresses both cache tiers (memory and [`store`]).
 pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
     let workload = match (&spec.graph_file, graph_content_hash) {
         (Some(path), Some(hash)) => Json::obj(vec![
@@ -633,7 +1285,7 @@ fn algorithms_body() -> Vec<u8> {
 
 fn metrics_body(state: &AppState) -> Vec<u8> {
     let m = &state.metrics;
-    let (p50, p90, p99) = m.latency_percentiles_ms();
+    let (p50, p90, p99, p999) = m.latency_percentiles_ms();
     let cache = lock_cache(state);
     Json::obj(vec![
         ("requests", Json::Int(m.read(&m.requests) as i64)),
@@ -644,11 +1296,26 @@ fn metrics_body(state: &AppState) -> Vec<u8> {
             Json::obj(vec![
                 ("hits", Json::Int(m.read(&m.cache_hits) as i64)),
                 ("misses", Json::Int(m.read(&m.cache_misses) as i64)),
+                ("store_hits", Json::Int(m.read(&m.store_hits) as i64)),
+                ("store_errors", Json::Int(m.read(&m.store_errors) as i64)),
                 ("entries", Json::Int(cache.len() as i64)),
                 ("capacity", Json::Int(cache.capacity() as i64)),
             ]),
         ),
+        (
+            "store_dir",
+            match &state.store {
+                Some(store) => Json::Str(store.root().display().to_string()),
+                None => Json::Null,
+            },
+        ),
         ("in_flight", Json::Int(m.read(&m.in_flight) as i64)),
+        ("connections", Json::Int(m.read(&m.connections) as i64)),
+        (
+            "keepalive_reuses",
+            Json::Int(m.read(&m.keepalive_reuses) as i64),
+        ),
+        ("bytes_served", Json::Int(m.read(&m.bytes_served) as i64)),
         ("max_n", Json::Int(state.max_n as i64)),
         (
             "latency_ms",
@@ -656,6 +1323,7 @@ fn metrics_body(state: &AppState) -> Vec<u8> {
                 ("p50", Json::Float(p50)),
                 ("p90", Json::Float(p90)),
                 ("p99", Json::Float(p99)),
+                ("p999", Json::Float(p999)),
             ]),
         ),
         ("workers", Json::Int(state.workers as i64)),
@@ -761,5 +1429,86 @@ mod tests {
                 .len(),
             AlgorithmKind::ALL.len()
         );
+    }
+
+    #[test]
+    fn admission_folds_the_cap_before_the_key() {
+        // The fast path and the worker path must address the same cache
+        // entry: `admit` folds the daemon cap into `budget.max_n`
+        // (which the key includes) for both.
+        let state = AppState {
+            cache: Mutex::new(ReportCache::new(4)),
+            store: None,
+            metrics: Metrics::new(),
+            workers: 1,
+            max_n: 1024,
+            scratch: mmvc_substrate::ScratchPool::new(),
+            healthz: Arc::from(healthz_body()),
+            scenarios: Arc::from(scenarios_body()),
+            algorithms: Arc::from(algorithms_body()),
+        };
+        let mut spec = RunSpec::new(AlgorithmKind::GreedyMis, "gnp-sparse");
+        spec.n = Some(96);
+        let unfolded = cache_key(&spec, None);
+        admit(&mut spec, &state).expect("admitted");
+        assert_eq!(spec.budget.max_n, Some(1024), "cap folded into budget");
+        assert_ne!(cache_key(&spec, None), unfolded);
+
+        let mut tight = RunSpec::new(AlgorithmKind::GreedyMis, "gnp-sparse");
+        tight.n = Some(96);
+        tight.budget.max_n = Some(512);
+        admit(&mut tight, &state).expect("admitted");
+        assert_eq!(tight.budget.max_n, Some(512), "tighter budget survives");
+
+        let mut huge = RunSpec::new(AlgorithmKind::GreedyMis, "gnp-sparse");
+        huge.n = Some(4096);
+        let refusal = admit(&mut huge, &state).expect_err("refused");
+        assert_eq!(refusal.status, 400);
+    }
+
+    #[test]
+    fn raw_memo_shortcuts_repeat_bodies_and_respects_the_cap() {
+        let state = AppState {
+            cache: Mutex::new(ReportCache::new(4)),
+            store: None,
+            metrics: Metrics::new(),
+            workers: 1,
+            max_n: 1024,
+            scratch: mmvc_substrate::ScratchPool::new(),
+            healthz: Arc::from(healthz_body()),
+            scenarios: Arc::from(scenarios_body()),
+            algorithms: Arc::from(algorithms_body()),
+        };
+        let body = br#"{"algorithm": "greedy-mis", "scenario": "gnp-sparse", "n": 64, "seed": 3}"#;
+        let mut spec = parse_run_body(body).unwrap();
+        admit(&mut spec, &state).unwrap();
+        let canonical: Arc<[u8]> = Arc::from(&b"canonical-bytes"[..]);
+        lock_cache(&state).insert(cache_key(&spec, None), Arc::clone(&canonical));
+
+        // First hit comes from the LRU and populates the memo ...
+        let mut memo = RawMemo::new(4);
+        let first = fast_run(&state, body, &mut memo).expect("hit");
+        assert_eq!(first.x_cache, Some("hit"));
+        assert_eq!(first.body.as_ref(), canonical.as_ref());
+        assert_eq!(memo.map.len(), 1);
+
+        // ... so a repeat of the same bytes answers even with the LRU
+        // emptied: no parse, no key render, no lock.
+        lock_cache(&state).insert("unrelated".into(), Arc::from(&b"x"[..]));
+        let again = fast_run(&state, body, &mut memo).expect("memo hit");
+        assert_eq!(again.body.as_ref(), canonical.as_ref());
+
+        // Different bytes (even an equivalent spec spelled differently)
+        // miss the memo and fall through to the canonical path.
+        let respelled =
+            br#"{"scenario": "gnp-sparse", "algorithm": "greedy-mis", "seed": 3, "n": 64}"#;
+        let equivalent = fast_run(&state, respelled, &mut memo).expect("canonical hit");
+        assert_eq!(equivalent.body.as_ref(), canonical.as_ref());
+        assert_eq!(memo.map.len(), 2, "both spellings memoized");
+
+        // A zero-capacity memo (cache disabled) never stores anything.
+        let mut disabled = RawMemo::new(0);
+        disabled.insert(body, &canonical);
+        assert!(disabled.map.is_empty());
     }
 }

@@ -6,8 +6,9 @@ use std::sync::Mutex;
 
 /// How many of the most recent request latencies feed the percentile
 /// estimates. A bounded window keeps `/metrics` O(1) memory no matter
-/// how long the daemon runs.
-const LATENCY_WINDOW: usize = 4096;
+/// how long the daemon runs. Sized so the p999 column rests on a few
+/// tail samples even at modest traffic.
+const LATENCY_WINDOW: usize = 8192;
 
 /// Monotone counters (lock-free) plus a sliding latency window.
 ///
@@ -15,6 +16,13 @@ const LATENCY_WINDOW: usize = 4096;
 /// synchronization — and every reader sees some consistent-enough
 /// snapshot. The latency window sits behind a mutex touched once per
 /// request for a push and once per `/metrics` render for a copy.
+///
+/// Under keep-alive, one connection carries many requests, so latency
+/// is recorded **per request** — from the moment a complete request has
+/// been parsed off the wire to the moment its response bytes have been
+/// handed to the socket — never per connection (a per-connection timer
+/// would smear every pipelined request's tail into one sample and hide
+/// exactly the effects p999 exists to expose).
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests fully served (any endpoint, any status).
@@ -23,12 +31,26 @@ pub struct Metrics {
     pub run_requests: AtomicU64,
     /// Responses with a 4xx/5xx status.
     pub errors: AtomicU64,
-    /// `POST /run` responses answered from the report cache.
+    /// `POST /run` responses answered from the in-memory report cache.
     pub cache_hits: AtomicU64,
+    /// `POST /run` responses answered from the persistent store (a
+    /// memory miss that skipped the run).
+    pub store_hits: AtomicU64,
     /// `POST /run` responses that executed the algorithm.
     pub cache_misses: AtomicU64,
-    /// Requests currently being handled by some worker.
+    /// Failed persistent-store writes (the daemon keeps serving; the
+    /// entry is just not durable).
+    pub store_errors: AtomicU64,
+    /// Requests currently dispatched to the worker pool.
     pub in_flight: AtomicU64,
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Requests served on an already-used connection (request ≥ 2 on
+    /// its connection) — the keep-alive reuse counter: `reuses /
+    /// requests` close to 1 means the handshake tax is almost gone.
+    pub keepalive_reuses: AtomicU64,
+    /// Total response bytes (heads + bodies) handed to sockets.
+    pub bytes_served: AtomicU64,
     latencies_ms: Mutex<VecDeque<f64>>,
 }
 
@@ -38,7 +60,8 @@ impl Metrics {
         Metrics::default()
     }
 
-    /// Records one finished request's wall time.
+    /// Records one finished request's service time (parse-complete to
+    /// response-written).
     pub fn record_latency_ms(&self, ms: f64) {
         let mut window = self
             .latencies_ms
@@ -50,8 +73,9 @@ impl Metrics {
         window.push_back(ms);
     }
 
-    /// `(p50, p90, p99)` over the latency window (zeros when empty).
-    pub fn latency_percentiles_ms(&self) -> (f64, f64, f64) {
+    /// `(p50, p90, p99, p999)` over the latency window (zeros when
+    /// empty).
+    pub fn latency_percentiles_ms(&self) -> (f64, f64, f64, f64) {
         let snapshot: Vec<f64> = self
             .latencies_ms
             .lock()
@@ -71,19 +95,26 @@ impl Metrics {
     pub fn bump(&self, counter: &AtomicU64) {
         counter.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Relaxed add to a counter.
+    pub fn add(&self, counter: &AtomicU64, amount: u64) {
+        counter.fetch_add(amount, Ordering::Relaxed);
+    }
 }
 
-/// `(p50, p90, p99)` of a sample by the nearest-rank method.
-pub fn percentiles(mut samples: Vec<f64>) -> (f64, f64, f64) {
+/// `(p50, p90, p99, p999)` of a sample by the nearest-rank method.
+pub fn percentiles(mut samples: Vec<f64>) -> (f64, f64, f64, f64) {
     if samples.is_empty() {
-        return (0.0, 0.0, 0.0);
+        return (0.0, 0.0, 0.0, 0.0);
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
     let rank = |p: f64| -> f64 {
-        let idx = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+        // The epsilon absorbs float residue: 0.999 × 1000 must rank as
+        // 999, not drift to 999.0000000000001 and ceil to 1000.
+        let idx = ((p / 100.0) * samples.len() as f64 - 1e-9).ceil() as usize;
         samples[idx.clamp(1, samples.len()) - 1]
     };
-    (rank(50.0), rank(90.0), rank(99.0))
+    (rank(50.0), rank(90.0), rank(99.0), rank(99.9))
 }
 
 #[cfg(test)]
@@ -96,19 +127,44 @@ mod tests {
         m.bump(&m.requests);
         m.bump(&m.requests);
         m.bump(&m.cache_hits);
+        m.add(&m.bytes_served, 1000);
+        m.add(&m.bytes_served, 24);
         assert_eq!(m.read(&m.requests), 2);
         assert_eq!(m.read(&m.cache_hits), 1);
         assert_eq!(m.read(&m.cache_misses), 0);
+        assert_eq!(m.read(&m.store_hits), 0);
+        assert_eq!(m.read(&m.bytes_served), 1024);
     }
 
     #[test]
     fn percentiles_nearest_rank() {
-        let (p50, p90, p99) = percentiles((1..=100).map(|v| v as f64).collect());
-        assert_eq!(p50, 50.0);
-        assert_eq!(p90, 90.0);
-        assert_eq!(p99, 99.0);
-        assert_eq!(percentiles(vec![]), (0.0, 0.0, 0.0));
-        assert_eq!(percentiles(vec![7.5]), (7.5, 7.5, 7.5));
+        let (p50, p90, p99, p999) = percentiles((1..=1000).map(|v| v as f64).collect());
+        assert_eq!(p50, 500.0);
+        assert_eq!(p90, 900.0);
+        assert_eq!(p99, 990.0);
+        assert_eq!(p999, 999.0);
+        assert_eq!(percentiles(vec![]), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(percentiles(vec![7.5]), (7.5, 7.5, 7.5, 7.5));
+    }
+
+    #[test]
+    fn p999_sees_the_tail_p99_misses() {
+        // Ten disasters among 1000 samples sit in the top 1%-but-not-top
+        // -0.1% shadow: nearest-rank p99 (rank 990) still reads the fast
+        // bulk, p999 (rank 999) lands inside the disaster tail.
+        let mut samples: Vec<f64> = vec![1.0; 990];
+        samples.extend(std::iter::repeat_n(500.0, 10));
+        let (_, _, p99, p999) = percentiles(samples);
+        assert_eq!(p99, 1.0);
+        assert_eq!(p999, 500.0);
+        // A single outlier in 1000 is below even p999's resolution —
+        // rank 999 of 1000 — which is why the window is sized to hold
+        // several tail samples.
+        let mut samples: Vec<f64> = vec![1.0; 999];
+        samples.push(500.0);
+        let (_, _, p99, p999) = percentiles(samples);
+        assert_eq!(p99, 1.0);
+        assert_eq!(p999, 1.0);
     }
 
     #[test]

@@ -151,6 +151,7 @@ fn scale_tier_is_refused_by_default_and_admitted_by_max_n() {
         workers: 2,
         cache_capacity: 16,
         max_n: 1 << 21,
+        ..ServeConfig::default()
     })
     .expect("bind");
     let addr = server.local_addr().unwrap().to_string();

@@ -62,7 +62,7 @@ pub use bitset::Bitset;
 pub use engine::RoundLedger;
 pub use error::SubstrateError;
 pub use executor::ExecutorConfig;
-pub use pool::WorkerPool;
+pub use pool::{Completions, WorkerPool};
 pub use scratch::{ScratchPool, ScratchStats};
 pub use trace::{ExecutionTrace, RoundSummary};
 

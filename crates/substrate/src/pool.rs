@@ -22,6 +22,22 @@
 //!   sees identical outcomes for every worker count — the serving analog
 //!   of "`Sequential` and `Threaded{k}` are byte-identical".
 //!
+//! ## Request-shaped jobs and [`Completions`]
+//!
+//! The pool's original consumer submitted *connection*-shaped jobs: one
+//! closure owned a socket end to end, so a slow peer pinned its worker
+//! for the connection's whole lifetime. The serving reactor submits
+//! *request*-shaped jobs instead — a job is one parsed request, its
+//! output one response — and the socket never enters the pool. That
+//! shape needs a return path from workers to a consumer that must not
+//! block on a channel: [`Completions<T>`] is that mailbox, a
+//! lock-protected outbox workers `push` into and a polling consumer
+//! `drain`s in its own loop. Ordering restoration (responses on a
+//! pipelined connection must leave in request order, whichever worker
+//! finished first) is deliberately the *consumer's* job — the pool and
+//! the mailbox stay order-free, which is what keeps the exactly-once
+//! contract trivial.
+//!
 //! ```
 //! use mmvc_substrate::WorkerPool;
 //! use std::sync::atomic::{AtomicUsize, Ordering};
@@ -156,6 +172,64 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.join();
+    }
+}
+
+/// A completion mailbox for request-shaped [`WorkerPool`] jobs: workers
+/// [`push`](Completions::push) finished results, a polling consumer
+/// [`drain_into`](Completions::drain_into)s them in its own loop (see
+/// the module docs). No ordering is promised — results arrive in
+/// completion order, and a consumer that needs request order must
+/// restore it from the identity it attached to each job.
+///
+/// Both sides touch the lock only long enough to move values;
+/// `drain_into` swaps the whole buffer out, so a burst of completions
+/// costs the consumer one lock acquisition, not one per result.
+#[derive(Debug)]
+pub struct Completions<T> {
+    inner: Mutex<Vec<T>>,
+}
+
+impl<T> Default for Completions<T> {
+    fn default() -> Self {
+        Completions::new()
+    }
+}
+
+impl<T> Completions<T> {
+    /// An empty mailbox.
+    pub fn new() -> Self {
+        Completions {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Deposits one finished result (called from worker jobs).
+    pub fn push(&self, value: T) {
+        self.lock().push(value);
+    }
+
+    /// Takes every deposited result, reusing `into`'s allocation: `into`
+    /// is cleared, then swapped with the internal buffer, so steady-state
+    /// polling allocates nothing.
+    pub fn drain_into(&self, into: &mut Vec<T>) {
+        into.clear();
+        std::mem::swap(&mut *self.lock(), into);
+    }
+
+    /// Whether any results are waiting (a cheap pre-check for pollers).
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Recovers from poisoning: the buffer is a plain `Vec` that is
+    /// internally consistent at every lock release, so an unwinding
+    /// holder cannot corrupt it — and one panicking worker must not wedge
+    /// the consumer forever.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -297,5 +371,35 @@ mod tests {
         let mut pool = WorkerPool::new(1);
         pool.join();
         pool.submit(|| ());
+    }
+
+    #[test]
+    fn completions_deliver_every_pushed_result_once() {
+        let mailbox: Arc<Completions<usize>> = Arc::new(Completions::new());
+        assert!(mailbox.is_empty());
+        let mut pool = WorkerPool::new(3);
+        for i in 0..200 {
+            let mailbox = Arc::clone(&mailbox);
+            pool.submit(move || mailbox.push(i));
+        }
+        pool.join();
+        assert!(!mailbox.is_empty());
+        let mut got = Vec::new();
+        mailbox.drain_into(&mut got);
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+        assert!(mailbox.is_empty());
+    }
+
+    #[test]
+    fn completions_drain_reuses_the_callers_buffer() {
+        let mailbox = Completions::new();
+        mailbox.push(1u64);
+        mailbox.push(2);
+        let mut buf = vec![99u64; 8]; // stale contents must be cleared
+        mailbox.drain_into(&mut buf);
+        assert_eq!(buf, vec![1, 2]);
+        mailbox.drain_into(&mut buf);
+        assert!(buf.is_empty(), "second drain finds nothing");
     }
 }

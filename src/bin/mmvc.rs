@@ -10,6 +10,7 @@
 //!          [--threads K] [--max-rounds R] [--max-load W] [--max-n N] [--json] [--canonical]
 //! mmvc bench [--smoke] [--out PATH]            # algorithm×scenario sweep
 //! mmvc serve [--addr A] [--workers W] [--cache-cap K] [--max-n N]   # run-serving daemon
+//!            [--store-dir DIR] [--idle-timeout-ms T] [--max-reqs-per-conn R]
 //! mmvc stats    <graph.txt>
 //! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
 //! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -41,6 +42,7 @@ const USAGE: &str = "usage:
            [--threads K] [--max-rounds R] [--max-load W] [--max-n N] [--json] [--canonical]
   mmvc bench [--smoke] [--out PATH]
   mmvc serve [--addr HOST:PORT] [--workers W] [--cache-cap K] [--max-n N]
+             [--store-dir DIR] [--idle-timeout-ms T] [--max-reqs-per-conn R]
   mmvc stats    <graph.txt>
   mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
   mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -280,16 +282,34 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "invalid --max-n".to_string())?;
                 i += 2;
             }
+            "--store-dir" => {
+                config.store_dir = Some(value("--store-dir")?);
+                i += 2;
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|_| "invalid --idle-timeout-ms".to_string())?;
+                i += 2;
+            }
+            "--max-reqs-per-conn" => {
+                config.max_requests_per_conn = value("--max-reqs-per-conn")?
+                    .parse()
+                    .map_err(|_| "invalid --max-reqs-per-conn".to_string())?;
+                i += 2;
+            }
             other => return Err(format!("unknown argument `{other}` for `mmvc serve`")),
         }
     }
-    let server = Server::bind(&config).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let server =
+        Server::bind(&config).map_err(|e| format!("cannot start on {}: {e}", config.addr))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
     eprintln!(
-        "mmvc-serve listening on http://{addr} ({} workers, cache capacity {}, max n {})",
+        "mmvc-serve listening on http://{addr} ({} workers, cache capacity {}, max n {}, store {})",
         config.workers.max(1),
         config.cache_capacity,
-        config.max_n
+        config.max_n,
+        config.store_dir.as_deref().unwrap_or("disabled")
     );
     eprintln!("endpoints: POST /run, GET /scenarios, GET /algorithms, GET /healthz, GET /metrics");
     server.run().map_err(|e| e.to_string())
