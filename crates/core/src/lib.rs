@@ -56,6 +56,7 @@ pub mod mis;
 #[cfg(test)]
 mod proptests;
 pub mod run;
+pub mod session;
 pub mod vertex_cover;
 
 pub use epsilon::Epsilon;

@@ -672,7 +672,7 @@ pub fn weighted_instance(g: &Graph, spec: &RunSpec) -> WeightedGraph {
 }
 
 /// Validates that every matched edge exists in `g`.
-fn matching_in_graph(g: &Graph, m: &mmvc_graph::matching::Matching) -> bool {
+pub(crate) fn matching_in_graph(g: &Graph, m: &mmvc_graph::matching::Matching) -> bool {
     m.edges().iter().all(|e| g.has_edge(e.u(), e.v()))
 }
 

@@ -1,0 +1,571 @@
+//! Batched graph deltas and the CSR delta-merge rebuild.
+//!
+//! A [`GraphDelta`] stages edge insertions and deletions against an
+//! existing [`Graph`]; [`Graph::apply_delta`] produces the mutated graph
+//! by *merging* the existing per-vertex-sorted adjacency runs with the
+//! (tiny) sorted delta instead of re-running the generator and the full
+//! counting-sort build. The contract is exact:
+//!
+//! * **Equivalence.** The result is byte-identical to a from-scratch
+//!   [`GraphBuilder`] build of the mutated edge list
+//!   `(E ∪ inserts) ∖ deletes` — same `u32`-packed offset arrays, same
+//!   adjacency bytes — across `Sequential` and `Threaded{k}` executors.
+//!   Inserting an edge that already exists and deleting one that does
+//!   not are no-ops (the mutated edge *set* is what is built), and the
+//!   last staged op per edge wins, so `delete; insert` re-inserts.
+//! * **Work.** Merge work is proportional to the delta plus one linear
+//!   copy of the untouched adjacency runs; vertex ranges the delta never
+//!   touches are bulk-copied (`memcpy`, no per-edge work). With a warm
+//!   [`ScratchPool`](mmvc_substrate::ScratchPool) on the executor, every
+//!   working buffer *and* the output arrays come from the arena, so a
+//!   small-churn rebuild allocates ~zero fresh bytes — pair with
+//!   [`Graph::recycle`] on the predecessor graph to keep the arena
+//!   stocked across a session's update loop.
+//! * **Determinism.** Range boundaries are the builder's own fixed
+//!   [`BUILD_VERTEX_CHUNK`] — never a function of the thread count — and
+//!   each range's output depends only on its input slice, so executor
+//!   choice washes out of the bytes entirely.
+//!
+//! Wide graphs (u64 offsets) and merges that would overflow the
+//! `u32`-packed representation take a from-scratch rebuild of the
+//! mutated edge list through the ordinary builder: the equivalence
+//! contract holds trivially there, at from-scratch cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmvc_graph::{generators, GraphDelta};
+//!
+//! let g = generators::gnp(64, 0.1, 7)?;
+//! let mut delta = GraphDelta::new();
+//! delta.insert_edge(0, 1)?;
+//! delta.delete_edge(2, 3)?; // a no-op unless {2,3} is present
+//! let g2 = g.apply_delta(&delta)?;
+//! assert!(g2.has_edge(0, 1));
+//! assert!(!g2.has_edge(2, 3));
+//! # Ok::<(), mmvc_graph::GraphError>(())
+//! ```
+
+use crate::error::GraphError;
+use crate::graph::BUILD_VERTEX_CHUNK;
+use crate::graph::{pack_edge, Edge, Graph, GraphBuilder, OffsetArray, VertexId};
+use mmvc_substrate::ExecutorConfig;
+
+/// One staged mutation: the op kind for a packed canonical edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DeltaOp {
+    Insert,
+    Delete,
+}
+
+/// A batch of edge insertions and deletions against a [`Graph`].
+///
+/// Ops are staged in arrival order; per edge, the **last staged op
+/// wins** (so `delete_edge(u, v)` followed by `insert_edge(u, v)` nets
+/// out to an insert). Self-loops are rejected at staging time; endpoint
+/// range is validated against the graph at apply time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    /// `(packed canonical edge, op)` in arrival order.
+    ops: Vec<(u64, DeltaOp)>,
+}
+
+impl GraphDelta {
+    /// Creates an empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Stages an edge insertion. Order of endpoints is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] when `a == b`.
+    pub fn insert_edge(&mut self, a: VertexId, b: VertexId) -> Result<(), GraphError> {
+        self.stage(a, b, DeltaOp::Insert)
+    }
+
+    /// Stages an edge deletion. Order of endpoints is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] when `a == b`.
+    pub fn delete_edge(&mut self, a: VertexId, b: VertexId) -> Result<(), GraphError> {
+        self.stage(a, b, DeltaOp::Delete)
+    }
+
+    fn stage(&mut self, a: VertexId, b: VertexId, op: DeltaOp) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop { vertex: a });
+        }
+        self.ops.push((pack_edge(Edge::new(a, b)), op));
+        Ok(())
+    }
+
+    /// Number of staged ops (before last-op-wins normalization).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops are staged.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The normalized delta against a graph on `n` vertices: disjoint,
+    /// canonically sorted insert and delete edge sets, one op per edge
+    /// (the last staged one).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when an endpoint is `>= n`.
+    pub fn normalized(&self, n: usize) -> Result<(Vec<Edge>, Vec<Edge>), GraphError> {
+        let (ins, del) = self.normalized_packed(n)?;
+        let unpack = |p: u64| Edge::new((p >> 32) as VertexId, p as VertexId);
+        Ok((
+            ins.into_iter().map(unpack).collect(),
+            del.into_iter().map(unpack).collect(),
+        ))
+    }
+
+    /// The packed form of [`normalized`](Self::normalized): sorted,
+    /// deduplicated, disjoint `(u << 32) | v` words.
+    pub(crate) fn normalized_packed(&self, n: usize) -> Result<(Vec<u64>, Vec<u64>), GraphError> {
+        let mut staged = self.ops.clone();
+        // Stable by packed edge: arrival order survives within a group,
+        // so the last element of each group is the winning op.
+        staged.sort_by_key(|&(p, _)| p);
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        let mut i = 0;
+        while i < staged.len() {
+            let (p, _) = staged[i];
+            let mut last = staged[i].1;
+            while i + 1 < staged.len() && staged[i + 1].0 == p {
+                i += 1;
+                last = staged[i].1;
+            }
+            i += 1;
+            // The larger endpoint is the packed word's low half.
+            let v = p as u32;
+            if v as usize >= n {
+                return Err(GraphError::VertexOutOfRange { vertex: v, n });
+            }
+            match last {
+                DeltaOp::Insert => inserts.push(p),
+                DeltaOp::Delete => deletes.push(p),
+            }
+        }
+        Ok((inserts, deletes))
+    }
+}
+
+/// Per-range output of the delta merge, in the builder's pass-2 shape:
+/// concatenated sorted neighbor runs, per-vertex degrees, per-vertex
+/// forward-neighbor counts.
+type RangePart = (Vec<u32>, Vec<u32>, Vec<u32>);
+
+impl Graph {
+    /// Applies a delta on a default executor. See
+    /// [`apply_delta_with`](Self::apply_delta_with).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when the delta names a vertex
+    /// `>= num_vertices()`.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<Graph, GraphError> {
+        self.apply_delta_with(delta, &ExecutorConfig::default())
+    }
+
+    /// Rebuilds the CSR by merging this graph's per-vertex-sorted
+    /// adjacency runs with the delta, producing the graph of the mutated
+    /// edge list `(E ∪ inserts) ∖ deletes`.
+    ///
+    /// The result is byte-identical to a from-scratch build of the
+    /// mutated edge list, for every executor (see the module docs for
+    /// the full contract). Buffers — including the output arrays — are
+    /// drawn from the executor's [`ScratchPool`](mmvc_substrate::ScratchPool)
+    /// when one is attached.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::VertexOutOfRange`] when the delta names a vertex
+    /// `>= num_vertices()`.
+    pub fn apply_delta_with(
+        &self,
+        delta: &GraphDelta,
+        exec: &ExecutorConfig,
+    ) -> Result<Graph, GraphError> {
+        let n = self.n;
+        let (ins, del) = delta.normalized_packed(n)?;
+        let unpack = |p: u64| ((p >> 32) as VertexId, p as VertexId);
+        // Exact post-merge size: staged inserts already present and
+        // deletes of absent edges are no-ops.
+        let real_ins = ins
+            .iter()
+            .filter(|&&p| {
+                let (u, v) = unpack(p);
+                !self.has_edge(u, v)
+            })
+            .count();
+        let real_del = del
+            .iter()
+            .filter(|&&p| {
+                let (u, v) = unpack(p);
+                self.has_edge(u, v)
+            })
+            .count();
+        let new_directed = self.adj.len() + 2 * real_ins - 2 * real_del;
+        if self.offsets.is_wide() || new_directed > u32::MAX as usize {
+            // Wide representation (or a merge that would overflow the
+            // packed one): rebuild from scratch so the builder makes the
+            // same width decision it would make cold.
+            return Ok(self.rebuild_with_delta(&ins, &del, exec));
+        }
+
+        // Directed forms of the delta, sorted by (owner, neighbor): the
+        // per-vertex op slices the merge consumes are contiguous runs.
+        let directed = |src: &[u64]| {
+            if src.is_empty() {
+                // Never draw a zero-capacity buffer from the arena.
+                return Vec::new();
+            }
+            let mut d = exec.take_u64(2 * src.len());
+            for &p in src {
+                let (u, v) = (p >> 32, p & 0xFFFF_FFFF);
+                d.push(p);
+                d.push((v << 32) | u);
+            }
+            d.sort_unstable();
+            d
+        };
+        let dins = directed(&ins);
+        let ddel = directed(&del);
+
+        // One merge task per fixed vertex range — the builder's own
+        // granularity, so range boundaries (and therefore bytes) match a
+        // from-scratch build under every executor.
+        let ranges = n.div_ceil(BUILD_VERTEX_CHUNK).max(1);
+        let parts: Vec<RangePart> = {
+            let dins = &dins;
+            let ddel = &ddel;
+            exec.run(ranges, |r| {
+                let base = r * BUILD_VERTEX_CHUNK;
+                let size = BUILD_VERTEX_CHUNK.min(n - base);
+                let owner = |p: &u64| (*p >> 32) as usize;
+                let ilo = dins.partition_point(|p| owner(p) < base);
+                let ihi = dins.partition_point(|p| owner(p) < base + size);
+                let dlo = ddel.partition_point(|p| owner(p) < base);
+                let dhi = ddel.partition_point(|p| owner(p) < base + size);
+
+                let mut deg = exec.take_u32(size);
+                deg.resize(size, 0);
+                let mut fwd = exec.take_u32(size);
+                fwd.resize(size, 0);
+
+                let (range_start, range_end) =
+                    (self.offsets.get(base), self.offsets.get(base + size));
+                if ilo == ihi && dlo == dhi {
+                    // Untouched range: bulk-copy the adjacency run and
+                    // read degrees off the existing prefix sums.
+                    let mut buf = exec.take_u32(range_end - range_start);
+                    buf.extend_from_slice(&self.adj[range_start..range_end]);
+                    for lv in 0..size {
+                        let (s, e) = self.offsets.pair(base + lv);
+                        deg[lv] = (e - s) as u32;
+                        let (fs, fe) = self.fwd_offsets.pair(base + lv);
+                        fwd[lv] = (fe - fs) as u32;
+                    }
+                    return (buf, deg, fwd);
+                }
+
+                let mut buf = exec.take_u32(range_end - range_start + (ihi - ilo));
+                let (mut ii, mut di) = (ilo, dlo);
+                for lv in 0..size {
+                    let gv = (base + lv) as u32;
+                    let (s, e) = self.offsets.pair(base + lv);
+                    let old = &self.adj[s..e];
+                    // This vertex's op runs (sorted neighbor values).
+                    let istart = ii;
+                    while ii < ihi && (dins[ii] >> 32) as u32 == gv {
+                        ii += 1;
+                    }
+                    let dstart = di;
+                    while di < dhi && (ddel[di] >> 32) as u32 == gv {
+                        di += 1;
+                    }
+                    if istart == ii && dstart == di {
+                        buf.extend_from_slice(old);
+                        deg[lv] = old.len() as u32;
+                        let (fs, fe) = self.fwd_offsets.pair(base + lv);
+                        fwd[lv] = (fe - fs) as u32;
+                        continue;
+                    }
+                    // Merge-union old ∪ inserts, minus deletes; all three
+                    // runs sorted, output stays sorted. Counting forward
+                    // neighbors (> gv) on the way out replaces the
+                    // builder's partition_point.
+                    let add = &dins[istart..ii];
+                    let drop_run = &ddel[dstart..di];
+                    let (mut oi, mut ai, mut ki) = (0usize, 0usize, 0usize);
+                    let (start_len, mut fwd_count) = (buf.len(), 0u32);
+                    while oi < old.len() || ai < add.len() {
+                        let take_old =
+                            ai >= add.len() || (oi < old.len() && old[oi] <= add[ai] as u32);
+                        let x = if take_old {
+                            let x = old[oi];
+                            oi += 1;
+                            // Insert of an existing edge: drop the dup.
+                            if ai < add.len() && add[ai] as u32 == x {
+                                ai += 1;
+                            }
+                            x
+                        } else {
+                            let x = add[ai] as u32;
+                            ai += 1;
+                            x
+                        };
+                        while ki < drop_run.len() && (drop_run[ki] as u32) < x {
+                            ki += 1;
+                        }
+                        if ki < drop_run.len() && drop_run[ki] as u32 == x {
+                            ki += 1; // deleted
+                            continue;
+                        }
+                        buf.push(x);
+                        if x > gv {
+                            fwd_count += 1;
+                        }
+                    }
+                    deg[lv] = (buf.len() - start_len) as u32;
+                    fwd[lv] = fwd_count;
+                }
+                (buf, deg, fwd)
+            })
+        };
+        exec.recycle_u64(dins);
+        exec.recycle_u64(ddel);
+
+        // Assemble exactly like the builder: concatenate per-range
+        // outputs in range order, prefix-sum the degrees. Output arrays
+        // come from the arena too — with `Graph::recycle` feeding the
+        // predecessor back, a steady-state update loop allocates ~zero
+        // fresh bytes.
+        let mut offsets = exec.take_u32(n + 1);
+        let mut fwd_offsets = exec.take_u32(n + 1);
+        let mut adj = exec.take_u32(new_directed);
+        offsets.push(0);
+        fwd_offsets.push(0);
+        let (mut off, mut f) = (0u32, 0u32);
+        for (buf, deg, fwd) in &parts {
+            adj.extend_from_slice(buf);
+            for &d in deg {
+                off += d;
+                offsets.push(off);
+            }
+            for &c in fwd {
+                f += c;
+                fwd_offsets.push(f);
+            }
+        }
+        for (buf, deg, fwd) in parts {
+            exec.recycle_u32(buf);
+            exec.recycle_u32(deg);
+            exec.recycle_u32(fwd);
+        }
+        debug_assert_eq!(adj.len(), new_directed);
+        Ok(Graph {
+            n,
+            offsets: OffsetArray::U32(offsets),
+            adj,
+            fwd_offsets: OffsetArray::U32(fwd_offsets),
+        })
+    }
+
+    /// The fallback: materialize the mutated canonical edge list and run
+    /// the ordinary from-scratch build (which independently decides
+    /// offset width, exactly as it would cold).
+    fn rebuild_with_delta(&self, ins: &[u64], del: &[u64], exec: &ExecutorConfig) -> Graph {
+        let mut merged = exec.take_u64(self.num_edges() + ins.len());
+        let mut ai = 0usize;
+        let mut ki = 0usize;
+        for u in 0..self.n as VertexId {
+            for &w in self.forward_neighbors(u) {
+                let p = ((u as u64) << 32) | w as u64;
+                while ai < ins.len() && ins[ai] < p {
+                    merged.push(ins[ai]);
+                    ai += 1;
+                }
+                if ai < ins.len() && ins[ai] == p {
+                    ai += 1; // already present
+                }
+                while ki < del.len() && del[ki] < p {
+                    ki += 1;
+                }
+                if ki < del.len() && del[ki] == p {
+                    ki += 1;
+                    continue; // deleted
+                }
+                merged.push(p);
+            }
+        }
+        merged.extend_from_slice(&ins[ai..]);
+        let mut b = GraphBuilder::with_capacity_in(self.n, merged.len(), exec);
+        b.extend_packed(&merged);
+        exec.recycle_u64(merged);
+        b.build_with(exec)
+    }
+
+    /// Recycles this graph's CSR arrays into the executor's scratch
+    /// arena (a no-op without one). The steady-state partner of
+    /// [`apply_delta_with`](Self::apply_delta_with): recycling
+    /// generation `g` stocks the arena the rebuild of generation `g + 2`
+    /// draws from, so a session's update loop stops allocating.
+    pub fn recycle(self, exec: &ExecutorConfig) {
+        exec.recycle_u32(self.adj);
+        if let OffsetArray::U32(v) = self.offsets {
+            exec.recycle_u32(v);
+        }
+        if let OffsetArray::U32(v) = self.fwd_offsets {
+            exec.recycle_u32(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// From-scratch reference: the mutated edge list through the
+    /// ordinary builder.
+    fn reference(g: &Graph, delta: &GraphDelta, exec: &ExecutorConfig) -> Graph {
+        let (ins, del) = delta.normalized(g.num_vertices()).unwrap();
+        let mut edges: Vec<(VertexId, VertexId)> = g
+            .edges()
+            .iter()
+            .map(|e| (e.u(), e.v()))
+            .filter(|&(u, v)| !del.contains(&Edge::new(u, v)))
+            .collect();
+        edges.extend(ins.iter().map(|e| (e.u(), e.v())));
+        let mut b = GraphBuilder::new(g.num_vertices());
+        for (u, v) in edges {
+            b.add_edge(u, v).unwrap();
+        }
+        b.build_with(exec)
+    }
+
+    #[test]
+    fn merge_matches_a_from_scratch_build() {
+        let g = generators::gnp(200, 0.05, 42).unwrap();
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(0, 199).unwrap();
+        delta.insert_edge(5, 7).unwrap();
+        delta.delete_edge(1, 3).unwrap(); // may or may not exist
+        for e in g.edges().iter().take(4) {
+            delta.delete_edge(e.u(), e.v()).unwrap();
+        }
+        for exec in [
+            ExecutorConfig::sequential(),
+            ExecutorConfig::with_threads(3),
+        ] {
+            let merged = g.apply_delta_with(&delta, &exec).unwrap();
+            assert_eq!(merged, reference(&g, &delta, &exec));
+            assert!(!merged.csr_offsets().is_wide());
+        }
+    }
+
+    #[test]
+    fn last_op_wins_delete_then_reinsert() {
+        let g = generators::gnp(50, 0.2, 7).unwrap();
+        let e = g.edges().iter().next().unwrap();
+        let mut delta = GraphDelta::new();
+        delta.delete_edge(e.u(), e.v()).unwrap();
+        delta.insert_edge(e.v(), e.u()).unwrap(); // same edge, flipped
+        let merged = g.apply_delta(&delta).unwrap();
+        assert_eq!(merged, g, "delete-then-reinsert is the identity");
+
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(e.u(), e.v()).unwrap();
+        delta.delete_edge(e.u(), e.v()).unwrap();
+        let merged = g.apply_delta(&delta).unwrap();
+        assert!(!merged.has_edge(e.u(), e.v()), "insert-then-delete deletes");
+    }
+
+    #[test]
+    fn rejects_self_loops_and_out_of_range() {
+        let g = Graph::empty(4);
+        let mut delta = GraphDelta::new();
+        assert!(matches!(
+            delta.insert_edge(2, 2),
+            Err(GraphError::SelfLoop { vertex: 2 })
+        ));
+        assert!(matches!(
+            delta.delete_edge(1, 1),
+            Err(GraphError::SelfLoop { vertex: 1 })
+        ));
+        delta.insert_edge(1, 9).unwrap(); // range checked at apply
+        assert!(matches!(
+            g.apply_delta(&delta),
+            Err(GraphError::VertexOutOfRange { vertex: 9, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn noop_ops_and_duplicates_wash_out() {
+        let g = generators::gnp(80, 0.1, 3).unwrap();
+        let present = g.edges().iter().next().unwrap();
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(present.u(), present.v()).unwrap(); // already there
+        delta.insert_edge(0, 79).unwrap();
+        delta.insert_edge(0, 79).unwrap(); // duplicate insert
+        delta.delete_edge(40, 41).unwrap(); // likely absent
+        let merged = g.apply_delta(&delta).unwrap();
+        assert_eq!(merged, reference(&g, &delta, &ExecutorConfig::sequential()));
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = generators::gnp(64, 0.1, 11).unwrap();
+        assert_eq!(g.apply_delta(&GraphDelta::new()).unwrap(), g);
+    }
+
+    #[test]
+    fn wide_graphs_take_the_rebuild_path() {
+        let mut b = GraphBuilder::new(6);
+        b.force_wide_offsets();
+        for (u, v) in [(0, 1), (1, 2), (2, 3)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        assert!(g.csr_offsets().is_wide());
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(3, 4).unwrap();
+        delta.delete_edge(0, 1).unwrap();
+        let merged = g.apply_delta(&delta).unwrap();
+        assert!(merged.has_edge(3, 4));
+        assert!(!merged.has_edge(0, 1));
+        // The fallback builds cold, which picks the narrow width.
+        assert!(!merged.csr_offsets().is_wide());
+    }
+
+    #[test]
+    fn pooled_rebuild_reuses_the_arena() {
+        let pool = mmvc_substrate::ScratchPool::new();
+        let exec = ExecutorConfig::sequential().with_scratch(&pool);
+        let g = generators::gnp(3000, 0.01, 5).unwrap();
+        let mut delta = GraphDelta::new();
+        delta.insert_edge(0, 2999).unwrap();
+        // Warm-up: populate the arena with one rebuild + recycle.
+        let warm = g.apply_delta_with(&delta, &exec).unwrap();
+        warm.recycle(&exec);
+        pool.reset_stats();
+        let again = g.apply_delta_with(&delta, &exec).unwrap();
+        let stats = pool.stats();
+        assert_eq!(
+            stats.allocations, 0,
+            "a warm-arena rebuild allocates no fresh buffers: {stats:?}"
+        );
+        again.recycle(&exec);
+    }
+}

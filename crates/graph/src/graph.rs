@@ -254,18 +254,18 @@ impl Edge {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
-    n: usize,
+    pub(crate) n: usize,
     /// CSR offsets (u32-packed): neighbors of `v` live at
     /// `adj[offsets.get(v)..offsets.get(v+1)]`.
-    offsets: OffsetArray,
+    pub(crate) offsets: OffsetArray,
     /// Flat, per-vertex-sorted neighbor array (each undirected edge appears
     /// twice).
-    adj: Vec<VertexId>,
+    pub(crate) adj: Vec<VertexId>,
     /// Forward-edge prefix sums (u32-packed): `fwd_offsets[v]` counts
     /// canonical edges `{a, b}` with `a < b` and `a < v`; `fwd_offsets[n]`
     /// is `|E|`. This is what lets [`EdgesView`] derive the canonical edge
     /// list from the CSR arrays instead of owning a second copy.
-    fwd_offsets: OffsetArray,
+    pub(crate) fwd_offsets: OffsetArray,
 }
 
 impl Graph {
@@ -734,14 +734,16 @@ const PAR_BUILD_THRESHOLD: usize = 1 << 15;
 /// 1-core CI host.
 const BUILD_EDGE_CHUNK: usize = 1 << 17;
 
-/// Vertices per scatter task in the chunked build (pass 2). Fixed, as above.
-const BUILD_VERTEX_CHUNK: usize = 1 << 15;
+/// Vertices per scatter task in the chunked build (pass 2). Fixed, as
+/// above. The delta-merge rebuild ([`Graph::apply_delta_with`]) reuses
+/// the same granularity so its range boundaries match the builder's.
+pub(crate) const BUILD_VERTEX_CHUNK: usize = 1 << 15;
 
 /// Packs a canonical edge as `(u << 32) | v`. Lexicographic edge order
 /// and packed integer order coincide, so sort + dedup on packed words is
 /// byte-equivalent to sort + dedup on [`Edge`] values.
 #[inline]
-fn pack_edge(e: Edge) -> u64 {
+pub(crate) fn pack_edge(e: Edge) -> u64 {
     ((e.u as u64) << 32) | e.v as u64
 }
 

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod error;
 mod graph;
 
@@ -57,12 +58,16 @@ pub mod stats;
 pub mod vertex_cover;
 pub mod weighted;
 
+pub use delta::GraphDelta;
 pub use error::GraphError;
 pub use graph::{Edge, EdgeIter, EdgesView, Graph, GraphBuilder, OffsetArray, VertexId};
 
 #[cfg(test)]
 mod proptests {
-    use crate::{generators, matching, mis, scenarios, vertex_cover, Graph, GraphBuilder};
+    use crate::{
+        generators, matching, mis, scenarios, vertex_cover, Graph, GraphBuilder, GraphDelta,
+    };
+    use mmvc_substrate::ExecutorConfig;
     use proptest::prelude::*;
 
     /// Strategy: a random graph described by (n, edge density seed).
@@ -154,6 +159,55 @@ mod proptests {
             prop_assert_eq!(gp.csr_adjacency(), gw.csr_adjacency());
             prop_assert_eq!(&gp, &gw, "{} diverged across offset widths", sc.name);
             prop_assert_eq!(&gp, &g, "{} rebuild diverged from original", sc.name);
+        }
+
+        #[test]
+        fn apply_delta_matches_from_scratch_on_base_scenarios(
+            idx in 0usize..64,
+            n in 16usize..160,
+            seed in 0u64..500,
+            churn in proptest::collection::vec((any::<u32>(), any::<u32>(), any::<bool>()), 0..24)
+        ) {
+            // The delta-merge contract: `apply_delta` must be
+            // byte-identical to a from-scratch build of the mutated edge
+            // list on every base scenario, under Sequential and
+            // Threaded{2,4} alike. The churn vector mixes inserts and
+            // deletes, including ops targeting absent/present edges, so
+            // no-op washing is exercised too.
+            let base: Vec<_> = scenarios::base().collect();
+            let sc = base[idx % base.len()];
+            let g = sc.build_with(n, seed).expect("base scenario builds");
+            let nv = g.num_vertices() as u32;
+            let mut delta = GraphDelta::new();
+            for (a, b, insert) in churn {
+                let (a, b) = (a % nv, b % nv);
+                if a == b { continue; }
+                if insert {
+                    delta.insert_edge(a, b).expect("no self-loop");
+                } else {
+                    delta.delete_edge(a, b).expect("no self-loop");
+                }
+            }
+            let (ins, del) = delta.normalized(g.num_vertices()).expect("in range");
+            let mut edges: Vec<_> = g.edges().iter()
+                .filter(|e| !del.contains(e))
+                .collect();
+            edges.extend(ins.iter().copied());
+            for exec in [
+                ExecutorConfig::sequential(),
+                ExecutorConfig::with_threads(2),
+                ExecutorConfig::with_threads(4),
+            ] {
+                let merged = g.apply_delta_with(&delta, &exec).expect("in range");
+                let mut b = GraphBuilder::with_capacity(g.num_vertices(), edges.len());
+                b.extend_edges(edges.iter().copied()).expect("in range");
+                let scratch = b.build_with(&exec);
+                prop_assert_eq!(merged.csr_offsets(), scratch.csr_offsets(),
+                    "{} offsets diverged", sc.name);
+                prop_assert_eq!(merged.csr_adjacency(), scratch.csr_adjacency(),
+                    "{} adjacency diverged", sc.name);
+                prop_assert_eq!(&merged, &scratch, "{} diverged from scratch", sc.name);
+            }
         }
 
         #[test]

@@ -20,13 +20,20 @@
 //!   persistent store, then a **daemon restart over the same store
 //!   directory**, then the other half: the row proves a restarted
 //!   daemon keeps its hit rate (`post_restart.hits` answered from disk
-//!   without re-running).
+//!   without re-running);
+//! * `session-churn` — the mixed read/write mix: one `POST /session`
+//!   takes residence, then the schedule interleaves `POST /update`
+//!   deltas (an `--update-frac` fraction of requests, default 10%)
+//!   with session-scoped `POST /run`s. Every update bumps the session
+//!   generation, so the row's hit rate and latency percentiles measure
+//!   generation-keyed invalidation under churn: a run after an update
+//!   misses and recomputes incrementally, repeats hit.
 //!
 //! ```text
 //! cargo run --release -p mmvc-serve --bin mmvc_loadgen -- \
 //!     [--addr HOST:PORT] [--smoke] [--out PATH] [--requests N]
 //!     [--clients C] [--workers W] [--reqs-per-conn R] [--pipeline D]
-//!     [--seed S]
+//!     [--seed S] [--update-frac F]
 //! ```
 //!
 //! Without `--addr`, a fresh in-process daemon is spawned per mix on an
@@ -66,6 +73,10 @@ impl Rng {
     }
 }
 
+/// A scheduled request: `(path, body)`. Most mixes only ever target
+/// `/run`; `session-churn` interleaves `/update` writes.
+type Req = (&'static str, String);
+
 /// One benchmark configuration.
 struct Config {
     addr: Option<String>,
@@ -77,6 +88,7 @@ struct Config {
     reqs_per_conn: u64,
     pipeline: u64,
     seed: u64,
+    update_frac: f64,
 }
 
 impl Default for Config {
@@ -91,6 +103,7 @@ impl Default for Config {
             reqs_per_conn: 1000,
             pipeline: 8,
             seed: 0x10AD,
+            update_frac: 0.1,
         }
     }
 }
@@ -98,7 +111,8 @@ impl Default for Config {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: mmvc_loadgen [--addr HOST:PORT] [--smoke] [--out PATH] [--requests N] \
-         [--clients C] [--workers W] [--reqs-per-conn R] [--pipeline D] [--seed S]"
+         [--clients C] [--workers W] [--reqs-per-conn R] [--pipeline D] [--seed S] \
+         [--update-frac F]"
     );
     ExitCode::FAILURE
 }
@@ -147,6 +161,14 @@ fn parse_args(args: &[String]) -> Option<Config> {
                 cfg.seed = value(i)?.parse().ok()?;
                 i += 2;
             }
+            "--update-frac" => {
+                let frac = value(i)?.parse::<f64>().ok()?;
+                if !(0.0..=1.0).contains(&frac) {
+                    return None;
+                }
+                cfg.update_frac = frac;
+                i += 2;
+            }
             _ => return None,
         }
     }
@@ -184,13 +206,14 @@ fn spec_pool(smoke: bool, seed: u64) -> Vec<String> {
     pool
 }
 
-/// One mix's request schedule: the body of request `i`.
+/// One mix's request schedule: the `(path, body)` of request `i`.
 #[derive(PartialEq, Eq)]
 enum Mix {
     Uniform,
     HotKey,
     CacheBust,
     WarmRestart,
+    SessionChurn,
 }
 
 impl Mix {
@@ -200,6 +223,7 @@ impl Mix {
             Mix::HotKey => "hot-key",
             Mix::CacheBust => "cache-bust",
             Mix::WarmRestart => "warm-restart",
+            Mix::SessionChurn => "session-churn",
         }
     }
 
@@ -208,18 +232,18 @@ impl Mix {
     /// row measures skew under eviction pressure, not pool memoization.
     fn cache_capacity(&self, pool_len: usize) -> usize {
         match self {
-            Mix::Uniform | Mix::CacheBust | Mix::WarmRestart => 512,
+            Mix::Uniform | Mix::CacheBust | Mix::WarmRestart | Mix::SessionChurn => 512,
             Mix::HotKey => (pool_len / 4).max(2),
         }
     }
 
     /// Builds the full request schedule for this mix, deterministically
     /// from the seed.
-    fn schedule(&self, cfg: &Config, pool: &[String]) -> Vec<String> {
+    fn schedule(&self, cfg: &Config, pool: &[String]) -> Vec<Req> {
         let mut rng = Rng::new(cfg.seed ^ fnv(self.name().as_bytes()));
         match self {
             Mix::Uniform | Mix::WarmRestart => (0..cfg.requests)
-                .map(|_| pool[(rng.next_u64() as usize) % pool.len()].clone())
+                .map(|_| ("/run", pool[(rng.next_u64() as usize) % pool.len()].clone()))
                 .collect(),
             Mix::HotKey => {
                 // Zipf-like weights w_k ∝ 1/(k+1)^1.2 over the pool.
@@ -238,7 +262,7 @@ impl Mix {
                                 break;
                             }
                         }
-                        pool[idx].clone()
+                        ("/run", pool[idx].clone())
                     })
                     .collect()
             }
@@ -247,16 +271,51 @@ impl Mix {
                 (0..cfg.requests)
                     .map(|i| {
                         let kind = AlgorithmKind::ALL[i % AlgorithmKind::ALL.len()];
-                        format!(
-                            r#"{{"algorithm": "{}", "scenario": "gnp-sparse", "n": {n}, "seed": {}}}"#,
-                            kind.name(),
-                            cfg.seed.wrapping_add(1000 + i as u64)
+                        (
+                            "/run",
+                            format!(
+                                r#"{{"algorithm": "{}", "scenario": "gnp-sparse", "n": {n}, "seed": {}}}"#,
+                                kind.name(),
+                                cfg.seed.wrapping_add(1000 + i as u64)
+                            ),
                         )
                     })
                     .collect()
             }
+            // Built by `drive_session_churn` instead: the schedule needs
+            // the live session id the daemon hands back.
+            Mix::SessionChurn => Vec::new(),
         }
     }
+}
+
+/// The `session-churn` schedule: session-scoped runs with an
+/// `update_frac` fraction of `POST /update` deltas interleaved, all
+/// derived from the seed (only the session id comes from the daemon).
+fn session_schedule(cfg: &Config, id: i64, n: u64) -> Vec<Req> {
+    let mut rng = Rng::new(cfg.seed ^ fnv(Mix::SessionChurn.name().as_bytes()));
+    let pair = |rng: &mut Rng| {
+        let a = rng.next_u64() % n;
+        let b = rng.next_u64() % n;
+        let b = if a == b { (a + 1) % n } else { b };
+        (a, b)
+    };
+    (0..cfg.requests)
+        .map(|_| {
+            if rng.next_f64() < cfg.update_frac {
+                let (a, b) = pair(&mut rng);
+                let (c, d) = pair(&mut rng);
+                (
+                    "/update",
+                    format!(
+                        r#"{{"session": {id}, "insert": [[{a}, {b}]], "delete": [[{c}, {d}]]}}"#
+                    ),
+                )
+            } else {
+                ("/run", format!(r#"{{"session": {id}}}"#))
+            }
+        })
+        .collect()
 }
 
 fn fnv(bytes: &[u8]) -> u64 {
@@ -278,6 +337,10 @@ struct MixResult {
     hits: u64,
     store_hits: u64,
     misses: u64,
+    /// `POST /update` deltas acknowledged (only the `session-churn` mix
+    /// schedules any). Updates carry no `x-cache` header and are kept
+    /// out of the hit-rate denominator.
+    updates: u64,
     errors: u64,
     connections: u64,
     keepalive_reuses: i64,
@@ -293,6 +356,7 @@ impl MixResult {
         self.hits += other.hits;
         self.store_hits += other.store_hits;
         self.misses += other.misses;
+        self.updates += other.updates;
         self.errors += other.errors;
         self.connections += other.connections;
         self.keepalive_reuses += other.keepalive_reuses;
@@ -324,6 +388,7 @@ impl MixResult {
             ("cache_hits", Json::Int(self.hits as i64)),
             ("store_hits", Json::Int(self.store_hits as i64)),
             ("cache_misses", Json::Int(self.misses as i64)),
+            ("updates", Json::Int(self.updates as i64)),
             ("errors", Json::Int(self.errors as i64)),
             (
                 "hit_rate",
@@ -398,7 +463,7 @@ fn server_stats(addr: &str) -> (i64, i64) {
 /// requests.
 fn drive(
     addr: &str,
-    schedule: &[String],
+    schedule: &[Req],
     clients: usize,
     reqs_per_conn: u64,
     pipeline: u64,
@@ -406,22 +471,33 @@ fn drive(
     use std::collections::VecDeque;
     use std::io::Write;
 
+    /// Per-client-thread accounting, folded into the `MixResult`.
+    struct ClientTally {
+        hits: u64,
+        store_hits: u64,
+        misses: u64,
+        updates: u64,
+        errors: u64,
+        opened: u64,
+        latencies: Vec<f64>,
+    }
+
     let (reuses_before, bytes_before) = server_stats(addr);
     let started = Instant::now();
-    let outcomes: Vec<(u64, u64, u64, u64, u64, Vec<f64>)> = std::thread::scope(|scope| {
+    let outcomes: Vec<ClientTally> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 scope.spawn(move || {
-                    let my: Vec<&String> = schedule.iter().skip(c).step_by(clients).collect();
-                    let (mut hits, mut store_hits, mut misses, mut errors) =
-                        (0u64, 0u64, 0u64, 0u64);
+                    let my: Vec<&Req> = schedule.iter().skip(c).step_by(clients).collect();
+                    let (mut hits, mut store_hits, mut misses, mut updates, mut errors) =
+                        (0u64, 0u64, 0u64, 0u64, 0u64);
                     let mut opened = 0u64;
                     let mut latencies = Vec::with_capacity(my.len());
                     let mut conn: Option<client::Conn> = None;
-                    // Send timestamps of requests written but not yet
-                    // answered; `next` is the first unsent index.
-                    // Invariant: next == answered + inflight.len().
-                    let mut inflight: VecDeque<Instant> = VecDeque::new();
+                    // Send timestamp + is-update flag of requests written
+                    // but not yet answered; `next` is the first unsent
+                    // index. Invariant: next == answered + inflight.len().
+                    let mut inflight: VecDeque<(Instant, bool)> = VecDeque::new();
                     let mut next = 0usize;
                     let mut answered = 0usize;
                     let mut wbuf = Vec::with_capacity(4096);
@@ -450,8 +526,9 @@ fn drive(
                             && (inflight.len() as u64) < pipeline
                             && cn.requests_sent() < reqs_per_conn
                         {
-                            cn.encode_request_into(&mut wbuf, "POST", "/run", my[next].as_bytes());
-                            inflight.push_back(Instant::now());
+                            let (path, body) = my[next];
+                            cn.encode_request_into(&mut wbuf, "POST", path, body.as_bytes());
+                            inflight.push_back((Instant::now(), *path == "/update"));
                             next += 1;
                         }
                         if inflight.is_empty() {
@@ -469,15 +546,19 @@ fn drive(
                         })();
                         match io {
                             Ok(resp) => {
-                                let t0 = inflight
+                                let (t0, is_update) = inflight
                                     .pop_front()
                                     .expect("a response implies an in-flight request");
                                 answered += 1;
                                 if resp.status == 200 {
-                                    match resp.header("x-cache") {
-                                        Some("hit") => hits += 1,
-                                        Some("store") => store_hits += 1,
-                                        _ => misses += 1,
+                                    if is_update {
+                                        updates += 1;
+                                    } else {
+                                        match resp.header("x-cache") {
+                                            Some("hit") => hits += 1,
+                                            Some("store") => store_hits += 1,
+                                            _ => misses += 1,
+                                        }
                                     }
                                     latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                                 } else {
@@ -500,7 +581,15 @@ fn drive(
                             }
                         }
                     }
-                    (hits, store_hits, misses, errors, opened, latencies)
+                    ClientTally {
+                        hits,
+                        store_hits,
+                        misses,
+                        updates,
+                        errors,
+                        opened,
+                        latencies,
+                    }
                 })
             })
             .collect();
@@ -515,15 +604,11 @@ fn drive(
     let mut result = MixResult {
         mix: "",
         requests: schedule.len(),
-        distinct_specs: {
-            let mut distinct: Vec<&String> = schedule.iter().collect();
-            distinct.sort();
-            distinct.dedup();
-            distinct.len()
-        },
+        distinct_specs: distinct_bodies(schedule),
         hits: 0,
         store_hits: 0,
         misses: 0,
+        updates: 0,
         errors: 0,
         connections: 0,
         keepalive_reuses: reuses_after - reuses_before,
@@ -532,15 +617,24 @@ fn drive(
         latencies_ms: Vec::new(),
         post_restart: None,
     };
-    for (h, s, m, e, o, lat) in outcomes {
-        result.hits += h;
-        result.store_hits += s;
-        result.misses += m;
-        result.errors += e;
-        result.connections += o;
-        result.latencies_ms.extend(lat);
+    for t in outcomes {
+        result.hits += t.hits;
+        result.store_hits += t.store_hits;
+        result.misses += t.misses;
+        result.updates += t.updates;
+        result.errors += t.errors;
+        result.connections += t.opened;
+        result.latencies_ms.extend(t.latencies);
     }
     result
+}
+
+/// Distinct request bodies in a schedule (the `distinct_specs` column).
+fn distinct_bodies(schedule: &[Req]) -> usize {
+    let mut distinct: Vec<&String> = schedule.iter().map(|(_, body)| body).collect();
+    distinct.sort();
+    distinct.dedup();
+    distinct.len()
 }
 
 /// Spawns an in-process daemon, returning `(addr, join-thread, handle)`.
@@ -583,11 +677,7 @@ fn stop_server(
 /// store-backed daemon, the daemon is shut down and restarted over the
 /// same directory (cold memory, warm disk), and the second half proves
 /// disk hits survive the restart.
-fn drive_warm_restart(
-    cfg: &Config,
-    schedule: &[String],
-    cache_capacity: usize,
-) -> Option<MixResult> {
+fn drive_warm_restart(cfg: &Config, schedule: &[Req], cache_capacity: usize) -> Option<MixResult> {
     let store_dir = std::env::temp_dir().join(format!("mmvc-loadgen-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
     let store_dir_s = store_dir.display().to_string();
@@ -624,13 +714,55 @@ fn drive_warm_restart(
     };
     let mut merged = warm.merge(restarted);
     merged.post_restart = Some(post);
-    merged.distinct_specs = {
-        let mut distinct: Vec<&String> = schedule.iter().collect();
-        distinct.sort();
-        distinct.dedup();
-        distinct.len()
-    };
+    merged.distinct_specs = distinct_bodies(schedule);
     Some(merged)
+}
+
+/// The `session-churn` mix: one `POST /session` takes residence, then
+/// the seeded schedule interleaves `POST /update` deltas with
+/// session-scoped runs. Works against an external daemon too — the
+/// session lives exactly as long as the daemon, and this driver never
+/// restarts anything.
+fn drive_session_churn(cfg: &Config, cache_capacity: usize) -> Option<MixResult> {
+    let (addr, server) = match &cfg.addr {
+        Some(addr) => (addr.clone(), None),
+        None => match spawn_server(cfg.workers, cache_capacity, None) {
+            Ok((addr, thread, handle)) => (addr, Some((thread, handle))),
+            Err(e) => {
+                eprintln!("cannot bind in-process server: {e}");
+                return None;
+            }
+        },
+    };
+    let n: u64 = if cfg.smoke { 64 } else { 128 };
+    let spec = format!(
+        r#"{{"algorithm": "greedy-mis", "scenario": "gnp-sparse", "n": {n}, "seed": {}}}"#,
+        cfg.seed
+    );
+    let id = client::request(&addr, "POST", "/session", spec.as_bytes())
+        .ok()
+        .filter(|resp| resp.status == 200)
+        .and_then(|resp| Json::parse(&resp.text()).ok())
+        .and_then(|doc| doc.get("session").and_then(Json::as_i64));
+    let Some(id) = id else {
+        eprintln!("session-churn: POST /session refused");
+        if let Some((thread, handle)) = server {
+            stop_server(thread, &handle);
+        }
+        return None;
+    };
+    let schedule = session_schedule(cfg, id, n);
+    let result = drive(
+        &addr,
+        &schedule,
+        cfg.clients,
+        cfg.reqs_per_conn,
+        cfg.pipeline,
+    );
+    if let Some((thread, handle)) = server {
+        stop_server(thread, &handle);
+    }
+    Some(result)
 }
 
 fn main() -> ExitCode {
@@ -642,7 +774,13 @@ fn main() -> ExitCode {
     let pool = spec_pool(cfg.smoke, cfg.seed);
     let mut rows = Vec::new();
     let mut total_errors = 0u64;
-    for mix in [Mix::Uniform, Mix::HotKey, Mix::CacheBust, Mix::WarmRestart] {
+    for mix in [
+        Mix::Uniform,
+        Mix::HotKey,
+        Mix::CacheBust,
+        Mix::WarmRestart,
+        Mix::SessionChurn,
+    ] {
         let schedule = mix.schedule(&cfg, &pool);
         let capacity = mix.cache_capacity(pool.len());
 
@@ -652,6 +790,11 @@ fn main() -> ExitCode {
                 continue;
             }
             match drive_warm_restart(&cfg, &schedule, capacity) {
+                Some(r) => r,
+                None => return ExitCode::FAILURE,
+            }
+        } else if mix == Mix::SessionChurn {
+            match drive_session_churn(&cfg, capacity) {
                 Some(r) => r,
                 None => return ExitCode::FAILURE,
             }
@@ -683,8 +826,8 @@ fn main() -> ExitCode {
         result.mix = mix.name();
         total_errors += result.errors;
         eprintln!(
-            "{:<12} {} requests ({} distinct) in {:.2}s: {:.0} rps, {} hits / {} store / {} misses, \
-             {} conns, {} errors",
+            "{:<13} {} requests ({} distinct) in {:.2}s: {:.0} rps, {} hits / {} store / \
+             {} misses / {} updates, {} conns, {} errors",
             result.mix,
             result.requests,
             result.distinct_specs,
@@ -693,6 +836,7 @@ fn main() -> ExitCode {
             result.hits,
             result.store_hits,
             result.misses,
+            result.updates,
             result.connections,
             result.errors
         );
@@ -729,6 +873,7 @@ fn main() -> ExitCode {
         ("reqs_per_conn", Json::Int(cfg.reqs_per_conn as i64)),
         ("pipeline", Json::Int(cfg.pipeline as i64)),
         ("seed", Json::Int(cfg.seed as i64)),
+        ("update_frac", Json::Float(cfg.update_frac)),
         ("rows", Json::Arr(rows)),
     ]);
     if let Err(e) = std::fs::write(&cfg.out, doc.render()) {

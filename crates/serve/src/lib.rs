@@ -11,10 +11,30 @@
 //! | Endpoint | Meaning |
 //! |---|---|
 //! | `POST /run` | a JSON [`RunSpec`] in, the canonical `RunReport` JSON out |
+//! | `POST /run` with `{"session": id}` | re-run a resident session from warm state |
+//! | `POST /session` | a JSON [`RunSpec`] in, a resident warm [`Session`] out |
+//! | `POST /update` | apply a batched edge delta to a session (bumps its generation) |
 //! | `GET /scenarios` | the scenario registry |
 //! | `GET /algorithms` | every [`AlgorithmKind`] |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | requests, cache/store hits, reuse counters, latency percentiles |
+//! | `GET /metrics` | requests, cache/store hits, session/update counters, latency percentiles |
+//!
+//! ## Sessions: mutable workloads behind the immutable cache
+//!
+//! The cache soundness story below assumes immutable specs. Sessions
+//! extend it to mutating graphs without weakening it: each session
+//! carries a **generation counter** (0 at creation, +1 per applied
+//! delta), and session-scoped cache keys fold `(session id, generation)`
+//! into the workload object *exactly like file keys fold content
+//! hashes* — an update invalidates every prior entry by construction,
+//! no eviction protocol needed. Two deliberate exclusions keep staleness
+//! impossible: session responses never enter the reactor's raw-request
+//! memo (the same `{"session": id}` bytes mean different things across
+//! generations), and never touch the disk [`store`] (generation
+//! counters restart at zero with the daemon, so a persisted body could
+//! alias a future generation's key). The incremental re-runs themselves
+//! revalidate their witnesses server-side — see
+//! [`mmvc_core::session::Session`].
 //!
 //! ## Why the cache is sound
 //!
@@ -102,8 +122,9 @@ use cache::ReportCache;
 use metrics::Metrics;
 use mmvc_bench::{report_json, Json};
 use mmvc_core::run::{run_on, AlgorithmKind, RunReport, RunSpec, SpecValue};
+use mmvc_core::session::Session;
 use mmvc_core::CoreError;
-use mmvc_graph::scenarios;
+use mmvc_graph::{scenarios, GraphDelta};
 use mmvc_substrate::{Completions, ExecutorConfig, WorkerPool};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice, Read, Write};
@@ -236,6 +257,22 @@ impl RawMemo {
     }
 }
 
+/// Most resident sessions per daemon. Each holds a full graph, so the
+/// table is a memory commitment, not bookkeeping: past the cap
+/// `POST /session` answers 400 until sessions are deleted (restart).
+pub const MAX_SESSIONS: usize = 64;
+
+/// The resident-session table: monotone ids (never reused, so a stale
+/// client id can never alias a newer session) to warm [`Session`]s.
+/// Each session sits behind its own mutex — an incremental run holds it
+/// for the duration, so runs and updates on one session serialize while
+/// other sessions proceed.
+#[derive(Default)]
+struct SessionTable {
+    next_id: u64,
+    map: HashMap<u64, Arc<Mutex<Session>>>,
+}
+
 /// Shared state behind the reactor and every worker: the two cache
 /// tiers, the traffic counters, and the precomputed static bodies.
 struct AppState {
@@ -244,6 +281,7 @@ struct AppState {
     metrics: Metrics,
     workers: usize,
     max_n: usize,
+    sessions: Mutex<SessionTable>,
     /// One scratch arena shared by every served run: repeat requests
     /// (cache misses included) rebuild graphs and per-round masks out of
     /// recycled buffers instead of fresh allocations.
@@ -309,6 +347,7 @@ impl Server {
                 metrics: Metrics::new(),
                 workers,
                 max_n: config.max_n,
+                sessions: Mutex::new(SessionTable::default()),
                 scratch: mmvc_substrate::ScratchPool::new(),
                 healthz: Arc::from(healthz_body()),
                 scenarios: Arc::from(scenarios_body()),
@@ -807,7 +846,7 @@ fn parse_and_dispatch(
                     let completions = Arc::clone(completions);
                     let generation = conn.generation;
                     pool.submit(move || {
-                        let reply = handle_run(&state, &request.body);
+                        let reply = handle_worker(&state, &request);
                         let msg = build_msg(reply, keep, now, &state.metrics);
                         completions.push(Completion {
                             conn: idx,
@@ -905,13 +944,21 @@ fn route_fast(request: &http::Request, state: &AppState, raw_memo: &mut RawMemo)
             state.metrics.bump(&state.metrics.run_requests);
             fast_run(state, &request.body, raw_memo)
         }
+        // Session creation builds a workload and updates rebuild a CSR —
+        // both are worker-side work, never reactor-side.
+        ("POST", "/session" | "/update") => None,
         ("GET", "/scenarios") => Some(Reply::ok(Arc::clone(&state.scenarios))),
         ("GET", "/algorithms") => Some(Reply::ok(Arc::clone(&state.algorithms))),
         ("GET", "/healthz") => Some(Reply::ok(Arc::clone(&state.healthz))),
         ("GET", "/metrics") => Some(Reply::ok(Arc::from(metrics_body(state)))),
-        (method, "/run" | "/scenarios" | "/algorithms" | "/healthz" | "/metrics") => Some(
-            Reply::error(405, &format!("method {method} not allowed here")),
-        ),
+        (
+            method,
+            "/run" | "/session" | "/update" | "/scenarios" | "/algorithms" | "/healthz"
+            | "/metrics",
+        ) => Some(Reply::error(
+            405,
+            &format!("method {method} not allowed here"),
+        )),
         (_, target) => Some(Reply::error(404, &format!("no such endpoint `{target}`"))),
     }
 }
@@ -921,6 +968,13 @@ fn route_fast(request: &http::Request, state: &AppState, raw_memo: &mut RawMemo)
 /// Returns `None` to dispatch to a worker (file workloads, memory
 /// misses).
 fn fast_run(state: &AppState, body: &[u8], raw_memo: &mut RawMemo) -> Option<Reply> {
+    // Session-scoped runs are keyed by (id, generation), not by body
+    // bytes: they must bypass the raw memo entirely — the same
+    // `{"session": id}` bytes name *different* responses across
+    // generations — and consult only the generation-folded LRU key.
+    if let Some(session) = parse_session_ref(body) {
+        return fast_session_run(state, session);
+    }
     if let Some(memoized) = raw_memo.get(body) {
         state.metrics.bump(&state.metrics.cache_hits);
         return Some(Reply {
@@ -1122,6 +1176,262 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
     }
 }
 
+/// Worker-side dispatch: routes a request the reactor handed off to its
+/// handler by (method, target). `route_fast` only returns `None` for
+/// these three targets, so the catch-all is unreachable in practice.
+fn handle_worker(state: &AppState, request: &http::Request) -> Reply {
+    match (request.head.method.as_str(), request.head.target.as_str()) {
+        ("POST", "/run") => match parse_session_ref(&request.body) {
+            Some(session) => handle_session_run(state, session),
+            None => handle_run(state, &request.body),
+        },
+        ("POST", "/session") => handle_session_create(state, &request.body),
+        ("POST", "/update") => handle_session_update(state, &request.body),
+        (method, target) => Reply::error(404, &format!("no handler for {method} {target}")),
+    }
+}
+
+/// Recognizes a session-scoped `POST /run` body: a JSON object whose
+/// only key is `session` (a non-negative integer). Anything else —
+/// including malformed JSON — falls through to the ordinary spec path,
+/// whose strict parser owns the error message.
+fn parse_session_ref(body: &[u8]) -> Option<u64> {
+    let text = std::str::from_utf8(body).ok()?;
+    let doc = Json::parse(text).ok()?;
+    let fields = doc.as_obj()?;
+    match fields {
+        [(key, Json::Int(id))] if key == "session" && *id >= 0 => Some(*id as u64),
+        _ => None,
+    }
+}
+
+/// Looks up a live session handle.
+fn session_handle(state: &AppState, id: u64) -> Option<Arc<Mutex<Session>>> {
+    lock_sessions(state).map.get(&id).cloned()
+}
+
+/// Locks a session table / session, recovering from poisoning the same
+/// way [`lock_cache`] does.
+fn lock_sessions(state: &AppState) -> std::sync::MutexGuard<'_, SessionTable> {
+    state
+        .sessions
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn lock_session(session: &Mutex<Session>) -> std::sync::MutexGuard<'_, Session> {
+    session
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn no_such_session(id: u64) -> Reply {
+    Reply::error(
+        400,
+        &format!("no such session {id} (sessions do not survive daemon restarts)"),
+    )
+}
+
+/// The reactor-side fast path for a session-scoped run: answer from the
+/// LRU under the generation-folded key without touching the pool. Uses
+/// `try_lock` on the session — if a worker holds it (a run or update in
+/// progress), the request queues behind it on the pool instead of
+/// stalling the reactor.
+fn fast_session_run(state: &AppState, id: u64) -> Option<Reply> {
+    state.metrics.bump(&state.metrics.run_requests);
+    let Some(handle) = session_handle(state, id) else {
+        return Some(no_such_session(id));
+    };
+    let key = {
+        let session = handle.try_lock().ok()?;
+        session_cache_key(session.spec(), id, session.generation())
+    };
+    let cached = lock_cache(state).get(&key)?;
+    state.metrics.bump(&state.metrics.cache_hits);
+    Some(Reply {
+        status: 200,
+        x_cache: Some("hit"),
+        body: cached,
+    })
+}
+
+/// Worker-side `POST /session`: spec in, resident warm session out. The
+/// spec admits exactly like `POST /run` (same cap, same budget fold),
+/// then the workload is built once and takes residence.
+fn handle_session_create(state: &AppState, body: &[u8]) -> Reply {
+    let mut spec = match parse_run_body(body) {
+        Ok(spec) => spec,
+        Err(message) => return Reply::error(400, &message),
+    };
+    if spec.graph_file.is_some() {
+        // File workloads mutate out-of-band; a resident copy would
+        // detach from the content hash that makes file keys sound.
+        return Reply::error(
+            400,
+            "graph_file workloads cannot take session residence; POST /run serves them",
+        );
+    }
+    if let Err(refusal) = admit(&mut spec, state) {
+        return refusal;
+    }
+    // Refuse before the (possibly expensive) workload build when the
+    // table is already full; the insert re-checks under the lock.
+    if lock_sessions(state).map.len() >= MAX_SESSIONS {
+        return session_table_full();
+    }
+    let session = match Session::new(&spec) {
+        Ok(session) => session,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    let n = session.graph().num_vertices();
+    let num_edges = session.graph().num_edges();
+    let label = session.label().to_string();
+    let mut table = lock_sessions(state);
+    if table.map.len() >= MAX_SESSIONS {
+        return session_table_full();
+    }
+    let id = table.next_id;
+    table.next_id += 1;
+    table.map.insert(id, Arc::new(Mutex::new(session)));
+    drop(table);
+    state.metrics.bump(&state.metrics.sessions);
+    Reply::ok(Arc::from(
+        Json::obj(vec![
+            ("session", Json::Int(id as i64)),
+            ("generation", Json::Int(0)),
+            ("n", Json::Int(n as i64)),
+            ("num_edges", Json::Int(num_edges as i64)),
+            ("scenario", Json::Str(label)),
+        ])
+        .render()
+        .into_bytes(),
+    ))
+}
+
+fn session_table_full() -> Reply {
+    Reply::error(
+        400,
+        &format!("session table full ({MAX_SESSIONS} resident sessions)"),
+    )
+}
+
+/// Worker-side `POST /update`: `{"session": id, "insert": [[u,v],...],
+/// "delete": [[u,v],...]}` → delta-merge rebuild under the session's
+/// lock, generation bump. Prior cache entries go stale by construction
+/// (they are keyed under the old generation).
+fn handle_session_update(state: &AppState, body: &[u8]) -> Reply {
+    let (id, delta) = match parse_update_body(body) {
+        Ok(parsed) => parsed,
+        Err(message) => return Reply::error(400, &message),
+    };
+    let Some(handle) = session_handle(state, id) else {
+        return no_such_session(id);
+    };
+    let mut session = lock_session(&handle);
+    let outcome = match session.apply_update(&delta) {
+        Ok(outcome) => outcome,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    drop(session);
+    state.metrics.bump(&state.metrics.updates);
+    Reply::ok(Arc::from(
+        Json::obj(vec![
+            ("session", Json::Int(id as i64)),
+            ("generation", Json::Int(outcome.generation as i64)),
+            ("num_edges", Json::Int(outcome.num_edges as i64)),
+            ("inserted", Json::Int(outcome.inserted as i64)),
+            ("deleted", Json::Int(outcome.deleted as i64)),
+        ])
+        .render()
+        .into_bytes(),
+    ))
+}
+
+/// Decodes a `POST /update` body. Endpoint pairs are `[u, v]` arrays;
+/// self-loops and out-of-range vertices are refused (staging rejects the
+/// former, apply rejects the latter).
+fn parse_update_body(body: &[u8]) -> Result<(u64, GraphDelta), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let Some(fields) = doc.as_obj() else {
+        return Err("request body must be a JSON object".to_string());
+    };
+    let mut session: Option<u64> = None;
+    let mut delta = GraphDelta::new();
+    let stage = |value: &Json, field: &str, insert: bool, delta: &mut GraphDelta| {
+        let Some(pairs) = value.as_arr() else {
+            return Err(format!("field `{field}` must be an array of [u, v] pairs"));
+        };
+        for pair in pairs {
+            let endpoints = pair
+                .as_arr()
+                .ok_or_else(|| format!("field `{field}` must contain [u, v] pairs, not scalars"))?;
+            let [Json::Int(u), Json::Int(v)] = endpoints else {
+                return Err(format!("field `{field}` pairs must be two integers"));
+            };
+            if *u < 0 || *v < 0 || *u > u32::MAX as i64 || *v > u32::MAX as i64 {
+                return Err(format!("field `{field}` endpoints must fit in u32"));
+            }
+            let staged = if insert {
+                delta.insert_edge(*u as u32, *v as u32)
+            } else {
+                delta.delete_edge(*u as u32, *v as u32)
+            };
+            staged.map_err(|e| format!("field `{field}`: {e}"))?;
+        }
+        Ok(())
+    };
+    for (key, value) in fields {
+        match key.as_str() {
+            "session" => match value {
+                Json::Int(id) if *id >= 0 => session = Some(*id as u64),
+                _ => return Err("field `session` must be a non-negative integer".to_string()),
+            },
+            "insert" => stage(value, "insert", true, &mut delta)?,
+            "delete" => stage(value, "delete", false, &mut delta)?,
+            other => return Err(format!("unknown field `{other}`")),
+        }
+    }
+    let id = session.ok_or_else(|| "field `session` is required".to_string())?;
+    Ok((id, delta))
+}
+
+/// Worker-side session run: holds the session lock across the
+/// incremental re-run (updates to this session queue behind it — which
+/// is what makes generation-keyed caching sound), populates the LRU
+/// under the current generation's key, and **never** touches the disk
+/// store (generations restart with the daemon; a persisted body could
+/// alias a future generation).
+fn handle_session_run(state: &AppState, id: u64) -> Reply {
+    let Some(handle) = session_handle(state, id) else {
+        return no_such_session(id);
+    };
+    let mut session = lock_session(&handle);
+    let key = session_cache_key(session.spec(), id, session.generation());
+    // The fast path may have raced an identical request into the cache.
+    if let Some(body) = lock_cache(state).get(&key) {
+        state.metrics.bump(&state.metrics.cache_hits);
+        return Reply {
+            status: 200,
+            x_cache: Some("hit"),
+            body,
+        };
+    }
+    let report = match session.run_incremental() {
+        Ok(report) => report,
+        Err(e) => return Reply::error(400, &e.to_string()),
+    };
+    drop(session);
+    let body: Arc<[u8]> = Arc::from(canonical_report_body(report));
+    state.metrics.bump(&state.metrics.cache_misses);
+    lock_cache(state).insert(key, Arc::clone(&body));
+    Reply {
+        status: 200,
+        x_cache: Some("miss"),
+        body,
+    }
+}
+
 /// Locks the report cache, recovering from poisoning: cached bodies are
 /// immutable bytes and the LRU bookkeeping is always internally
 /// consistent at lock release, so an unwinding holder cannot leave
@@ -1186,6 +1496,21 @@ pub fn canonical_report_body(mut report: RunReport) -> Vec<u8> {
 /// `POST /run` bodies (every served spec carries the defaults). The
 /// same key addresses both cache tiers (memory and [`store`]).
 pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
+    keyed(spec, graph_content_hash, None)
+}
+
+/// The cache key for a session-scoped run: the ordinary [`cache_key`]
+/// with `(session id, generation)` folded into the workload object —
+/// exactly how file keys fold content hashes. A `POST /update` bumps
+/// the generation, so every pre-update entry is unreachable from then
+/// on: invalidation by construction, not by eviction. Session keys
+/// address only the in-memory tier (never the disk [`store`] — see
+/// [`handle_session_run`]'s soundness note).
+pub fn session_cache_key(spec: &RunSpec, session: u64, generation: u64) -> String {
+    keyed(spec, None, Some((session, generation)))
+}
+
+fn keyed(spec: &RunSpec, graph_content_hash: Option<u64>, session: Option<(u64, u64)>) -> String {
     let workload = match (&spec.graph_file, graph_content_hash) {
         (Some(path), Some(hash)) => Json::obj(vec![
             ("graph_file", Json::Str(path.clone())),
@@ -1198,7 +1523,14 @@ pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
             ("graph_file", Json::Str(path.clone())),
             ("content_hash", Json::Null),
         ]),
-        (None, _) => Json::obj(vec![("scenario", Json::Str(spec.scenario.clone()))]),
+        (None, _) => match session {
+            Some((id, generation)) => Json::obj(vec![
+                ("scenario", Json::Str(spec.scenario.clone())),
+                ("session", Json::Str(id.to_string())),
+                ("generation", Json::Str(generation.to_string())),
+            ]),
+            None => Json::obj(vec![("scenario", Json::Str(spec.scenario.clone()))]),
+        },
     };
     let opt_int = |v: Option<usize>| match v {
         Some(v) => Json::Int(v as i64),
@@ -1309,6 +1641,8 @@ fn metrics_body(state: &AppState) -> Vec<u8> {
                 None => Json::Null,
             },
         ),
+        ("sessions", Json::Int(m.read(&m.sessions) as i64)),
+        ("updates", Json::Int(m.read(&m.updates) as i64)),
         ("in_flight", Json::Int(m.read(&m.in_flight) as i64)),
         ("connections", Json::Int(m.read(&m.connections) as i64)),
         (
@@ -1442,6 +1776,7 @@ mod tests {
             metrics: Metrics::new(),
             workers: 1,
             max_n: 1024,
+            sessions: Mutex::new(SessionTable::default()),
             scratch: mmvc_substrate::ScratchPool::new(),
             healthz: Arc::from(healthz_body()),
             scenarios: Arc::from(scenarios_body()),
@@ -1474,6 +1809,7 @@ mod tests {
             metrics: Metrics::new(),
             workers: 1,
             max_n: 1024,
+            sessions: Mutex::new(SessionTable::default()),
             scratch: mmvc_substrate::ScratchPool::new(),
             healthz: Arc::from(healthz_body()),
             scenarios: Arc::from(scenarios_body()),

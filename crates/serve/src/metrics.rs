@@ -51,6 +51,12 @@ pub struct Metrics {
     pub keepalive_reuses: AtomicU64,
     /// Total response bytes (heads + bodies) handed to sockets.
     pub bytes_served: AtomicU64,
+    /// Sessions created via `POST /session`.
+    pub sessions: AtomicU64,
+    /// Deltas applied via `POST /update` (each bumps its session's
+    /// generation, invalidating the session's cache entries by
+    /// construction).
+    pub updates: AtomicU64,
     latencies_ms: Mutex<VecDeque<f64>>,
 }
 
