@@ -15,6 +15,7 @@
 
 pub mod json;
 pub mod report;
+pub mod tracefmt;
 
 pub use json::Json;
 pub use report::{

@@ -1,0 +1,204 @@
+//! Exporters for drained [`TraceEvent`]s: Chrome Trace Event JSON
+//! (loadable in Perfetto / `chrome://tracing`) and a line-oriented JSONL
+//! event log, both rendered through the workspace's hand-rolled
+//! [`Json`] model — telemetry stays serde-free like every other
+//! artifact.
+//!
+//! The Chrome format is the "JSON Array Format with metadata" variant:
+//! a top-level object whose `traceEvents` array holds one *complete*
+//! event (`"ph": "X"`, microsecond `ts`/`dur`) per span and one counter
+//! event (`"ph": "C"`) per sample. Span ids and parents ride along in
+//! `args` so the nesting recorded by the sink survives tools that
+//! re-derive it from timestamps.
+
+use crate::json::Json;
+use mmvc_substrate::{EventKind, TraceEvent};
+
+/// Nanoseconds → the fractional microseconds Chrome traces use.
+fn us(ns: u64) -> Json {
+    Json::Float(ns as f64 / 1e3)
+}
+
+/// Renders drained events as a Chrome Trace Event document. Events are
+/// emitted sorted by `(tid, start_ns, id)` so identical runs produce
+/// identical files.
+pub fn chrome_trace(events: &[TraceEvent]) -> Json {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.tid, e.start_ns, e.id));
+    let trace_events = ordered
+        .into_iter()
+        .map(|e| match e.kind {
+            EventKind::Span => {
+                let mut args: Vec<(String, Json)> = vec![
+                    ("id".to_string(), Json::Int(e.id as i64)),
+                    ("parent".to_string(), Json::Int(e.parent as i64)),
+                ];
+                if let Some(tag) = &e.tag {
+                    args.push(("tag".to_string(), Json::Str(tag.clone())));
+                }
+                for &(k, v) in &e.args {
+                    args.push((k.to_string(), Json::Int(v as i64)));
+                }
+                Json::obj(vec![
+                    ("name", Json::Str(e.name.to_string())),
+                    ("cat", Json::Str("mmvc".to_string())),
+                    ("ph", Json::Str("X".to_string())),
+                    ("ts", us(e.start_ns)),
+                    ("dur", us(e.dur_ns)),
+                    ("pid", Json::Int(1)),
+                    ("tid", Json::Int(e.tid as i64)),
+                    ("args", Json::Obj(args)),
+                ])
+            }
+            EventKind::Counter => Json::obj(vec![
+                ("name", Json::Str(e.name.to_string())),
+                ("cat", Json::Str("mmvc".to_string())),
+                ("ph", Json::Str("C".to_string())),
+                ("ts", us(e.start_ns)),
+                ("pid", Json::Int(1)),
+                ("tid", Json::Int(e.tid as i64)),
+                (
+                    "args",
+                    Json::Obj(vec![(e.name.to_string(), Json::Int(e.value as i64))]),
+                ),
+            ]),
+        })
+        .collect();
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(trace_events)),
+        ("displayTimeUnit", Json::Str("ms".to_string())),
+    ])
+}
+
+/// Renders drained events as JSONL: one compact object per line, in
+/// `(tid, start_ns, id)` order, newline-terminated. Field names mirror
+/// [`TraceEvent`] so the log needs no schema beyond the type's docs.
+pub fn jsonl(events: &[TraceEvent]) -> String {
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.tid, e.start_ns, e.id));
+    let mut out = String::new();
+    for e in ordered {
+        let mut fields = vec![
+            (
+                "kind",
+                Json::Str(
+                    match e.kind {
+                        EventKind::Span => "span",
+                        EventKind::Counter => "counter",
+                    }
+                    .to_string(),
+                ),
+            ),
+            ("name", Json::Str(e.name.to_string())),
+            ("start_ns", Json::Int(e.start_ns as i64)),
+            ("tid", Json::Int(e.tid as i64)),
+        ];
+        match e.kind {
+            EventKind::Span => {
+                fields.push(("dur_ns", Json::Int(e.dur_ns as i64)));
+                fields.push(("id", Json::Int(e.id as i64)));
+                fields.push(("parent", Json::Int(e.parent as i64)));
+            }
+            EventKind::Counter => fields.push(("value", Json::Int(e.value as i64))),
+        }
+        if let Some(tag) = &e.tag {
+            fields.push(("tag", Json::Str(tag.clone())));
+        }
+        if !e.args.is_empty() {
+            fields.push((
+                "args",
+                Json::Obj(
+                    e.args
+                        .iter()
+                        .map(|&(k, v)| (k.to_string(), Json::Int(v as i64)))
+                        .collect(),
+                ),
+            ));
+        }
+        out.push_str(&Json::obj(fields).render_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmvc_substrate::Telemetry;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        let tel = Telemetry::recording();
+        {
+            let _outer = tel.span("outer");
+            let _inner = tel.span_tagged("inner", "leaf").with_arg("n", 5);
+        }
+        tel.counter("bytes", 128);
+        tel.drain()
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_and_parses_back() {
+        let doc = chrome_trace(&sample_events());
+        let parsed = Json::parse(&doc.render()).expect("renderer emits valid JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(Json::as_arr)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 3);
+        for e in events {
+            assert!(e.get("name").and_then(Json::as_str).is_some());
+            assert!(e.get("ts").and_then(Json::as_f64).is_some());
+            assert!(e.get("pid").and_then(Json::as_i64).is_some());
+            assert!(e.get("tid").and_then(Json::as_i64).is_some());
+            let ph = e.get("ph").and_then(Json::as_str).unwrap();
+            assert!(ph == "X" || ph == "C");
+            if ph == "X" {
+                assert!(e.get("dur").and_then(Json::as_f64).is_some());
+            }
+        }
+        let inner = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("inner"))
+            .unwrap();
+        let args = inner.get("args").unwrap();
+        assert_eq!(args.get("tag").and_then(Json::as_str), Some("leaf"));
+        assert_eq!(args.get("n").and_then(Json::as_i64), Some(5));
+        // The recorded parent relation is preserved.
+        let outer = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("outer"))
+            .unwrap();
+        assert_eq!(
+            inner
+                .get("args")
+                .unwrap()
+                .get("parent")
+                .and_then(Json::as_i64),
+            outer.get("args").unwrap().get("id").and_then(Json::as_i64)
+        );
+    }
+
+    #[test]
+    fn jsonl_emits_one_parsable_line_per_event() {
+        let text = jsonl(&sample_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let mut kinds = Vec::new();
+        for line in lines {
+            let doc = Json::parse(line).expect("each line is standalone JSON");
+            kinds.push(doc.get("kind").and_then(Json::as_str).unwrap().to_string());
+        }
+        assert_eq!(kinds.iter().filter(|k| *k == "span").count(), 2);
+        assert_eq!(kinds.iter().filter(|k| *k == "counter").count(), 1);
+    }
+
+    #[test]
+    fn empty_drain_renders_empty_documents() {
+        let doc = chrome_trace(&[]);
+        assert_eq!(
+            doc.get("traceEvents").and_then(Json::as_arr).unwrap().len(),
+            0
+        );
+        assert_eq!(jsonl(&[]), "");
+    }
+}

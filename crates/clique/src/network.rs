@@ -99,6 +99,15 @@ impl CliqueNetwork {
         self.n
     }
 
+    /// Attaches a telemetry sink: completed rounds emit spans (tagged
+    /// `congested-clique`) when it is enabled. The network has no
+    /// executor of its own, so callers pass the sink from the run's
+    /// `ExecutorConfig` explicitly. Strictly an observer — the metered
+    /// trace is identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: &mmvc_substrate::Telemetry) {
+        self.ledger.set_telemetry(telemetry);
+    }
+
     /// Per-round, per-ordered-pair bandwidth in words.
     pub fn words_per_pair(&self) -> usize {
         self.words_per_pair

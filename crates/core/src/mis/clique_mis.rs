@@ -147,6 +147,7 @@ pub fn clique_mis(g: &Graph, config: &CliqueMisConfig) -> Result<CliqueMisOutcom
         });
     }
     let mut net = CliqueNetwork::new(n)?;
+    net.set_telemetry(config.executor.telemetry());
     let exec = config.executor.clone();
     const LEADER: usize = 0;
 

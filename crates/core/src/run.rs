@@ -764,7 +764,10 @@ pub fn run(spec: &RunSpec) -> Result<RunReport, CoreError> {
     // generator, the CSR builder, and every per-round algorithm scan
     // draw from (and recycle into) the same pool.
     let spec = spec_with_scratch(spec);
-    let (g, label) = build_workload(&spec)?;
+    let (g, label) = {
+        let _span = spec.executor.telemetry().span("build");
+        build_workload(&spec)?
+    };
     run_on(&g, &label, &spec)
 }
 
@@ -814,8 +817,39 @@ pub fn run_detailed(
         }
     }
     let start = std::time::Instant::now();
-    let (witnesses, substrate, trace, metrics, artifacts) = dispatch(g, spec)?;
+    let (witnesses, substrate, trace, mut metrics, artifacts) = {
+        let _span = spec
+            .executor
+            .telemetry()
+            .span_tagged("algorithm", spec.algorithm.name())
+            .with_arg("n", g.num_vertices() as u64)
+            .with_arg("edges", g.num_edges() as u64);
+        dispatch(g, spec)?
+    };
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    // Scratch-arena counters are scheduling-dependent (which thread
+    // reuses which shelf), so — like wall_ms — they may never enter the
+    // canonical report surface. Diagnostics mode opts in explicitly;
+    // it is not expressible through `POST /run`, so cached bodies stay
+    // pure functions of the spec.
+    if spec.overrides.diagnostics {
+        if let Some(pool) = spec.executor.scratch() {
+            let s = pool.stats();
+            metrics.push((
+                "scratch_allocations",
+                MetricValue::Int(s.allocations as i64),
+            ));
+            metrics.push((
+                "scratch_allocated_bytes",
+                MetricValue::Int(s.allocated_bytes as i64),
+            ));
+            metrics.push(("scratch_reuses", MetricValue::Int(s.reuses as i64)));
+            metrics.push((
+                "scratch_reused_bytes",
+                MetricValue::Int(s.reused_bytes as i64),
+            ));
+        }
+    }
 
     let mut budget_violations = Vec::new();
     if let Some(max) = spec.budget.max_rounds {

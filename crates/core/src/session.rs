@@ -170,7 +170,11 @@ impl Session {
     /// [`mmvc_graph::GraphError::VertexOutOfRange`] (as [`CoreError`])
     /// when the delta names a vertex outside the workload.
     pub fn apply_update(&mut self, delta: &GraphDelta) -> Result<UpdateOutcome, CoreError> {
+        let telemetry = self.spec.executor.telemetry().clone();
+        let mut span = telemetry.span("session.apply_update");
         let (ins, del) = delta.normalized(self.graph.num_vertices())?;
+        span.arg("inserted", ins.len() as u64);
+        span.arg("deleted", del.len() as u64);
         let next = self.graph.apply_delta_with(delta, &self.spec.executor)?;
         let prev = std::mem::replace(&mut self.graph, next);
         prev.recycle(&self.spec.executor);
@@ -250,12 +254,20 @@ impl Session {
     /// [`CoreError::InvalidParameter`] when `verify_cold` finds a
     /// divergence.
     pub fn run_incremental_with(&mut self, verify_cold: bool) -> Result<RunReport, CoreError> {
+        let telemetry = self.spec.executor.telemetry().clone();
         let report = match (&self.warm, self.spec.algorithm) {
-            (Some(Warm::Mis(_)), AlgorithmKind::GreedyMis) => self.rerun_mis()?,
+            (Some(Warm::Mis(_)), AlgorithmKind::GreedyMis) => {
+                let _span = telemetry.span_tagged("session.run_incremental", "mis-repair");
+                self.rerun_mis()?
+            }
             (Some(Warm::Matching(_)), AlgorithmKind::OnePlusEpsMatching) => {
+                let _span = telemetry.span_tagged("session.run_incremental", "matching-augment");
                 self.rerun_matching()?
             }
-            _ => self.run_cold()?,
+            _ => {
+                let _span = telemetry.span_tagged("session.run_incremental", "cold-fallback");
+                self.run_cold()?
+            }
         };
         if verify_cold {
             let (cold, _) = run_detailed(&self.graph, &self.label, &self.spec)?;

@@ -914,6 +914,11 @@ impl GraphBuilder {
     /// list is normalized by a final sort + dedup, so scatter order washes
     /// out entirely.
     pub fn build_with(self, exec: &ExecutorConfig) -> Graph {
+        let _span = exec
+            .telemetry()
+            .span("csr.build")
+            .with_arg("n", self.n as u64)
+            .with_arg("staged_edges", self.edges.len() as u64);
         if self.edges.len() < PAR_BUILD_THRESHOLD {
             return self.build_small();
         }

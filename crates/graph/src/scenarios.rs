@@ -97,6 +97,11 @@ impl Scenario {
         seed: u64,
         exec: &ExecutorConfig,
     ) -> Result<Graph, GraphError> {
+        let _span = exec
+            .telemetry()
+            .span_tagged("scenario.generate", self.name)
+            .with_arg("n", n as u64)
+            .with_arg("seed", seed);
         (self.build)(n, seed, exec)
     }
 }

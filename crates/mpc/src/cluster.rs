@@ -71,6 +71,9 @@ impl Cluster {
     /// never per round, and results are identical for any executor.
     #[must_use]
     pub fn with_executor(mut self, executor: ExecutorConfig) -> Self {
+        // The executor carries the run's telemetry sink; rounds metered
+        // by this cluster report their spans into the same sink.
+        self.ledger.set_telemetry(executor.telemetry());
         self.executor = executor;
         self
     }

@@ -5,8 +5,9 @@
 //! client thread reuses one connection for `--reqs-per-conn` requests
 //! before reconnecting, keeping up to `--pipeline` requests in flight
 //! per connection — the wrk-style closed loop) and writes
-//! `BENCH_serve.json` (throughput, latency percentiles, cache/store
-//! hit rates, connection reuse — one row per mix):
+//! `BENCH_serve.json` (throughput, latency percentiles *and* log2
+//! latency histograms, cache/store hit rates, connection reuse — one
+//! row per mix):
 //!
 //! * `uniform` — requests drawn uniformly from a fixed spec pool that
 //!   fits the cache (the steady-state mix: everything hits after one
@@ -414,6 +415,37 @@ impl MixResult {
                     ("p999", Json::Float(p999)),
                 ]),
             ),
+            // The tail's *shape*, not just its p-points: the same
+            // cumulative log2 buckets the daemon serves (`le` is the
+            // bucket's upper bound in ms), trimmed to the occupied
+            // range, so the bench trajectory can tell a fat tail from a
+            // spike the percentiles happen to straddle.
+            ("latency_histogram_ms", {
+                let hist = metrics::LatencyHistogram::new();
+                for &ms in &self.latencies_ms {
+                    hist.record_ms(ms);
+                }
+                let snap = hist.snapshot();
+                Json::obj(vec![
+                    ("count", Json::Int(snap.count as i64)),
+                    ("sum", Json::Float(snap.sum_ms)),
+                    (
+                        "buckets",
+                        Json::Arr(
+                            snap.occupied()
+                                .iter()
+                                .map(|&(le, count)| {
+                                    Json::obj(vec![
+                                        ("le", Json::Float(le)),
+                                        ("count", Json::Int(count as i64)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                    ("overflow", Json::Int(snap.overflow as i64)),
+                ])
+            }),
             (
                 "post_restart",
                 match &self.post_restart {
@@ -848,7 +880,8 @@ fn main() -> ExitCode {
     }
 
     let doc = Json::obj(vec![
-        ("schema", Json::Str("mmvc-serve-bench/v2".to_string())),
+        // v3: rows gained `latency_histogram_ms` (log2 tail shape).
+        ("schema", Json::Str("mmvc-serve-bench/v3".to_string())),
         (
             "mode",
             Json::Str(if cfg.smoke { "smoke" } else { "full" }.to_string()),

@@ -31,9 +31,12 @@ pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
 pub struct Head {
     /// Request method (`GET`, `POST`, …), verbatim.
     pub method: String,
-    /// Request target, e.g. `/run`. Query strings are not split off —
-    /// the daemon's routes are exact paths.
+    /// Request target, e.g. `/run` or `/metrics?format=prom`. Query
+    /// strings are not split off here — routing does that.
     pub target: String,
+    /// The `Accept` header value, lowercased (`None` when absent).
+    /// Routing uses it for content negotiation on `GET /metrics`.
+    pub accept: Option<String>,
     /// Declared `Content-Length` (0 when absent).
     pub content_length: usize,
     /// Whether the client sent `Expect: 100-continue`.
@@ -134,6 +137,7 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<(Head, usize)>, HttpError> {
 
     let mut content_length = 0usize;
     let mut expect_continue = false;
+    let mut accept: Option<String> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -152,6 +156,8 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<(Head, usize)>, HttpError> {
             }
         } else if name.eq_ignore_ascii_case("expect") {
             expect_continue = value.eq_ignore_ascii_case("100-continue");
+        } else if name.eq_ignore_ascii_case("accept") {
+            accept = Some(value.to_ascii_lowercase());
         } else if name.eq_ignore_ascii_case("connection") {
             if value.eq_ignore_ascii_case("close") {
                 keep_alive = false;
@@ -165,6 +171,7 @@ pub fn parse_head(buf: &[u8]) -> Result<Option<(Head, usize)>, HttpError> {
         Head {
             method: method.to_string(),
             target: target.to_string(),
+            accept,
             content_length,
             expect_continue,
             keep_alive,
@@ -194,8 +201,9 @@ fn reason(status: u16) -> &'static str {
 }
 
 /// Renders a complete response head: status line, standard headers
-/// (`Content-Type: application/json`, `Content-Length`, and the
-/// negotiated `Connection`), plus any extra headers.
+/// (`Content-Type`, `Content-Length`, and the negotiated `Connection`),
+/// plus any extra headers. Almost every body is JSON; the Prometheus
+/// variant of `GET /metrics` passes its text-exposition type instead.
 ///
 /// The body is deliberately **not** part of the rendered bytes: cached
 /// bodies are shared `Arc<[u8]>`s the reactor writes straight from, so
@@ -203,6 +211,7 @@ fn reason(status: u16) -> &'static str {
 /// per-response copy of the payload.
 pub fn render_head(
     status: u16,
+    content_type: &str,
     extra_headers: &[(&str, &str)],
     body_len: usize,
     keep_alive: bool,
@@ -210,7 +219,7 @@ pub fn render_head(
     let mut head = Vec::with_capacity(128);
     let _ = write!(
         head,
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {body_len}\r\nconnection: {}\r\n",
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {body_len}\r\nconnection: {}\r\n",
         reason(status),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -238,6 +247,7 @@ mod tests {
         let (head, consumed) = parse_complete(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
         assert_eq!(head.method, "GET");
         assert_eq!(head.target, "/healthz");
+        assert_eq!(head.accept, None);
         assert_eq!(head.content_length, 0);
         assert!(!head.expect_continue);
         assert!(head.keep_alive, "HTTP/1.1 defaults to keep-alive");
@@ -253,6 +263,13 @@ mod tests {
         assert_eq!(head.content_length, 4);
         assert!(head.expect_continue);
         assert_eq!(&raw[consumed..], b"{\"a\"", "body starts after the head");
+    }
+
+    #[test]
+    fn captures_accept_header_lowercased() {
+        let (head, _) =
+            parse_complete(b"GET /metrics HTTP/1.1\r\nAccept: Text/Plain\r\n\r\n").unwrap();
+        assert_eq!(head.accept.as_deref(), Some("text/plain"));
     }
 
     #[test]
@@ -343,17 +360,23 @@ mod tests {
 
     #[test]
     fn renders_heads_with_exact_framing() {
-        let head = render_head(200, &[("x-cache", "hit")], 3, true);
+        let head = render_head(200, "application/json", &[("x-cache", "hit")], 3, true);
         let text = String::from_utf8(head).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.contains("content-length: 3\r\n"));
         assert!(text.contains("x-cache: hit\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n"));
 
-        let closing = String::from_utf8(render_head(431, &[], 0, false)).unwrap();
+        let closing =
+            String::from_utf8(render_head(431, "application/json", &[], 0, false)).unwrap();
         assert!(closing.starts_with("HTTP/1.1 431 Request Header Fields Too Large\r\n"));
         assert!(closing.contains("connection: close\r\n"));
+
+        let prom =
+            String::from_utf8(render_head(200, "text/plain; version=0.0.4", &[], 0, true)).unwrap();
+        assert!(prom.contains("content-type: text/plain; version=0.0.4\r\n"));
     }
 
     #[test]

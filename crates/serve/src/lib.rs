@@ -17,7 +17,7 @@
 //! | `GET /scenarios` | the scenario registry |
 //! | `GET /algorithms` | every [`AlgorithmKind`] |
 //! | `GET /healthz` | liveness |
-//! | `GET /metrics` | requests, cache/store hits, session/update counters, latency percentiles |
+//! | `GET /metrics` | counters, scratch stats, latency histogram (JSON; `?format=prom` or `Accept: text/plain` for Prometheus text) |
 //!
 //! ## Sessions: mutable workloads behind the immutable cache
 //!
@@ -125,10 +125,11 @@ use mmvc_core::run::{run_on, AlgorithmKind, RunReport, RunSpec, SpecValue};
 use mmvc_core::session::Session;
 use mmvc_core::CoreError;
 use mmvc_graph::{scenarios, GraphDelta};
-use mmvc_substrate::{Completions, ExecutorConfig, WorkerPool};
+use mmvc_substrate::{Completions, ExecutorConfig, Telemetry, TraceEvent, WorkerPool};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -160,12 +161,18 @@ pub struct ServeConfig {
     /// `connection: close` (clamped to at least 1). Bounds how long one
     /// client can monopolize a connection slot.
     pub max_requests_per_conn: u64,
+    /// Directory for rotating Chrome-trace files (`None` disables
+    /// telemetry entirely — the default). When set, the daemon records
+    /// per-request and per-run spans and the reactor drains them into
+    /// `trace-NNNNN.json` epoch files under this directory (bounded in
+    /// count and size — see [`MAX_TRACE_FILES`]).
+    pub trace_dir: Option<String>,
 }
 
 impl Default for ServeConfig {
     /// `127.0.0.1:7411`, 4 workers, 512 cached reports, scale tier
     /// refused, no disk store, 5 s idle timeout, 1024 requests per
-    /// connection.
+    /// connection, telemetry off.
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:7411".to_string(),
@@ -175,6 +182,7 @@ impl Default for ServeConfig {
             store_dir: None,
             idle_timeout_ms: 5000,
             max_requests_per_conn: 1024,
+            trace_dir: None,
         }
     }
 }
@@ -286,6 +294,11 @@ struct AppState {
     /// (cache misses included) rebuild graphs and per-round masks out of
     /// recycled buffers instead of fresh allocations.
     scratch: mmvc_substrate::ScratchPool,
+    /// The daemon's telemetry sink: recording when `--trace-dir` is
+    /// set, the zero-cost disabled handle otherwise. Strictly
+    /// out-of-band — served bodies and cache keys never depend on it
+    /// (same rule as `wall_ms`).
+    telemetry: Telemetry,
     /// Static endpoint bodies, rendered once and served as shared bytes.
     healthz: Arc<[u8]>,
     scenarios: Arc<[u8]>,
@@ -300,6 +313,7 @@ pub struct Server {
     workers: usize,
     idle_timeout: Duration,
     max_requests_per_conn: u64,
+    trace_dir: Option<PathBuf>,
 }
 
 /// A remote control for a running [`Server`] (cloneable, thread-safe).
@@ -339,6 +353,18 @@ impl Server {
             Some(dir) => Some(ReportStore::open(dir)?),
             None => None,
         };
+        let trace_dir = match &config.trace_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(PathBuf::from(dir))
+            }
+            None => None,
+        };
+        let telemetry = if trace_dir.is_some() {
+            Telemetry::recording()
+        } else {
+            Telemetry::disabled()
+        };
         Ok(Server {
             listener,
             state: Arc::new(AppState {
@@ -349,6 +375,7 @@ impl Server {
                 max_n: config.max_n,
                 sessions: Mutex::new(SessionTable::default()),
                 scratch: mmvc_substrate::ScratchPool::new(),
+                telemetry,
                 healthz: Arc::from(healthz_body()),
                 scenarios: Arc::from(scenarios_body()),
                 algorithms: Arc::from(algorithms_body()),
@@ -357,6 +384,7 @@ impl Server {
             workers,
             idle_timeout: Duration::from_millis(config.idle_timeout_ms.max(1)),
             max_requests_per_conn: config.max_requests_per_conn.max(1),
+            trace_dir,
         })
     }
 
@@ -400,6 +428,10 @@ impl Server {
         let mut next_gen: u64 = 0;
         let mut spins: u32 = 0;
         let mut raw_memo = RawMemo::new(lock_cache(&self.state).capacity());
+        let mut tracer = self
+            .trace_dir
+            .as_ref()
+            .map(|dir| TraceWriter::new(dir.clone(), Instant::now()));
 
         loop {
             if self.stop.load(Ordering::SeqCst) {
@@ -511,6 +543,12 @@ impl Server {
                 }
             }
 
+            // Drain accumulated telemetry into the rotating trace files
+            // (cheap when nothing was recorded).
+            if let Some(tracer) = tracer.as_mut() {
+                tracer.poll(&self.state.telemetry, now);
+            }
+
             // Adaptive idle policy: spin while traffic flows, back off
             // when nothing moved (no epoll under the no-new-deps rule,
             // so readiness is discovered by polling).
@@ -561,7 +599,88 @@ impl Server {
             std::thread::sleep(Duration::from_micros(200));
         }
         drop(pool); // joins workers; orphan completions are discarded
+        if let Some(tracer) = tracer.as_mut() {
+            // Final drain so the last epoch's spans reach disk.
+            tracer.finish(&self.state.telemetry);
+        }
         Ok(())
+    }
+}
+
+/// How often the reactor rotates the current trace epoch to disk.
+const TRACE_EPOCH: Duration = Duration::from_secs(2);
+
+/// Events per trace file before an early rotation. Bounds file size:
+/// a rendered event is well under 512 bytes, so a file stays under
+/// ~4 MB.
+const TRACE_EVENTS_PER_FILE: usize = 8192;
+
+/// Most trace files retained under `--trace-dir`: when a rotation would
+/// exceed this, the oldest epoch file is deleted. Bounds a long-running
+/// daemon's trace footprint to `MAX_TRACE_FILES ×` ~4 MB.
+pub const MAX_TRACE_FILES: u64 = 32;
+
+/// Rotating Chrome-trace writer behind `--trace-dir`: buffers drained
+/// [`TraceEvent`]s and writes one complete Chrome Trace Event document
+/// (`trace-NNNNN.json`) per epoch — each file loads standalone in
+/// Perfetto. Rotation fires on the epoch timer or the per-file event
+/// cap, whichever comes first; retention is bounded by
+/// [`MAX_TRACE_FILES`].
+struct TraceWriter {
+    dir: PathBuf,
+    buf: Vec<TraceEvent>,
+    next_file: u64,
+    epoch_start: Instant,
+}
+
+impl TraceWriter {
+    fn new(dir: PathBuf, now: Instant) -> TraceWriter {
+        TraceWriter {
+            dir,
+            buf: Vec::new(),
+            next_file: 0,
+            epoch_start: now,
+        }
+    }
+
+    /// One reactor-cycle tick: pull whatever the sink holds, rotate if
+    /// the epoch elapsed or the buffer hit the per-file cap.
+    fn poll(&mut self, telemetry: &Telemetry, now: Instant) {
+        if telemetry.has_events() {
+            self.buf.extend(telemetry.drain());
+        }
+        if self.buf.len() >= TRACE_EVENTS_PER_FILE
+            || (!self.buf.is_empty() && now.duration_since(self.epoch_start) >= TRACE_EPOCH)
+        {
+            self.rotate(now);
+        }
+    }
+
+    /// Shutdown flush: whatever is buffered becomes the final epoch.
+    fn finish(&mut self, telemetry: &Telemetry) {
+        if telemetry.has_events() {
+            self.buf.extend(telemetry.drain());
+        }
+        if !self.buf.is_empty() {
+            self.rotate(Instant::now());
+        }
+    }
+
+    fn rotate(&mut self, now: Instant) {
+        let path = self.dir.join(format!("trace-{:05}.json", self.next_file));
+        let doc = mmvc_bench::tracefmt::chrome_trace(&self.buf);
+        // A failed write costs this epoch's trace, never availability.
+        let _ = std::fs::write(&path, doc.render());
+        self.buf.clear();
+        if self.next_file >= MAX_TRACE_FILES {
+            let stale = self.dir.join(format!(
+                "trace-{:05}.json",
+                self.next_file - MAX_TRACE_FILES
+            ));
+            let _ = std::fs::remove_file(stale);
+        }
+        self.next_file += 1;
+        self.epoch_start = now;
     }
 }
 
@@ -587,6 +706,10 @@ struct OutMsg {
     /// counts toward neither the request sequence nor the metrics.
     interim: bool,
     parsed_at: Instant,
+    /// The `x-cache` disposition of the reply, carried here so the
+    /// request span emitted at last-byte time can be tagged with the
+    /// tier that served it.
+    tier: Option<&'static str>,
 }
 
 impl OutMsg {
@@ -599,6 +722,7 @@ impl OutMsg {
             close_after: false,
             interim: true,
             parsed_at,
+            tier: None,
         }
     }
 }
@@ -774,6 +898,15 @@ fn flush_out(conn: &mut Conn, state: &AppState) -> Result<bool, ()> {
                         state.metrics.record_latency_ms(
                             Instant::now().duration_since(msg.parsed_at).as_secs_f64() * 1e3,
                         );
+                        // The request span: parse-complete to last byte
+                        // handed to the socket, tagged with the cache
+                        // tier that served it.
+                        state.telemetry.record_span(
+                            "request",
+                            msg.tier,
+                            msg.parsed_at,
+                            &[("bytes", (msg.head.len() + msg.body.len()) as u64)],
+                        );
                         if msg.close_after {
                             return Err(());
                         }
@@ -891,7 +1024,13 @@ fn build_msg(reply: Reply, keep_alive: bool, parsed_at: Instant, metrics: &Metri
     if let Some(cache_state) = reply.x_cache {
         extra.push(("x-cache", cache_state));
     }
-    let head = http::render_head(reply.status, &extra, reply.body.len(), keep_alive);
+    let head = http::render_head(
+        reply.status,
+        reply.content_type,
+        &extra,
+        reply.body.len(),
+        keep_alive,
+    );
     OutMsg {
         head,
         body: reply.body,
@@ -900,14 +1039,17 @@ fn build_msg(reply: Reply, keep_alive: bool, parsed_at: Instant, metrics: &Metri
         close_after: !keep_alive,
         interim: false,
         parsed_at,
+        tier: reply.x_cache,
     }
 }
 
-/// A routed response: status, cache disposition, shared body bytes.
+/// A routed response: status, cache disposition, content type, shared
+/// body bytes.
 #[derive(Debug)]
 struct Reply {
     status: u16,
     x_cache: Option<&'static str>,
+    content_type: &'static str,
     body: Arc<[u8]>,
 }
 
@@ -916,6 +1058,17 @@ impl Reply {
         Reply {
             status: 200,
             x_cache: None,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    /// A Prometheus text-exposition body (`GET /metrics?format=prom`).
+    fn ok_prom(body: Arc<[u8]>) -> Self {
+        Reply {
+            status: 200,
+            x_cache: None,
+            content_type: "text/plain; version=0.0.4",
             body,
         }
     }
@@ -924,6 +1077,7 @@ impl Reply {
         Reply {
             status,
             x_cache: None,
+            content_type: "application/json",
             body: Arc::from(
                 Json::obj(vec![("error", Json::Str(message.to_string()))])
                     .render()
@@ -938,8 +1092,17 @@ impl Reply {
 /// cheap); `None` means the request needs a worker (it executes a run
 /// or touches the disk store). Every body except `/metrics` is a pure
 /// function of the request — the worker-pool determinism contract.
+///
+/// The target is split at `?` before matching, so `GET /metrics` can
+/// negotiate its format (`?format=prom`, or an `Accept: text/plain` /
+/// OpenMetrics header, selects the Prometheus text exposition).
 fn route_fast(request: &http::Request, state: &AppState, raw_memo: &mut RawMemo) -> Option<Reply> {
-    match (request.head.method.as_str(), request.head.target.as_str()) {
+    let target = request.head.target.as_str();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path, query),
+        None => (target, ""),
+    };
+    match (request.head.method.as_str(), path) {
         ("POST", "/run") => {
             state.metrics.bump(&state.metrics.run_requests);
             fast_run(state, &request.body, raw_memo)
@@ -950,7 +1113,19 @@ fn route_fast(request: &http::Request, state: &AppState, raw_memo: &mut RawMemo)
         ("GET", "/scenarios") => Some(Reply::ok(Arc::clone(&state.scenarios))),
         ("GET", "/algorithms") => Some(Reply::ok(Arc::clone(&state.algorithms))),
         ("GET", "/healthz") => Some(Reply::ok(Arc::clone(&state.healthz))),
-        ("GET", "/metrics") => Some(Reply::ok(Arc::from(metrics_body(state)))),
+        ("GET", "/metrics") => {
+            let prom = query.split('&').any(|kv| kv == "format=prom")
+                || request
+                    .head
+                    .accept
+                    .as_deref()
+                    .is_some_and(|a| a.contains("text/plain") || a.contains("openmetrics"));
+            Some(if prom {
+                Reply::ok_prom(Arc::from(prom_metrics_body(state)))
+            } else {
+                Reply::ok(Arc::from(metrics_body(state)))
+            })
+        }
         (
             method,
             "/run" | "/session" | "/update" | "/scenarios" | "/algorithms" | "/healthz"
@@ -980,6 +1155,7 @@ fn fast_run(state: &AppState, body: &[u8], raw_memo: &mut RawMemo) -> Option<Rep
         return Some(Reply {
             status: 200,
             x_cache: Some("hit"),
+            content_type: "application/json",
             body: Arc::clone(memoized),
         });
     }
@@ -1002,6 +1178,7 @@ fn fast_run(state: &AppState, body: &[u8], raw_memo: &mut RawMemo) -> Option<Rep
             Some(Reply {
                 status: 200,
                 x_cache: Some("hit"),
+                content_type: "application/json",
                 body: cached,
             })
         }
@@ -1049,11 +1226,16 @@ fn admit(spec: &mut RunSpec, state: &AppState) -> Result<(), Reply> {
             .max_n
             .map_or(state.max_n, |m| m.min(state.max_n)),
     );
-    // Served runs share the daemon's scratch arena: the cache key
-    // ignores the executor (it never changes a reported number), so
-    // pooling is invisible to clients — it just stops repeat builds
-    // from allocating.
-    spec.executor = spec.executor.clone().with_scratch(&state.scratch);
+    // Served runs share the daemon's scratch arena and telemetry sink:
+    // the cache key ignores the executor (it never changes a reported
+    // number), so pooling and tracing are invisible to clients —
+    // scratch stops repeat builds from allocating, telemetry gives
+    // cache-miss runs build/round spans in the daemon's trace files.
+    spec.executor = spec
+        .executor
+        .clone()
+        .with_scratch(&state.scratch)
+        .with_telemetry(&state.telemetry);
     Ok(())
 }
 
@@ -1109,6 +1291,7 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
         return Reply {
             status: 200,
             x_cache: Some("hit"),
+            content_type: "application/json",
             body,
         };
     }
@@ -1121,6 +1304,7 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
             return Reply {
                 status: 200,
                 x_cache: Some("store"),
+                content_type: "application/json",
                 body,
             };
         }
@@ -1172,15 +1356,19 @@ fn handle_run(state: &AppState, body: &[u8]) -> Reply {
     Reply {
         status: 200,
         x_cache: Some("miss"),
+        content_type: "application/json",
         body,
     }
 }
 
 /// Worker-side dispatch: routes a request the reactor handed off to its
-/// handler by (method, target). `route_fast` only returns `None` for
-/// these three targets, so the catch-all is unreachable in practice.
+/// handler by (method, path). `route_fast` only returns `None` for
+/// these three paths, so the catch-all is unreachable in practice.
 fn handle_worker(state: &AppState, request: &http::Request) -> Reply {
-    match (request.head.method.as_str(), request.head.target.as_str()) {
+    let target = request.head.target.as_str();
+    let path = target.split_once('?').map_or(target, |(path, _)| path);
+    let _span = state.telemetry.span_tagged("serve.worker", path);
+    match (request.head.method.as_str(), path) {
         ("POST", "/run") => match parse_session_ref(&request.body) {
             Some(session) => handle_session_run(state, session),
             None => handle_run(state, &request.body),
@@ -1251,6 +1439,7 @@ fn fast_session_run(state: &AppState, id: u64) -> Option<Reply> {
     Some(Reply {
         status: 200,
         x_cache: Some("hit"),
+        content_type: "application/json",
         body: cached,
     })
 }
@@ -1414,6 +1603,7 @@ fn handle_session_run(state: &AppState, id: u64) -> Reply {
         return Reply {
             status: 200,
             x_cache: Some("hit"),
+            content_type: "application/json",
             body,
         };
     }
@@ -1428,6 +1618,7 @@ fn handle_session_run(state: &AppState, id: u64) -> Reply {
     Reply {
         status: 200,
         x_cache: Some("miss"),
+        content_type: "application/json",
         body,
     }
 }
@@ -1505,7 +1696,7 @@ pub fn cache_key(spec: &RunSpec, graph_content_hash: Option<u64>) -> String {
 /// the generation, so every pre-update entry is unreachable from then
 /// on: invalidation by construction, not by eviction. Session keys
 /// address only the in-memory tier (never the disk [`store`] — see
-/// [`handle_session_run`]'s soundness note).
+/// `handle_session_run`'s soundness note).
 pub fn session_cache_key(spec: &RunSpec, session: u64, generation: u64) -> String {
     keyed(spec, None, Some((session, generation)))
 }
@@ -1617,7 +1808,9 @@ fn algorithms_body() -> Vec<u8> {
 
 fn metrics_body(state: &AppState) -> Vec<u8> {
     let m = &state.metrics;
-    let (p50, p90, p99, p999) = m.latency_percentiles_ms();
+    let snap = m.latency.snapshot();
+    let (p50, p90, p99, p999) = snap.percentiles_ms();
+    let scratch = state.scratch.stats();
     let cache = lock_cache(state);
     Json::obj(vec![
         ("requests", Json::Int(m.read(&m.requests) as i64)),
@@ -1658,12 +1851,183 @@ fn metrics_body(state: &AppState) -> Vec<u8> {
                 ("p90", Json::Float(p90)),
                 ("p99", Json::Float(p99)),
                 ("p999", Json::Float(p999)),
+                ("count", Json::Int(snap.count as i64)),
+                ("sum", Json::Float(snap.sum_ms)),
+                // Cumulative log2 buckets (Prometheus shape), trimmed
+                // to the occupied range.
+                (
+                    "buckets",
+                    Json::Arr(
+                        snap.occupied()
+                            .iter()
+                            .map(|&(le, count)| {
+                                Json::obj(vec![
+                                    ("le", Json::Float(le)),
+                                    ("count", Json::Int(count as i64)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("overflow", Json::Int(snap.overflow as i64)),
+            ]),
+        ),
+        (
+            "scratch",
+            Json::obj(vec![
+                ("allocations", Json::Int(scratch.allocations as i64)),
+                ("allocated_bytes", Json::Int(scratch.allocated_bytes as i64)),
+                ("reuses", Json::Int(scratch.reuses as i64)),
+                ("reused_bytes", Json::Int(scratch.reused_bytes as i64)),
             ]),
         ),
         ("workers", Json::Int(state.workers as i64)),
     ])
     .render()
     .into_bytes()
+}
+
+/// The Prometheus text-exposition rendering of `GET /metrics`
+/// (`?format=prom` or an `Accept: text/plain` header): every counter as
+/// a `mmvc_*_total` counter family, cache/session occupancy as gauges,
+/// the scratch-arena stats, and the request latency histogram in native
+/// Prometheus histogram shape — cumulative `_bucket{le="..."}` series
+/// over the log2 bounds (seconds, per convention), `+Inf`, `_sum`,
+/// `_count`.
+fn prom_metrics_body(state: &AppState) -> Vec<u8> {
+    use std::fmt::Write as _;
+    let m = &state.metrics;
+    let snap = m.latency.snapshot();
+    let scratch = state.scratch.stats();
+    let (cache_entries, cache_capacity) = {
+        let cache = lock_cache(state);
+        (cache.len(), cache.capacity())
+    };
+    let mut out = String::with_capacity(2048);
+    let mut counter = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    counter(
+        "mmvc_requests_total",
+        "Requests fully served (any endpoint, any status).",
+        m.read(&m.requests),
+    );
+    counter(
+        "mmvc_run_requests_total",
+        "POST /run requests served.",
+        m.read(&m.run_requests),
+    );
+    counter(
+        "mmvc_errors_total",
+        "Responses with a 4xx/5xx status.",
+        m.read(&m.errors),
+    );
+    counter(
+        "mmvc_cache_hits_total",
+        "Responses answered from the in-memory report cache.",
+        m.read(&m.cache_hits),
+    );
+    counter(
+        "mmvc_cache_misses_total",
+        "Responses that executed the algorithm.",
+        m.read(&m.cache_misses),
+    );
+    counter(
+        "mmvc_store_hits_total",
+        "Responses answered from the persistent store.",
+        m.read(&m.store_hits),
+    );
+    counter(
+        "mmvc_store_errors_total",
+        "Failed persistent-store writes.",
+        m.read(&m.store_errors),
+    );
+    counter(
+        "mmvc_connections_total",
+        "Connections accepted.",
+        m.read(&m.connections),
+    );
+    counter(
+        "mmvc_keepalive_reuses_total",
+        "Requests served on an already-used connection.",
+        m.read(&m.keepalive_reuses),
+    );
+    counter(
+        "mmvc_bytes_served_total",
+        "Response bytes (heads + bodies) handed to sockets.",
+        m.read(&m.bytes_served),
+    );
+    counter(
+        "mmvc_sessions_total",
+        "Sessions created via POST /session.",
+        m.read(&m.sessions),
+    );
+    counter(
+        "mmvc_updates_total",
+        "Deltas applied via POST /update.",
+        m.read(&m.updates),
+    );
+    counter(
+        "mmvc_scratch_allocations_total",
+        "Scratch-arena requests that needed fresh allocator memory.",
+        scratch.allocations,
+    );
+    counter(
+        "mmvc_scratch_allocated_bytes_total",
+        "Fresh bytes the scratch arena requested from the allocator.",
+        scratch.allocated_bytes,
+    );
+    counter(
+        "mmvc_scratch_reuses_total",
+        "Scratch-arena requests served from retained capacity.",
+        scratch.reuses,
+    );
+    counter(
+        "mmvc_scratch_reused_bytes_total",
+        "Bytes of retained scratch capacity handed back out.",
+        scratch.reused_bytes,
+    );
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        "mmvc_in_flight",
+        "Requests currently dispatched to the worker pool.",
+        m.read(&m.in_flight),
+    );
+    gauge(
+        "mmvc_cache_entries",
+        "Entries resident in the in-memory report cache.",
+        cache_entries as u64,
+    );
+    gauge(
+        "mmvc_cache_capacity",
+        "Configured in-memory report-cache capacity.",
+        cache_capacity as u64,
+    );
+    gauge("mmvc_workers", "Worker threads.", state.workers as u64);
+
+    let name = "mmvc_request_duration_seconds";
+    let _ = writeln!(
+        out,
+        "# HELP {name} Request service time, parse-complete to last response byte."
+    );
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    for &(upper_ms, cumulative) in &snap.buckets {
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            upper_ms / 1e3
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", snap.count);
+    let _ = writeln!(out, "{name}_sum {}", snap.sum_ms / 1e3);
+    let _ = writeln!(out, "{name}_count {}", snap.count);
+    out.into_bytes()
 }
 
 #[cfg(test)]
@@ -1778,6 +2142,7 @@ mod tests {
             max_n: 1024,
             sessions: Mutex::new(SessionTable::default()),
             scratch: mmvc_substrate::ScratchPool::new(),
+            telemetry: Telemetry::disabled(),
             healthz: Arc::from(healthz_body()),
             scenarios: Arc::from(scenarios_body()),
             algorithms: Arc::from(algorithms_body()),
@@ -1811,6 +2176,7 @@ mod tests {
             max_n: 1024,
             sessions: Mutex::new(SessionTable::default()),
             scratch: mmvc_substrate::ScratchPool::new(),
+            telemetry: Telemetry::disabled(),
             healthz: Arc::from(healthz_body()),
             scenarios: Arc::from(scenarios_body()),
             algorithms: Arc::from(algorithms_body()),
@@ -1846,5 +2212,100 @@ mod tests {
         let mut disabled = RawMemo::new(0);
         disabled.insert(body, &canonical);
         assert!(disabled.map.is_empty());
+    }
+
+    fn test_state() -> AppState {
+        AppState {
+            cache: Mutex::new(ReportCache::new(4)),
+            store: None,
+            metrics: Metrics::new(),
+            workers: 1,
+            max_n: 1024,
+            sessions: Mutex::new(SessionTable::default()),
+            scratch: mmvc_substrate::ScratchPool::new(),
+            telemetry: Telemetry::disabled(),
+            healthz: Arc::from(healthz_body()),
+            scenarios: Arc::from(scenarios_body()),
+            algorithms: Arc::from(algorithms_body()),
+        }
+    }
+
+    #[test]
+    fn metrics_body_exposes_histogram_and_scratch() {
+        let state = test_state();
+        state.metrics.record_latency_ms(0.5);
+        state.metrics.record_latency_ms(4.0);
+        let doc = Json::parse(&String::from_utf8(metrics_body(&state)).unwrap()).unwrap();
+        let latency = doc.get("latency_ms").unwrap();
+        assert_eq!(latency.get("count").and_then(Json::as_i64), Some(2));
+        let buckets = latency.get("buckets").and_then(Json::as_arr).unwrap();
+        assert!(!buckets.is_empty());
+        assert_eq!(
+            buckets.last().unwrap().get("count").and_then(Json::as_i64),
+            Some(2),
+            "cumulative buckets end at the total"
+        );
+        let scratch = doc.get("scratch").unwrap();
+        assert!(scratch.get("allocations").and_then(Json::as_i64).is_some());
+        assert!(scratch.get("reuses").and_then(Json::as_i64).is_some());
+    }
+
+    #[test]
+    fn prom_body_is_well_formed_text_exposition() {
+        let state = test_state();
+        state.metrics.bump(&state.metrics.requests);
+        state.metrics.record_latency_ms(1.5);
+        let text = String::from_utf8(prom_metrics_body(&state)).unwrap();
+        assert!(text.contains("# TYPE mmvc_requests_total counter"));
+        assert!(text.contains("mmvc_requests_total 1"));
+        assert!(text.contains("# TYPE mmvc_request_duration_seconds histogram"));
+        assert!(text.contains("mmvc_request_duration_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("mmvc_request_duration_seconds_count 1"));
+        assert!(text.contains("# TYPE mmvc_scratch_allocations_total counter"));
+        // Every non-comment line is `name{labels} value` with a numeric
+        // value — the shape a Prometheus scraper requires.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("name value");
+            assert!(value.parse::<f64>().is_ok(), "unparsable value in {line}");
+        }
+        // Histogram bucket counts are monotonically nondecreasing.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("mmvc_request_duration_seconds_bucket"))
+        {
+            let count: u64 = line.rsplit_once(' ').unwrap().1.parse().unwrap();
+            assert!(count >= last, "cumulative counts must not decrease");
+            last = count;
+        }
+    }
+
+    #[test]
+    fn trace_writer_rotates_and_caps_file_count() {
+        let dir = std::env::temp_dir().join(format!("mmvc-trace-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let telemetry = Telemetry::recording();
+        let mut writer = TraceWriter::new(dir.clone(), Instant::now());
+        // Each finish() call flushes one epoch file.
+        for _ in 0..MAX_TRACE_FILES + 3 {
+            telemetry.span("tick").arg("n", 1);
+            writer.finish(&telemetry);
+        }
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len() as u64, MAX_TRACE_FILES, "retention cap holds");
+        assert!(
+            !files.contains(&"trace-00000.json".to_string()),
+            "oldest deleted"
+        );
+        // The newest file is a well-formed Chrome trace document.
+        let newest = format!("trace-{:05}.json", MAX_TRACE_FILES + 2);
+        let text = std::fs::read_to_string(dir.join(&newest)).unwrap();
+        let doc = Json::parse(&text).unwrap();
+        assert!(doc.get("traceEvents").and_then(Json::as_arr).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -36,7 +36,9 @@
 //! ```
 
 use crate::error::SubstrateError;
+use crate::telemetry::Telemetry;
 use crate::trace::{ExecutionTrace, RoundSummary};
+use std::time::Instant;
 
 /// The open-round state machine shared by every metered substrate.
 ///
@@ -57,6 +59,10 @@ pub struct RoundLedger {
     slots: usize,
     trace: ExecutionTrace,
     open: Option<Vec<usize>>,
+    telemetry: Telemetry,
+    /// Wall-clock stamp of `begin_round`, kept only while the attached
+    /// telemetry sink is enabled (out-of-band: never enters the trace).
+    open_at: Option<Instant>,
 }
 
 impl RoundLedger {
@@ -68,7 +74,17 @@ impl RoundLedger {
             slots,
             trace: ExecutionTrace::new(),
             open: None,
+            telemetry: Telemetry::disabled(),
+            open_at: None,
         }
+    }
+
+    /// Attaches a telemetry sink: every completed round emits a span
+    /// (tagged with the substrate name, with the round number and word
+    /// totals as args) when the sink is enabled. Strictly an observer —
+    /// the recorded [`ExecutionTrace`] is identical with or without it.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.telemetry = telemetry.clone();
     }
 
     /// The substrate name this ledger reports in errors.
@@ -136,6 +152,11 @@ impl RoundLedger {
     pub fn begin_round(&mut self) -> Result<(), SubstrateError> {
         self.ensure_no_open_round()?;
         self.open = Some(vec![0; self.slots]);
+        self.open_at = if self.telemetry.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         Ok(())
     }
 
@@ -202,6 +223,20 @@ impl RoundLedger {
             total_words: loads.iter().sum(),
         };
         self.trace.record(summary);
+        if let Some(opened) = self.open_at.take() {
+            self.telemetry.record_span(
+                "round",
+                Some(self.substrate),
+                opened,
+                &[
+                    ("round", summary.round as u64),
+                    ("total_words", summary.total_words as u64),
+                    ("max_load_words", summary.max_load_words as u64),
+                ],
+            );
+            self.telemetry
+                .counter("round.total_words", summary.total_words as u64);
+        }
         Ok(summary)
     }
 
@@ -209,6 +244,7 @@ impl RoundLedger {
     /// path of the simulators' scoped-round helpers.
     pub fn abandon_round(&mut self) {
         self.open = None;
+        self.open_at = None;
     }
 
     /// Records `k` completed rounds of an abstracted constant-round
@@ -346,6 +382,38 @@ mod tests {
         assert_eq!(l.trace().per_round()[1].total_words, 0);
         assert_eq!(l.trace().total_words(), 12);
         assert_eq!(l.trace().max_load_words(), 5);
+    }
+
+    #[test]
+    fn rounds_emit_spans_when_telemetry_is_enabled() {
+        let tel = Telemetry::recording();
+        let mut l = RoundLedger::new("mpc", 2);
+        l.set_telemetry(&tel);
+        l.begin_round().unwrap();
+        l.charge(0, 7).unwrap();
+        l.charge(1, 3).unwrap();
+        l.end_round().unwrap();
+        // Abandoned rounds record nothing.
+        l.begin_round().unwrap();
+        l.abandon_round();
+        let events = tel.drain();
+        let span = events.iter().find(|e| e.name == "round").unwrap();
+        assert_eq!(span.tag.as_deref(), Some("mpc"));
+        assert!(span.args.contains(&("round", 1)));
+        assert!(span.args.contains(&("total_words", 10)));
+        assert!(span.args.contains(&("max_load_words", 7)));
+        assert_eq!(
+            events.iter().filter(|e| e.name == "round").count(),
+            1,
+            "one span per completed round"
+        );
+        // The metered trace itself is telemetry-blind.
+        let mut bare = RoundLedger::new("mpc", 2);
+        bare.begin_round().unwrap();
+        bare.charge(0, 7).unwrap();
+        bare.charge(1, 3).unwrap();
+        bare.end_round().unwrap();
+        assert_eq!(l.trace().per_round(), bare.trace().per_round());
     }
 
     #[test]

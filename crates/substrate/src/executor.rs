@@ -38,7 +38,7 @@
 //! assert_eq!(ExecutorConfig::sequential().run(8, |i| i * i), squares);
 //! ```
 
-use crate::ScratchPool;
+use crate::{ScratchPool, Telemetry};
 
 /// Task counts below this run sequentially by default — spawning a thread
 /// costs more than a trivial round saves.
@@ -60,17 +60,22 @@ const DEFAULT_SEQUENTIAL_BELOW: usize = 2;
 /// [`take_u32`](Self::take_u32) / [`take_u64`](Self::take_u64), so
 /// repeated builds stop re-allocating. Configs without a pool fall back
 /// to plain allocation — behaviour, and therefore every byte of output,
-/// is identical either way. Equality ignores the pool: two configs are
-/// equal iff they execute identically.
+/// is identical either way. A [`Telemetry`] sink rides along the same
+/// way ([`with_telemetry`](Self::with_telemetry)): chunked/slab rounds
+/// emit batch spans when it is enabled, and a disabled sink costs one
+/// load per round. Equality ignores both the pool and the sink: two
+/// configs are equal iff they execute identically.
 #[derive(Debug, Clone)]
 pub struct ExecutorConfig {
     threads: usize,
     sequential_below: usize,
     scratch: Option<ScratchPool>,
+    telemetry: Telemetry,
 }
 
 impl PartialEq for ExecutorConfig {
-    /// Pool-blind: equality compares the execution parameters only.
+    /// Pool- and telemetry-blind: equality compares the execution
+    /// parameters only — observers never change what a config computes.
     fn eq(&self, other: &Self) -> bool {
         self.threads == other.threads && self.sequential_below == other.sequential_below
     }
@@ -85,6 +90,7 @@ impl ExecutorConfig {
             threads: 1,
             sequential_below: DEFAULT_SEQUENTIAL_BELOW,
             scratch: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -105,7 +111,24 @@ impl ExecutorConfig {
             threads: threads.max(1),
             sequential_below: DEFAULT_SEQUENTIAL_BELOW,
             scratch: None,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches a telemetry sink; chunked/slab rounds threaded over
+    /// this config emit batch spans into it when it is enabled. The
+    /// sink is an observer only — outputs are byte-identical with any
+    /// sink attached or none.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// The attached telemetry sink (the default is a disabled,
+    /// sinkless handle).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Attaches a scratch arena; buffer-hungry passes threaded over this
@@ -241,6 +264,12 @@ impl ExecutorConfig {
     {
         assert!(chunk_size > 0, "chunk_size must be positive");
         let tasks = items.div_ceil(chunk_size);
+        let _span = self
+            .telemetry
+            .span("exec.run_chunked")
+            .with_arg("items", items as u64)
+            .with_arg("tasks", tasks as u64)
+            .with_arg("threads", self.threads.min(tasks.max(1)) as u64);
         self.run(tasks, |t| {
             let start = t * chunk_size;
             work(start..(start + chunk_size).min(items))
@@ -276,6 +305,11 @@ impl ExecutorConfig {
         if tasks == 0 {
             return Vec::new();
         }
+        let _span = self
+            .telemetry
+            .span("exec.run_slabs")
+            .with_arg("tasks", tasks as u64)
+            .with_arg("len", data.len() as u64);
         // Split the single borrow into per-task slabs up front.
         let mut slabs: Vec<&mut [T]> = Vec::with_capacity(tasks);
         let mut rest = data;
@@ -470,6 +504,28 @@ mod tests {
         let b = ExecutorConfig::with_threads(4).ensure_scratch();
         assert_eq!(a, b);
         assert_ne!(a, ExecutorConfig::with_threads(2));
+    }
+
+    #[test]
+    fn telemetry_is_an_observer() {
+        let tel = Telemetry::recording();
+        let plain = ExecutorConfig::with_threads(3);
+        let traced = ExecutorConfig::with_threads(3).with_telemetry(&tel);
+        assert_eq!(plain, traced, "equality is telemetry-blind");
+        let work = |r: std::ops::Range<usize>| r.sum::<usize>();
+        assert_eq!(
+            traced.run_chunked(100, 8, work),
+            plain.run_chunked(100, 8, work),
+            "outputs identical with a sink attached"
+        );
+        let events = tel.drain();
+        let batch = events
+            .iter()
+            .find(|e| e.name == "exec.run_chunked")
+            .expect("chunked rounds emit a batch span");
+        assert!(batch.args.contains(&("items", 100)));
+        assert!(batch.args.contains(&("tasks", 13)));
+        assert!(!plain.telemetry().is_enabled());
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //!   the allocation counters `bench_scale` reports;
 //! * [`Bitset`] — the word-packed membership mask the hot MIS/matching
 //!   scans use instead of `Vec<bool>`;
+//! * [`Telemetry`] / [`TraceEvent`] — the out-of-band span/counter sink
+//!   threaded through the same configs (strictly an observer: report
+//!   bytes are pinned byte-identical with telemetry on or off);
 //! * [`SubstrateError`] — the substrate-agnostic failure type every
 //!   model-specific error converts into.
 //!
@@ -56,6 +59,7 @@ mod error;
 mod executor;
 mod pool;
 mod scratch;
+mod telemetry;
 mod trace;
 
 pub use bitset::Bitset;
@@ -64,6 +68,7 @@ pub use error::SubstrateError;
 pub use executor::ExecutorConfig;
 pub use pool::{Completions, WorkerPool};
 pub use scratch::{ScratchPool, ScratchStats};
+pub use telemetry::{EventKind, Span, Telemetry, TraceEvent};
 pub use trace::{ExecutionTrace, RoundSummary};
 
 /// A metered execution substrate.

@@ -8,9 +8,10 @@
 //! mmvc list                                    # algorithms and scenarios
 //! mmvc run <algorithm> <scenario|--graph-file PATH> [--n N] [--seed S] [--eps E]
 //!          [--threads K] [--max-rounds R] [--max-load W] [--max-n N] [--json] [--canonical]
+//!          [--trace-out PATH] [--trace-jsonl PATH]
 //! mmvc bench [--smoke] [--out PATH]            # algorithm×scenario sweep
 //! mmvc serve [--addr A] [--workers W] [--cache-cap K] [--max-n N]   # run-serving daemon
-//!            [--store-dir DIR] [--idle-timeout-ms T] [--max-reqs-per-conn R]
+//!            [--store-dir DIR] [--idle-timeout-ms T] [--max-reqs-per-conn R] [--trace-dir DIR]
 //! mmvc stats    <graph.txt>
 //! mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
 //! mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -40,9 +41,10 @@ const USAGE: &str = "usage:
   mmvc list
   mmvc run <algorithm> <scenario|--graph-file PATH> [--n N] [--seed S] [--eps E]
            [--threads K] [--max-rounds R] [--max-load W] [--max-n N] [--json] [--canonical]
+           [--trace-out PATH] [--trace-jsonl PATH]
   mmvc bench [--smoke] [--out PATH]
   mmvc serve [--addr HOST:PORT] [--workers W] [--cache-cap K] [--max-n N]
-             [--store-dir DIR] [--idle-timeout-ms T] [--max-reqs-per-conn R]
+             [--store-dir DIR] [--idle-timeout-ms T] [--max-reqs-per-conn R] [--trace-dir DIR]
   mmvc stats    <graph.txt>
   mmvc mis      <graph.txt> [--seed S] [--model mpc|clique|luby|seq] [--threads N]
   mmvc matching <graph.txt> [--seed S] [--eps E] [--exact]
@@ -112,7 +114,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 
     // Strict flag validation: a mistyped `--max-round` silently dropping
     // a budget would defeat the CI-enforcement use of this command.
-    const VALUE_FLAGS: [&str; 8] = [
+    const VALUE_FLAGS: [&str; 10] = [
         "--n",
         "--seed",
         "--eps",
@@ -121,6 +123,8 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         "--max-load",
         "--max-n",
         "--graph-file",
+        "--trace-out",
+        "--trace-jsonl",
     ];
     let mut i = flags_from;
     while i < args.len() {
@@ -158,7 +162,34 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     spec.budget.max_load_words = parse_optional(args, "--max-load")?;
     spec.budget.max_n = parse_optional(args, "--max-n")?;
 
+    // Telemetry is out-of-band: attaching a recording sink changes no
+    // reported number (the engine's determinism contract), it only
+    // collects spans for the exporters below.
+    let trace_out = flag_value(args, "--trace-out");
+    let trace_jsonl = flag_value(args, "--trace-jsonl");
+    let telemetry = if trace_out.is_some() || trace_jsonl.is_some() {
+        mmvc::substrate::Telemetry::recording()
+    } else {
+        mmvc::substrate::Telemetry::disabled()
+    };
+    spec.executor = spec.executor.with_telemetry(&telemetry);
+
     let report = mmvc::core::run::run(&spec).map_err(|e| e.to_string())?;
+
+    if telemetry.is_enabled() {
+        let events = telemetry.drain();
+        if let Some(path) = &trace_out {
+            let doc = mmvc_bench::tracefmt::chrome_trace(&events);
+            std::fs::write(path, doc.render())
+                .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+            eprintln!("trace: {} events -> {path}", events.len());
+        }
+        if let Some(path) = &trace_jsonl {
+            std::fs::write(path, mmvc_bench::tracefmt::jsonl(&events))
+                .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+            eprintln!("trace: {} events -> {path}", events.len());
+        }
+    }
 
     if args.iter().any(|a| a == "--canonical") {
         // The exact bytes `mmvc serve` returns and caches for this spec
@@ -296,6 +327,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.max_requests_per_conn = value("--max-reqs-per-conn")?
                     .parse()
                     .map_err(|_| "invalid --max-reqs-per-conn".to_string())?;
+                i += 2;
+            }
+            "--trace-dir" => {
+                config.trace_dir = Some(value("--trace-dir")?);
                 i += 2;
             }
             other => return Err(format!("unknown argument `{other}` for `mmvc serve`")),
