@@ -1,0 +1,374 @@
+//! Distributed runs: replay a metered MPC execution over real TCP
+//! parties and re-meter it from the wire.
+//!
+//! The simulator ([`run`]) meters rounds and per-machine loads inside
+//! one process. [`run_distributed`] promotes the same spec to measured
+//! network traffic in three steps:
+//!
+//! 1. run the spec in-process with a [`ChargeLog`] attached — a pure
+//!    observer that records every completed round's exact per-machine
+//!    loads (the report is byte-identical to a plain [`run`]);
+//! 2. replay that charge script through an
+//!    [`mmvc_substrate::net::Coordinator`] and `N` parties (threads in
+//!    one process, or real `mmvc party` child processes), one `Data`
+//!    frame per loaded machine with a payload of exactly `words` bytes;
+//! 3. rebuild the substrate accounting from the parties'
+//!    acknowledgements into a fresh wire-side ledger, and return a
+//!    report whose `substrate`/`trace` fields carry the re-metered
+//!    values.
+//!
+//! The parity contract — pinned by `tests/net_parity.rs` — is that the
+//! distributed report's canonical bytes equal the in-process report's:
+//! the simulator's accounting validated against what actually crossed
+//! a socket.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use crate::error::CoreError;
+use crate::run::{run, RunReport, RunSpec};
+use mmvc_substrate::net::{
+    Coordinator, NetConfig, PartyFault, PartyRunner, WireStats, DEFAULT_ACCEPT_TIMEOUT_MS,
+    DEFAULT_IO_TIMEOUT_MS,
+};
+use mmvc_substrate::{ChargeLog, SubstrateError};
+
+/// How party endpoints are hosted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartyLaunch {
+    /// Parties run as threads inside this process — fast, used by most
+    /// tests.
+    Threads,
+    /// Parties run as real child processes: `exe party --addr … --party
+    /// … --parties …` (the `mmvc` binary). The full multi-process
+    /// configuration the issue's parity pins exercise.
+    Processes {
+        /// Path to the `mmvc` binary (tests use `env!("CARGO_BIN_EXE_mmvc")`).
+        exe: PathBuf,
+    },
+}
+
+/// Options for a distributed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistOptions {
+    /// Number of parties to shard machines over (≥ 1; machines are
+    /// assigned `machine % parties`).
+    pub parties: usize,
+    /// Thread or process hosting.
+    pub launch: PartyLaunch,
+    /// Deadline for all parties to connect, in ms.
+    pub accept_timeout_ms: u64,
+    /// Deadline for any single read/write step, in ms.
+    pub io_timeout_ms: u64,
+    /// Inject a fault into one party: `(party id, fault)`. Fault tests
+    /// only; thread mode applies it directly, process mode passes
+    /// `--fault` to the child.
+    pub fault: Option<(usize, PartyFault)>,
+}
+
+impl DistOptions {
+    /// Thread-hosted parties with default timeouts.
+    pub fn threads(parties: usize) -> Self {
+        DistOptions {
+            parties,
+            launch: PartyLaunch::Threads,
+            accept_timeout_ms: DEFAULT_ACCEPT_TIMEOUT_MS,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+            fault: None,
+        }
+    }
+
+    /// Process-hosted parties spawned from `exe`, default timeouts.
+    pub fn processes(parties: usize, exe: impl Into<PathBuf>) -> Self {
+        DistOptions {
+            parties,
+            launch: PartyLaunch::Processes { exe: exe.into() },
+            accept_timeout_ms: DEFAULT_ACCEPT_TIMEOUT_MS,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+            fault: None,
+        }
+    }
+}
+
+/// Everything a distributed run produced.
+#[derive(Debug, Clone)]
+pub struct DistOutcome {
+    /// The distributed report: witnesses/metrics from the in-process
+    /// run, `substrate` and `trace` re-metered from party
+    /// acknowledgements, `wall_ms` the distributed wall time. Canonical
+    /// bytes are pinned equal to [`sim_report`](Self::sim_report)'s.
+    pub report: RunReport,
+    /// The in-process simulator run of the same spec.
+    pub sim_report: RunReport,
+    /// Raw wire measurements; `wire.data_payload_bytes` equals the
+    /// ledger's `total_words` (1 word ≡ 1 payload byte).
+    pub wire: WireStats,
+}
+
+/// Runs `spec` distributed over `opts.parties` networked parties and
+/// returns the wire-metered report next to the in-process one.
+///
+/// Only metered MPC algorithms can be distributed (`greedy-mis`,
+/// `mpc-matching`, `filtering`): the replay needs real per-round
+/// charges, which unmetered kinds and the clique substrate don't
+/// produce through the [`ChargeLog`] hook.
+pub fn run_distributed(spec: &RunSpec, opts: &DistOptions) -> Result<DistOutcome, CoreError> {
+    if opts.parties == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "parties",
+            message: "need at least one party".into(),
+        });
+    }
+
+    // 1. In-process run with the charge recorder attached. The log is
+    // an observer: `sim_report` is byte-identical to a plain run.
+    let log = ChargeLog::new();
+    let mut recorded = spec.clone();
+    recorded.executor = spec.executor.clone().with_charge_log(&log);
+    let sim_report = run(&recorded)?;
+    if !sim_report.substrate.metered || sim_report.substrate.substrate != "mpc" {
+        return Err(CoreError::InvalidParameter {
+            name: "algorithm",
+            message: format!(
+                "`{}` is not a metered MPC algorithm; distributed replay needs real per-round charges",
+                spec.algorithm
+            ),
+        });
+    }
+    let charges = log.take();
+    if charges.len() != sim_report.substrate.rounds {
+        return Err(CoreError::InvalidParameter {
+            name: "algorithm",
+            message: format!(
+                "charge log recorded {} rounds but the report meters {}",
+                charges.len(),
+                sim_report.substrate.rounds
+            ),
+        });
+    }
+    let slots = charges.iter().map(|c| c.loads.len()).max().unwrap_or(1);
+
+    // 2. Replay over real sockets. Port 0: the OS assigns the port, so
+    // concurrent harnesses never collide.
+    let started = Instant::now();
+    let coordinator = Coordinator::bind(NetConfig {
+        parties: opts.parties,
+        accept_timeout_ms: opts.accept_timeout_ms,
+        io_timeout_ms: opts.io_timeout_ms,
+    })?;
+    let addr = coordinator.local_addr();
+    let telemetry = spec.executor.telemetry().clone();
+
+    let coord_result;
+    match &opts.launch {
+        PartyLaunch::Threads => {
+            let handles: Vec<_> = (0..opts.parties)
+                .map(|party| {
+                    let mut runner = PartyRunner::new(party, opts.parties, addr);
+                    runner.io_timeout_ms = opts.io_timeout_ms;
+                    if let Some((p, fault)) = opts.fault {
+                        if p == party {
+                            runner.fault = Some(fault);
+                        }
+                    }
+                    std::thread::spawn(move || runner.run())
+                })
+                .collect();
+            coord_result =
+                coordinator.run(sim_report.substrate.substrate, slots, &charges, &telemetry);
+            // Party threads always terminate: a successful run ends at
+            // FinishAck, a failed one at EOF when the coordinator drops
+            // the connections above.
+            let party_results: Vec<_> = handles
+                .into_iter()
+                .map(|h| h.join().expect("party thread panicked"))
+                .collect();
+            if coord_result.is_ok() {
+                for (party, res) in party_results.into_iter().enumerate() {
+                    if let Err(e) = res {
+                        return Err(CoreError::Substrate(SubstrateError::Net {
+                            party,
+                            round: 0,
+                            message: format!("party failed after a clean barrier run: {e}"),
+                        }));
+                    }
+                }
+            }
+        }
+        PartyLaunch::Processes { exe } => {
+            let mut children = Vec::with_capacity(opts.parties);
+            for party in 0..opts.parties {
+                let mut cmd = std::process::Command::new(exe);
+                cmd.arg("party")
+                    .arg("--addr")
+                    .arg(addr.to_string())
+                    .arg("--party")
+                    .arg(party.to_string())
+                    .arg("--parties")
+                    .arg(opts.parties.to_string())
+                    .arg("--timeout-ms")
+                    .arg(opts.io_timeout_ms.to_string())
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null());
+                if let Some((p, fault)) = opts.fault {
+                    if p == party {
+                        cmd.arg("--fault").arg(fault_flag(fault));
+                    }
+                }
+                let child = cmd.spawn().map_err(|e| {
+                    CoreError::Substrate(SubstrateError::Net {
+                        party,
+                        round: 0,
+                        message: format!("could not spawn party process: {e}"),
+                    })
+                })?;
+                children.push(child);
+            }
+            coord_result =
+                coordinator.run(sim_report.substrate.substrate, slots, &charges, &telemetry);
+            let reap_deadline =
+                Instant::now() + Duration::from_millis(opts.io_timeout_ms.max(1_000));
+            for (party, mut child) in children.into_iter().enumerate() {
+                let status = wait_deadline(&mut child, reap_deadline);
+                if coord_result.is_ok() {
+                    match status {
+                        Some(s) if s.success() => {}
+                        Some(s) => {
+                            return Err(CoreError::Substrate(SubstrateError::Net {
+                                party,
+                                round: 0,
+                                message: format!("party process exited with {s}"),
+                            }));
+                        }
+                        None => {
+                            return Err(CoreError::Substrate(SubstrateError::Net {
+                                party,
+                                round: 0,
+                                message: "party process did not exit within the deadline".into(),
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let (ledger, wire) = coord_result?;
+
+    // 3. The distributed report: same witnesses and metrics, substrate
+    // accounting re-metered from the wire-side ledger.
+    let trace = ledger.trace().clone();
+    let mut report = sim_report.clone();
+    report.substrate.rounds = trace.rounds();
+    report.substrate.max_load_words = trace.max_load_words();
+    report.substrate.total_words = trace.total_words();
+    report.trace = trace;
+    report.wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+
+    Ok(DistOutcome {
+        report,
+        sim_report,
+        wire,
+    })
+}
+
+/// The `--fault` CLI spelling of a fault ([`PartyFault::parse`]'s
+/// inverse).
+pub fn fault_flag(fault: PartyFault) -> String {
+    match fault {
+        PartyFault::DieAtRound(r) => format!("die:{r}"),
+        PartyFault::CorruptChecksumAtRound(r) => format!("corrupt:{r}"),
+        PartyFault::TruncateAckAtRound(r) => format!("truncate:{r}"),
+    }
+}
+
+/// Polls `try_wait` until the child exits or the deadline passes; kills
+/// and reaps the child on timeout (returns `None`). Never blocks
+/// unboundedly — the "coordinator must not hang" contract extends to
+/// child reaping.
+fn wait_deadline(
+    child: &mut std::process::Child,
+    deadline: Instant,
+) -> Option<std::process::ExitStatus> {
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(status),
+            Ok(None) => {
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::AlgorithmKind;
+
+    fn small_spec(kind: AlgorithmKind) -> RunSpec {
+        let mut spec = RunSpec::new(kind, "gnp-sparse");
+        spec.n = Some(64);
+        spec.seed = 11;
+        spec.overrides.space_factor = Some(32.0);
+        spec
+    }
+
+    #[test]
+    fn threads_reproduce_simulator_accounting() {
+        let spec = small_spec(AlgorithmKind::GreedyMis);
+        let out = run_distributed(&spec, &DistOptions::threads(3)).unwrap();
+        assert_eq!(out.report.substrate.rounds, out.sim_report.substrate.rounds);
+        assert_eq!(
+            out.report.substrate.total_words,
+            out.sim_report.substrate.total_words
+        );
+        assert_eq!(
+            out.report.substrate.max_load_words,
+            out.sim_report.substrate.max_load_words
+        );
+        assert_eq!(
+            out.report.trace.per_round(),
+            out.sim_report.trace.per_round()
+        );
+        // The wire cross-check: ledger words == framed payload bytes.
+        assert_eq!(
+            out.wire.data_payload_bytes,
+            out.report.substrate.total_words
+        );
+        assert!(out.wire.data_payload_bytes > 0);
+    }
+
+    #[test]
+    fn unmetered_kinds_are_refused() {
+        let spec = small_spec(AlgorithmKind::LubyMis);
+        let err = run_distributed(&spec, &DistOptions::threads(2)).unwrap_err();
+        assert!(err.to_string().contains("not a metered MPC algorithm"));
+    }
+
+    #[test]
+    fn zero_parties_is_refused() {
+        let spec = small_spec(AlgorithmKind::GreedyMis);
+        let err = run_distributed(&spec, &DistOptions::threads(0)).unwrap_err();
+        assert!(err.to_string().contains("at least one party"));
+    }
+
+    #[test]
+    fn injected_death_names_party_and_round() {
+        let spec = small_spec(AlgorithmKind::GreedyMis);
+        let mut opts = DistOptions::threads(2);
+        opts.io_timeout_ms = 2_000;
+        opts.fault = Some((1, PartyFault::DieAtRound(1)));
+        let err = run_distributed(&spec, &opts).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("party 1") && s.contains("round 1"), "{s}");
+    }
+}

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod distributed;
 mod epsilon;
 mod error;
 pub mod filtering;

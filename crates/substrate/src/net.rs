@@ -1,0 +1,1383 @@
+//! The optional TCP transport layer: real networked parties under the
+//! same accounting the simulators meter in-process.
+//!
+//! The paper's MPC model is simulated everywhere else in this workspace —
+//! `mmvc_mpc::Cluster` meters rounds and per-machine loads inside one
+//! process. This module promotes a run to *measured wire traffic*:
+//!
+//! 1. an in-process run records every completed round's per-slot loads
+//!    into a [`ChargeLog`](crate::ChargeLog) (a pure observer on the [`RoundLedger`]);
+//! 2. a [`Coordinator`] binds a local listener (always port 0 — the OS
+//!    assigns a free port, so concurrent harnesses never collide),
+//!    accepts one connection per party, and replays each recorded round
+//!    as framed TCP traffic: one `Data` frame per loaded machine, with a
+//!    payload of exactly `words` bytes (1 word ≡ 1 wire byte);
+//! 3. each [`PartyRunner`] — a thread or a separate `mmvc party`
+//!    process — plays the machines assigned to it (`machine % parties`),
+//!    counts the payload bytes it actually received, and acknowledges
+//!    every round through the barrier protocol below;
+//! 4. the coordinator charges a **fresh** wire-side [`RoundLedger`] from
+//!    the parties' acknowledgements — not from what it sent — so the
+//!    resulting trace is a measurement of the wire, independently
+//!    re-metered, and byte-identical report parity with the simulator is
+//!    a real end-to-end validation of the accounting.
+//!
+//! # Frame format
+//!
+//! Every message is one length-prefixed frame with a fixed
+//! [`HEADER_LEN`]-byte header (little-endian):
+//!
+//! | offset | size | field                                   |
+//! |--------|------|-----------------------------------------|
+//! | 0      | 4    | magic `b"MMVN"`                         |
+//! | 4      | 1    | protocol version (= [`VERSION`])        |
+//! | 5      | 1    | [`FrameKind`]                           |
+//! | 6      | 4    | round (`u32`, 1-based; 0 = handshake)   |
+//! | 10     | 4    | sender id (`u32`)                       |
+//! | 14     | 4    | receiver id (`u32`)                     |
+//! | 18     | 4    | payload length (`u32`, ≤ [`MAX_PAYLOAD`]) |
+//! | 22     | 4    | FNV-1a/32 checksum of the payload       |
+//!
+//! [`FrameDecoder`] reassembles frames incrementally from arbitrary read
+//! boundaries with the same `Ok(None)` = "need more bytes" contract as
+//! the serve crate's HTTP head parser.
+//!
+//! # Barrier protocol
+//!
+//! * handshake — each party sends `Hello` (`sender` = party id, payload =
+//!   the party count it was told, as a `u32`); the coordinator rejects
+//!   duplicates, out-of-range ids and count mismatches.
+//! * per round `r` — coordinator sends the round's `Data` frames, then
+//!   `RoundEnd` to **every** party (payload = how many `Data` frames that
+//!   party was sent, as a `u32`); each party replies `Ack` whose payload
+//!   lists `(machine: u32, words: u64)` for every frame it received, in
+//!   ascending machine order. The coordinator verifies the ack against
+//!   what it sent, then charges the wire ledger from the ack.
+//! * shutdown — `Finish` (payload = the party's cumulative words as a
+//!   `u64`) / `FinishAck` echoing the total.
+//!
+//! # Failure semantics
+//!
+//! All sockets are nonblocking; every read/write/accept loop carries a
+//! hard deadline, so a dead party, a truncated frame or a corrupted
+//! checksum surfaces as an [`SubstrateError::Net`] naming the offending
+//! party and the round in which it was detected (round 0 = handshake) —
+//! the coordinator never hangs.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::{RoundCharges, RoundLedger, SubstrateError, Telemetry};
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"MMVN";
+
+/// Wire protocol version; bumped on any incompatible header change.
+pub const VERSION: u8 = 1;
+
+/// Fixed frame header size in bytes.
+pub const HEADER_LEN: usize = 26;
+
+/// Upper bound on a single frame's payload (64 MiB). A length field
+/// above this is treated as a framing error rather than an allocation
+/// request — corrupt streams must not OOM the decoder.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// Default deadline for accepting all party connections, in ms.
+pub const DEFAULT_ACCEPT_TIMEOUT_MS: u64 = 10_000;
+
+/// Default deadline for any single blocking step (read one frame, flush
+/// one write), in ms.
+pub const DEFAULT_IO_TIMEOUT_MS: u64 = 10_000;
+
+/// How long a nonblocking loop sleeps between polls.
+const POLL_SLEEP: Duration = Duration::from_millis(1);
+
+/// The message kinds of the barrier protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Party → coordinator handshake (`sender` = party id, payload =
+    /// party count as `u32`).
+    Hello = 1,
+    /// Coordinator → party: one machine's round load (`sender` =
+    /// machine id, payload = exactly `words` bytes).
+    Data = 2,
+    /// Coordinator → party: the round's traffic is complete (payload =
+    /// number of `Data` frames sent to this party, as `u32`).
+    RoundEnd = 3,
+    /// Party → coordinator: per-machine receipt list for the round
+    /// (payload = `(machine: u32, words: u64)` entries, ascending).
+    Ack = 4,
+    /// Coordinator → party: run over (payload = party's cumulative
+    /// words as `u64`).
+    Finish = 5,
+    /// Party → coordinator: echoes the cumulative total back.
+    FinishAck = 6,
+}
+
+impl FrameKind {
+    fn from_u8(b: u8) -> Option<FrameKind> {
+        match b {
+            1 => Some(FrameKind::Hello),
+            2 => Some(FrameKind::Data),
+            3 => Some(FrameKind::RoundEnd),
+            4 => Some(FrameKind::Ack),
+            5 => Some(FrameKind::Finish),
+            6 => Some(FrameKind::FinishAck),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded wire message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message kind.
+    pub kind: FrameKind,
+    /// Round the message belongs to (1-based; 0 = handshake/shutdown).
+    pub round: u32,
+    /// Sender id — a machine id for `Data`, a party id otherwise.
+    pub sender: u32,
+    /// Receiver id — a party id for coordinator→party frames, 0 for
+    /// party→coordinator frames.
+    pub receiver: u32,
+    /// Message payload; its checksum travels in the header.
+    pub payload: Vec<u8>,
+}
+
+/// FNV-1a 32-bit hash — the frame checksum. Not cryptographic; it
+/// exists to catch truncation and corruption, mirroring what the tests
+/// inject.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Encodes a frame into its wire bytes (header + payload).
+///
+/// # Panics
+///
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] — encoders control
+/// their payloads, so an oversized one is a logic error, not an I/O
+/// condition.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    assert!(
+        frame.payload.len() <= MAX_PAYLOAD,
+        "frame payload exceeds MAX_PAYLOAD"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + frame.payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame.kind as u8);
+    out.extend_from_slice(&frame.round.to_le_bytes());
+    out.extend_from_slice(&frame.sender.to_le_bytes());
+    out.extend_from_slice(&frame.receiver.to_le_bytes());
+    out.extend_from_slice(&(frame.payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&fnv1a32(&frame.payload).to_le_bytes());
+    out.extend_from_slice(&frame.payload);
+    out
+}
+
+/// Incremental frame reassembler.
+///
+/// Bytes arrive in arbitrary chunks via [`push`](Self::push);
+/// [`next_frame`](Self::next_frame) yields `Ok(Some(frame))` once a
+/// whole frame is buffered, `Ok(None)` when more bytes are needed (the
+/// serve head parser's contract), and `Err` on a malformed stream —
+/// after which the stream cannot be re-framed and must be closed.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly read bytes to the reassembly buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next complete frame from the buffer.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, SubstrateError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        if self.buf[0..4] != MAGIC {
+            return Err(frame_err(format!(
+                "bad magic {:02x?} (expected {:02x?})",
+                &self.buf[0..4],
+                MAGIC
+            )));
+        }
+        if self.buf[4] != VERSION {
+            return Err(frame_err(format!(
+                "unsupported protocol version {} (expected {VERSION})",
+                self.buf[4]
+            )));
+        }
+        let kind = FrameKind::from_u8(self.buf[5])
+            .ok_or_else(|| frame_err(format!("unknown frame kind {}", self.buf[5])))?;
+        let round = u32::from_le_bytes(self.buf[6..10].try_into().unwrap());
+        let sender = u32::from_le_bytes(self.buf[10..14].try_into().unwrap());
+        let receiver = u32::from_le_bytes(self.buf[14..18].try_into().unwrap());
+        let payload_len = u32::from_le_bytes(self.buf[18..22].try_into().unwrap()) as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(frame_err(format!(
+                "payload length {payload_len} exceeds cap {MAX_PAYLOAD}"
+            )));
+        }
+        let checksum = u32::from_le_bytes(self.buf[22..26].try_into().unwrap());
+        if self.buf.len() < HEADER_LEN + payload_len {
+            return Ok(None);
+        }
+        let payload = self.buf[HEADER_LEN..HEADER_LEN + payload_len].to_vec();
+        let actual = fnv1a32(&payload);
+        if actual != checksum {
+            return Err(frame_err(format!(
+                "checksum mismatch on {kind:?} frame (round {round}): header says {checksum:#010x}, payload hashes to {actual:#010x}"
+            )));
+        }
+        self.buf.drain(..HEADER_LEN + payload_len);
+        Ok(Some(Frame {
+            kind,
+            round,
+            sender,
+            receiver,
+            payload,
+        }))
+    }
+}
+
+fn frame_err(message: String) -> SubstrateError {
+    SubstrateError::Frame { message }
+}
+
+fn net_err(party: usize, round: usize, message: impl Into<String>) -> SubstrateError {
+    SubstrateError::Net {
+        party,
+        round,
+        message: message.into(),
+    }
+}
+
+/// The payload byte a `Data` frame for `machine` in `round` is filled
+/// with — deterministic filler, so both ends can describe corruption
+/// precisely in diagnostics.
+fn data_fill(round: u32, machine: u32) -> u8 {
+    (round.wrapping_mul(31).wrapping_add(machine) & 0xff) as u8
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-bounded nonblocking I/O helpers (the serve readiness-loop
+// pattern: poll, WouldBlock → sleep, hard deadline → error).
+// ---------------------------------------------------------------------------
+
+fn write_all_deadline(
+    stream: &mut TcpStream,
+    mut bytes: &[u8],
+    deadline: Instant,
+    party: usize,
+    round: usize,
+) -> Result<(), SubstrateError> {
+    while !bytes.is_empty() {
+        match stream.write(bytes) {
+            Ok(0) => return Err(net_err(party, round, "connection closed during write")),
+            Ok(n) => bytes = &bytes[n..],
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(net_err(party, round, "write deadline exceeded"));
+                }
+                std::thread::sleep(POLL_SLEEP);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(net_err(party, round, format!("write failed: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+/// Reads until the decoder yields one frame, the peer closes, the stream
+/// is malformed, or the deadline passes. `Frame` errors from the decoder
+/// are re-attributed to `(party, round)` so diagnostics always name the
+/// offender.
+fn read_frame_deadline(
+    stream: &mut TcpStream,
+    decoder: &mut FrameDecoder,
+    deadline: Instant,
+    party: usize,
+    round: usize,
+) -> Result<Frame, SubstrateError> {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match decoder.next_frame() {
+            Ok(Some(frame)) => return Ok(frame),
+            Ok(None) => {}
+            Err(SubstrateError::Frame { message }) => return Err(net_err(party, round, message)),
+            Err(e) => return Err(e),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                let detail = if decoder.buffered() > 0 {
+                    format!(
+                        "connection closed mid-frame ({} stray bytes buffered)",
+                        decoder.buffered()
+                    )
+                } else {
+                    "connection closed before a frame arrived".to_string()
+                };
+                return Err(net_err(party, round, detail));
+            }
+            Ok(n) => decoder.push(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    return Err(net_err(party, round, "read deadline exceeded"));
+                }
+                std::thread::sleep(POLL_SLEEP);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(net_err(party, round, format!("read failed: {e}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Party side
+// ---------------------------------------------------------------------------
+
+/// An injectable misbehaviour for fault testing (threaded through
+/// `mmvc party --fault …`). All faults trigger when the named round's
+/// `RoundEnd` barrier is reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartyFault {
+    /// Drop the connection without acking — simulates a crash mid-round.
+    DieAtRound(u32),
+    /// Send the round's `Ack` with a deliberately wrong checksum.
+    CorruptChecksumAtRound(u32),
+    /// Send only the first half of the `Ack` frame's bytes, then close —
+    /// a truncated frame.
+    TruncateAckAtRound(u32),
+}
+
+impl PartyFault {
+    /// Parses the CLI spelling: `die:R`, `corrupt:R`, `truncate:R`.
+    pub fn parse(s: &str) -> Option<PartyFault> {
+        let (kind, round) = s.split_once(':')?;
+        let round: u32 = round.parse().ok()?;
+        match kind {
+            "die" => Some(PartyFault::DieAtRound(round)),
+            "corrupt" => Some(PartyFault::CorruptChecksumAtRound(round)),
+            "truncate" => Some(PartyFault::TruncateAckAtRound(round)),
+            _ => None,
+        }
+    }
+
+    fn round(&self) -> u32 {
+        match *self {
+            PartyFault::DieAtRound(r)
+            | PartyFault::CorruptChecksumAtRound(r)
+            | PartyFault::TruncateAckAtRound(r) => r,
+        }
+    }
+}
+
+/// What a party measured over its run; the process-mode CLI prints
+/// these so the harness can cross-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PartyStats {
+    /// Barrier rounds the party acknowledged.
+    pub rounds: usize,
+    /// `Data` frames received.
+    pub data_frames: usize,
+    /// Total payload bytes received in `Data` frames — the party-side
+    /// word count (1 word ≡ 1 byte).
+    pub words_received: usize,
+}
+
+/// Executes one party's role: connect, handshake, receive each round's
+/// machine loads, acknowledge through the barrier, echo the final total.
+#[derive(Debug, Clone)]
+pub struct PartyRunner {
+    /// This party's 0-based id.
+    pub party: usize,
+    /// Total number of parties in the run.
+    pub parties: usize,
+    /// The coordinator's listen address.
+    pub addr: SocketAddr,
+    /// Deadline for any single read/write step, in ms.
+    pub io_timeout_ms: u64,
+    /// Optional injected misbehaviour (fault tests only).
+    pub fault: Option<PartyFault>,
+}
+
+impl PartyRunner {
+    /// A runner with default timeouts and no fault.
+    pub fn new(party: usize, parties: usize, addr: SocketAddr) -> Self {
+        PartyRunner {
+            party,
+            parties,
+            addr,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+            fault: None,
+        }
+    }
+
+    fn deadline(&self) -> Instant {
+        Instant::now() + Duration::from_millis(self.io_timeout_ms)
+    }
+
+    /// Runs the party to completion (or to its injected fault, which
+    /// also returns an error so process-mode parties exit nonzero).
+    pub fn run(&self) -> Result<PartyStats, SubstrateError> {
+        let mut stream = self.connect()?;
+        let mut decoder = FrameDecoder::new();
+
+        let hello = Frame {
+            kind: FrameKind::Hello,
+            round: 0,
+            sender: self.party as u32,
+            receiver: 0,
+            payload: (self.parties as u32).to_le_bytes().to_vec(),
+        };
+        write_all_deadline(
+            &mut stream,
+            &encode_frame(&hello),
+            self.deadline(),
+            self.party,
+            0,
+        )?;
+
+        let mut stats = PartyStats::default();
+        let mut entries: Vec<(u32, u64)> = Vec::new();
+        loop {
+            let frame =
+                read_frame_deadline(&mut stream, &mut decoder, self.deadline(), self.party, 0)?;
+            match frame.kind {
+                FrameKind::Data => {
+                    if frame.receiver as usize != self.party {
+                        return Err(net_err(
+                            self.party,
+                            frame.round as usize,
+                            format!(
+                                "misrouted data frame for party {} (machine {})",
+                                frame.receiver, frame.sender
+                            ),
+                        ));
+                    }
+                    stats.data_frames += 1;
+                    stats.words_received += frame.payload.len();
+                    entries.push((frame.sender, frame.payload.len() as u64));
+                }
+                FrameKind::RoundEnd => {
+                    let round = frame.round;
+                    let expect = frame
+                        .payload
+                        .get(0..4)
+                        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+                        .ok_or_else(|| {
+                            net_err(self.party, round as usize, "malformed RoundEnd payload")
+                        })?;
+                    if entries.len() != expect as usize {
+                        return Err(net_err(
+                            self.party,
+                            round as usize,
+                            format!(
+                                "round barrier mismatch: coordinator announced {expect} data frames, received {}",
+                                entries.len()
+                            ),
+                        ));
+                    }
+                    entries.sort_unstable();
+                    if let Some(fault) = self.fault {
+                        if fault.round() == round {
+                            return self.inject_fault(fault, &mut stream, &entries, round);
+                        }
+                    }
+                    let ack = ack_frame(self.party, round, &entries);
+                    write_all_deadline(
+                        &mut stream,
+                        &encode_frame(&ack),
+                        self.deadline(),
+                        self.party,
+                        round as usize,
+                    )?;
+                    entries.clear();
+                    stats.rounds += 1;
+                }
+                FrameKind::Finish => {
+                    let told = frame
+                        .payload
+                        .get(0..8)
+                        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                        .ok_or_else(|| net_err(self.party, 0, "malformed Finish payload"))?;
+                    if told != stats.words_received as u64 {
+                        return Err(net_err(
+                            self.party,
+                            0,
+                            format!(
+                                "final total mismatch: coordinator claims {told} words, party measured {}",
+                                stats.words_received
+                            ),
+                        ));
+                    }
+                    let fin = Frame {
+                        kind: FrameKind::FinishAck,
+                        round: 0,
+                        sender: self.party as u32,
+                        receiver: 0,
+                        payload: told.to_le_bytes().to_vec(),
+                    };
+                    write_all_deadline(
+                        &mut stream,
+                        &encode_frame(&fin),
+                        self.deadline(),
+                        self.party,
+                        0,
+                    )?;
+                    return Ok(stats);
+                }
+                other => {
+                    return Err(net_err(
+                        self.party,
+                        frame.round as usize,
+                        format!("unexpected {other:?} frame from coordinator"),
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Connects to the coordinator, retrying refused attempts until the
+    /// deadline (the harness may launch parties before the accept loop
+    /// spins up), then switches the stream to nonblocking.
+    fn connect(&self) -> Result<TcpStream, SubstrateError> {
+        let deadline = self.deadline();
+        loop {
+            match TcpStream::connect_timeout(&self.addr, Duration::from_millis(250)) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_nonblocking(true).map_err(|e| {
+                        net_err(self.party, 0, format!("set_nonblocking failed: {e}"))
+                    })?;
+                    return Ok(stream);
+                }
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(net_err(
+                            self.party,
+                            0,
+                            format!("could not connect to coordinator at {}: {e}", self.addr),
+                        ));
+                    }
+                    std::thread::sleep(POLL_SLEEP);
+                }
+            }
+        }
+    }
+
+    fn inject_fault(
+        &self,
+        fault: PartyFault,
+        stream: &mut TcpStream,
+        entries: &[(u32, u64)],
+        round: u32,
+    ) -> Result<PartyStats, SubstrateError> {
+        match fault {
+            PartyFault::DieAtRound(_) => {
+                drop(stream.shutdown(std::net::Shutdown::Both));
+            }
+            PartyFault::CorruptChecksumAtRound(_) => {
+                let mut bytes = encode_frame(&ack_frame(self.party, round, entries));
+                bytes[22] ^= 0xff; // flip a checksum byte
+                write_all_deadline(stream, &bytes, self.deadline(), self.party, round as usize)?;
+            }
+            PartyFault::TruncateAckAtRound(_) => {
+                let bytes = encode_frame(&ack_frame(self.party, round, entries));
+                let half = &bytes[..bytes.len() / 2];
+                write_all_deadline(stream, half, self.deadline(), self.party, round as usize)?;
+                drop(stream.shutdown(std::net::Shutdown::Write));
+            }
+        }
+        Err(net_err(
+            self.party,
+            round as usize,
+            format!("injected fault {fault:?}"),
+        ))
+    }
+}
+
+fn ack_frame(party: usize, round: u32, entries: &[(u32, u64)]) -> Frame {
+    let mut payload = Vec::with_capacity(entries.len() * 12);
+    for &(machine, words) in entries {
+        payload.extend_from_slice(&machine.to_le_bytes());
+        payload.extend_from_slice(&words.to_le_bytes());
+    }
+    Frame {
+        kind: FrameKind::Ack,
+        round,
+        sender: party as u32,
+        receiver: 0,
+        payload,
+    }
+}
+
+fn parse_ack_entries(payload: &[u8]) -> Option<Vec<(u32, u64)>> {
+    if !payload.len().is_multiple_of(12) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(payload.len() / 12);
+    for chunk in payload.chunks_exact(12) {
+        let machine = u32::from_le_bytes(chunk[0..4].try_into().unwrap());
+        let words = u64::from_le_bytes(chunk[4..12].try_into().unwrap());
+        out.push((machine, words));
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------------
+
+/// Coordinator-side knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Number of parties the run is sharded over (≥ 1).
+    pub parties: usize,
+    /// Deadline for all parties to connect and handshake, in ms.
+    pub accept_timeout_ms: u64,
+    /// Deadline for any single read/write step after the handshake, in ms.
+    pub io_timeout_ms: u64,
+}
+
+impl NetConfig {
+    /// A config for `parties` parties with default timeouts.
+    pub fn new(parties: usize) -> Self {
+        NetConfig {
+            parties,
+            accept_timeout_ms: DEFAULT_ACCEPT_TIMEOUT_MS,
+            io_timeout_ms: DEFAULT_IO_TIMEOUT_MS,
+        }
+    }
+}
+
+/// What the coordinator measured on the wire. `data_payload_bytes` is
+/// the quantity the parity tests pin against the ledger's
+/// `total_words` (1 word ≡ 1 payload byte).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WireStats {
+    /// Barrier rounds completed.
+    pub rounds: usize,
+    /// `Data` frames framed onto the wire.
+    pub data_frames: usize,
+    /// Sum of `Data` payload bytes actually sent.
+    pub data_payload_bytes: usize,
+    /// Every byte written by the coordinator, headers included.
+    pub bytes_sent: usize,
+    /// Every byte of party frames consumed by the coordinator.
+    pub bytes_received: usize,
+}
+
+struct PartyConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    words_total: u64,
+}
+
+/// The round-barrier coordinator: binds a listener on an OS-assigned
+/// port, accepts one connection per party, replays a [`ChargeLog`](crate::ChargeLog)
+/// script as framed traffic, and re-meters the run from party
+/// acknowledgements into a fresh wire-side [`RoundLedger`].
+pub struct Coordinator {
+    listener: TcpListener,
+    cfg: NetConfig,
+    local_addr: SocketAddr,
+}
+
+impl Coordinator {
+    /// Binds `127.0.0.1:0` — the OS picks a free port, which is the
+    /// whole port-collision story: concurrent harnesses each get their
+    /// own listener and pass the assigned address to their parties.
+    pub fn bind(cfg: NetConfig) -> Result<Self, SubstrateError> {
+        if cfg.parties == 0 {
+            return Err(SubstrateError::InvalidConfig {
+                substrate: "net",
+                message: "need at least one party".into(),
+            });
+        }
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| net_err(0, 0, format!("bind failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| net_err(0, 0, format!("set_nonblocking failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| net_err(0, 0, format!("local_addr failed: {e}")))?;
+        Ok(Coordinator {
+            listener,
+            cfg,
+            local_addr,
+        })
+    }
+
+    /// The OS-assigned listen address to hand to parties.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    fn io_deadline(&self) -> Instant {
+        Instant::now() + Duration::from_millis(self.cfg.io_timeout_ms)
+    }
+
+    /// Accepts and handshakes all parties, replays the recorded round
+    /// charges as wire traffic, and returns the wire-side ledger (its
+    /// trace is the distributed run's measured accounting) plus raw
+    /// wire statistics. Every round emits a `net.round` telemetry span
+    /// tagged with the bytes sent and received.
+    pub fn run(
+        &self,
+        substrate: &'static str,
+        slots: usize,
+        charges: &[RoundCharges],
+        telemetry: &Telemetry,
+    ) -> Result<(RoundLedger, WireStats), SubstrateError> {
+        let mut conns = self.accept_parties()?;
+        let mut ledger = RoundLedger::new(substrate, slots.max(1));
+        let mut stats = WireStats::default();
+
+        for (idx, rc) in charges.iter().enumerate() {
+            let round = (idx + 1) as u32;
+            let mut span = telemetry.span("net.round");
+            span.arg("round", u64::from(round));
+            let before_sent = stats.bytes_sent;
+            let before_recv = stats.bytes_received;
+
+            // Scatter: one Data frame per loaded machine, routed to the
+            // party owning that machine (machine % parties).
+            let mut expected: Vec<Vec<(u32, u64)>> = vec![Vec::new(); self.cfg.parties];
+            for (machine, &words) in rc.loads.iter().enumerate() {
+                if words == 0 {
+                    continue;
+                }
+                let party = machine % self.cfg.parties;
+                let frame = Frame {
+                    kind: FrameKind::Data,
+                    round,
+                    sender: machine as u32,
+                    receiver: party as u32,
+                    payload: vec![data_fill(round, machine as u32); words],
+                };
+                let bytes = encode_frame(&frame);
+                write_all_deadline(
+                    &mut conns[party].stream,
+                    &bytes,
+                    self.io_deadline(),
+                    party,
+                    round as usize,
+                )?;
+                stats.data_frames += 1;
+                stats.data_payload_bytes += words;
+                stats.bytes_sent += bytes.len();
+                expected[party].push((machine as u32, words as u64));
+            }
+
+            // Barrier: RoundEnd to every party, even idle ones.
+            for (party, conn) in conns.iter_mut().enumerate() {
+                let frame = Frame {
+                    kind: FrameKind::RoundEnd,
+                    round,
+                    sender: 0,
+                    receiver: party as u32,
+                    payload: (expected[party].len() as u32).to_le_bytes().to_vec(),
+                };
+                let bytes = encode_frame(&frame);
+                write_all_deadline(
+                    &mut conn.stream,
+                    &bytes,
+                    self.io_deadline(),
+                    party,
+                    round as usize,
+                )?;
+                stats.bytes_sent += bytes.len();
+            }
+
+            // Gather: each party's ack is the authoritative receipt —
+            // the wire ledger is charged from acks, not from sends.
+            ledger.begin_round()?;
+            for (party, conn) in conns.iter_mut().enumerate() {
+                let ack = read_frame_deadline(
+                    &mut conn.stream,
+                    &mut conn.decoder,
+                    self.io_deadline(),
+                    party,
+                    round as usize,
+                )?;
+                stats.bytes_received += HEADER_LEN + ack.payload.len();
+                if ack.kind != FrameKind::Ack || ack.round != round {
+                    ledger.abandon_round();
+                    return Err(net_err(
+                        party,
+                        round as usize,
+                        format!(
+                            "expected Ack for round {round}, got {:?} for round {}",
+                            ack.kind, ack.round
+                        ),
+                    ));
+                }
+                let entries = parse_ack_entries(&ack.payload).ok_or_else(|| {
+                    net_err(party, round as usize, "malformed Ack payload length")
+                })?;
+                if entries != expected[party] {
+                    ledger.abandon_round();
+                    return Err(net_err(
+                        party,
+                        round as usize,
+                        format!(
+                            "ack does not match sent traffic: sent {:?}, acknowledged {:?}",
+                            expected[party], entries
+                        ),
+                    ));
+                }
+                for &(machine, words) in &entries {
+                    ledger.charge(machine as usize, words as usize)?;
+                    conn.words_total += words;
+                }
+            }
+            ledger.end_round()?;
+            stats.rounds += 1;
+            span.arg("bytes_sent", (stats.bytes_sent - before_sent) as u64);
+            span.arg("bytes_recv", (stats.bytes_received - before_recv) as u64);
+            drop(span);
+        }
+
+        // Shutdown: every party must confirm the same cumulative total.
+        for (party, conn) in conns.iter_mut().enumerate() {
+            let frame = Frame {
+                kind: FrameKind::Finish,
+                round: 0,
+                sender: 0,
+                receiver: party as u32,
+                payload: conn.words_total.to_le_bytes().to_vec(),
+            };
+            let bytes = encode_frame(&frame);
+            write_all_deadline(&mut conn.stream, &bytes, self.io_deadline(), party, 0)?;
+            stats.bytes_sent += bytes.len();
+        }
+        for (party, conn) in conns.iter_mut().enumerate() {
+            let fin = read_frame_deadline(
+                &mut conn.stream,
+                &mut conn.decoder,
+                self.io_deadline(),
+                party,
+                0,
+            )?;
+            stats.bytes_received += HEADER_LEN + fin.payload.len();
+            let echoed = (fin.kind == FrameKind::FinishAck)
+                .then(|| fin.payload.get(0..8))
+                .flatten()
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()));
+            if echoed != Some(conn.words_total) {
+                return Err(net_err(
+                    party,
+                    0,
+                    format!(
+                        "final ack mismatch: expected echo of {} words, got {:?}",
+                        conn.words_total, fin
+                    ),
+                ));
+            }
+        }
+        Ok((ledger, stats))
+    }
+
+    /// Accepts connections until one `Hello` per party id has arrived
+    /// (in any order), or the accept deadline passes.
+    fn accept_parties(&self) -> Result<Vec<PartyConn>, SubstrateError> {
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.accept_timeout_ms);
+        let mut slots: Vec<Option<PartyConn>> = Vec::new();
+        slots.resize_with(self.cfg.parties, || None);
+        let mut connected = 0usize;
+        while connected < self.cfg.parties {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nodelay(true).ok();
+                    stream
+                        .set_nonblocking(true)
+                        .map_err(|e| net_err(0, 0, format!("set_nonblocking failed: {e}")))?;
+                    let mut conn = PartyConn {
+                        stream,
+                        decoder: FrameDecoder::new(),
+                        words_total: 0,
+                    };
+                    let hello = read_frame_deadline(
+                        &mut conn.stream,
+                        &mut conn.decoder,
+                        deadline.min(self.io_deadline()),
+                        usize::MAX,
+                        0,
+                    )
+                    .map_err(|e| match e {
+                        SubstrateError::Net { round, message, .. } => net_err(
+                            connected,
+                            round,
+                            format!("handshake read failed: {message}"),
+                        ),
+                        other => other,
+                    })?;
+                    let party = hello.sender as usize;
+                    if hello.kind != FrameKind::Hello {
+                        return Err(net_err(
+                            party,
+                            0,
+                            format!("expected Hello, got {:?}", hello.kind),
+                        ));
+                    }
+                    if party >= self.cfg.parties {
+                        return Err(net_err(
+                            party,
+                            0,
+                            format!("party id out of range (run has {})", self.cfg.parties),
+                        ));
+                    }
+                    let told = hello
+                        .payload
+                        .get(0..4)
+                        .map(|b| u32::from_le_bytes(b.try_into().unwrap()));
+                    if told != Some(self.cfg.parties as u32) {
+                        return Err(net_err(
+                            party,
+                            0,
+                            format!(
+                                "party count mismatch: party was launched for {told:?} parties, coordinator runs {}",
+                                self.cfg.parties
+                            ),
+                        ));
+                    }
+                    if slots[party].is_some() {
+                        return Err(net_err(party, 0, "duplicate Hello for this party id"));
+                    }
+                    slots[party] = Some(conn);
+                    connected += 1;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if Instant::now() >= deadline {
+                        let missing: Vec<usize> = slots
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.is_none())
+                            .map(|(i, _)| i)
+                            .collect();
+                        return Err(net_err(
+                            missing.first().copied().unwrap_or(0),
+                            0,
+                            format!(
+                                "accept deadline exceeded; parties {missing:?} never connected"
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(POLL_SLEEP);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(net_err(0, 0, format!("accept failed: {e}"))),
+            }
+        }
+        Ok(slots.into_iter().map(|s| s.unwrap()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frame() -> Frame {
+        Frame {
+            kind: FrameKind::Data,
+            round: 7,
+            sender: 3,
+            receiver: 1,
+            payload: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn fnv1a32_known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a32(b""), 0x811c_9dc5);
+        assert_eq!(fnv1a32(b"a"), 0xe40c_292c);
+        assert_eq!(fnv1a32(b"foobar"), 0xbf9c_f968);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let frame = sample_frame();
+        let bytes = encode_frame(&frame);
+        assert_eq!(bytes.len(), HEADER_LEN + frame.payload.len());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+        assert_eq!(dec.next_frame().unwrap(), None);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_needs_more_bytes_until_complete() {
+        let bytes = encode_frame(&sample_frame());
+        let mut dec = FrameDecoder::new();
+        for &b in &bytes[..bytes.len() - 1] {
+            dec.push(&[b]);
+            assert_eq!(dec.next_frame().unwrap(), None, "premature frame");
+        }
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert_eq!(dec.next_frame().unwrap(), Some(sample_frame()));
+    }
+
+    #[test]
+    fn decoder_rejects_bad_magic_version_kind_checksum() {
+        let good = encode_frame(&sample_frame());
+
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(dec.next_frame().unwrap_err().to_string().contains("magic"));
+
+        let mut bad = good.clone();
+        bad[4] = 99;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(dec
+            .next_frame()
+            .unwrap_err()
+            .to_string()
+            .contains("version"));
+
+        let mut bad = good.clone();
+        bad[5] = 200;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(dec.next_frame().unwrap_err().to_string().contains("kind"));
+
+        let mut bad = good.clone();
+        *bad.last_mut().unwrap() ^= 0xff; // corrupt payload vs checksum
+        let mut dec = FrameDecoder::new();
+        dec.push(&bad);
+        assert!(dec
+            .next_frame()
+            .unwrap_err()
+            .to_string()
+            .contains("checksum"));
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_payload_without_allocating() {
+        let mut bytes = encode_frame(&sample_frame());
+        bytes[18..22].copy_from_slice(&(u32::MAX).to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(dec.next_frame().unwrap_err().to_string().contains("cap"));
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let a = sample_frame();
+        let b = Frame {
+            kind: FrameKind::Ack,
+            round: 8,
+            sender: 0,
+            receiver: 0,
+            payload: vec![],
+        };
+        let mut stream = encode_frame(&a);
+        stream.extend_from_slice(&encode_frame(&b));
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        assert_eq!(dec.next_frame().unwrap(), Some(a));
+        assert_eq!(dec.next_frame().unwrap(), Some(b));
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn split_at_every_boundary_reassembles() {
+        // The satellite pin: a two-frame stream fed in two chunks split
+        // at EVERY byte offset decodes identically, with Ok(None) while
+        // incomplete — the serve head parser's contract.
+        let frames = vec![
+            sample_frame(),
+            Frame {
+                kind: FrameKind::RoundEnd,
+                round: 7,
+                sender: 0,
+                receiver: 1,
+                payload: 2u32.to_le_bytes().to_vec(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        for split in 0..=stream.len() {
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            dec.push(&stream[..split]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+            dec.push(&stream[split..]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+            assert_eq!(out, frames, "split at {split}");
+            assert_eq!(dec.buffered(), 0, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn party_fault_parses_cli_spellings() {
+        assert_eq!(PartyFault::parse("die:3"), Some(PartyFault::DieAtRound(3)));
+        assert_eq!(
+            PartyFault::parse("corrupt:1"),
+            Some(PartyFault::CorruptChecksumAtRound(1))
+        );
+        assert_eq!(
+            PartyFault::parse("truncate:2"),
+            Some(PartyFault::TruncateAckAtRound(2))
+        );
+        assert_eq!(PartyFault::parse("die"), None);
+        assert_eq!(PartyFault::parse("explode:1"), None);
+        assert_eq!(PartyFault::parse("die:x"), None);
+    }
+
+    fn run_script(parties: usize, charges: Vec<RoundCharges>) -> (RoundLedger, WireStats) {
+        let coord = Coordinator::bind(NetConfig::new(parties)).unwrap();
+        let addr = coord.local_addr();
+        let handles: Vec<_> = (0..parties)
+            .map(|p| std::thread::spawn(move || PartyRunner::new(p, parties, addr).run()))
+            .collect();
+        let slots = charges.iter().map(|c| c.loads.len()).max().unwrap_or(1);
+        let out = coord
+            .run("mpc", slots, &charges, &Telemetry::disabled())
+            .unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn coordinator_reconstructs_trace_from_acks() {
+        let charges = vec![
+            RoundCharges {
+                substrate: "mpc",
+                loads: vec![4, 0, 9, 2],
+            },
+            RoundCharges {
+                substrate: "mpc",
+                loads: vec![0, 0, 0, 0],
+            },
+            RoundCharges {
+                substrate: "mpc",
+                loads: vec![1, 1, 1, 1],
+            },
+        ];
+        let (ledger, stats) = run_script(3, charges);
+        let trace = ledger.trace();
+        assert_eq!(trace.rounds(), 3);
+        assert_eq!(trace.max_load_words(), 9);
+        assert_eq!(trace.total_words(), 15 + 4); // rounds: 15, 0, 4
+        assert_eq!(stats.rounds, 3);
+        assert_eq!(stats.data_frames, 3 + 4); // rounds: 3, 0, 4
+                                              // The headline cross-check: ledger words == wire payload bytes.
+        assert_eq!(stats.data_payload_bytes, trace.total_words());
+        assert!(stats.bytes_sent > stats.data_payload_bytes);
+    }
+
+    #[test]
+    fn single_party_owns_every_machine() {
+        let charges = vec![RoundCharges {
+            substrate: "mpc",
+            loads: vec![5, 6, 7],
+        }];
+        let (ledger, stats) = run_script(1, charges);
+        assert_eq!(ledger.trace().total_words(), 18);
+        assert_eq!(stats.data_payload_bytes, 18);
+    }
+
+    #[test]
+    fn telemetry_gets_net_round_spans() {
+        let tel = Telemetry::recording();
+        let coord = Coordinator::bind(NetConfig::new(2)).unwrap();
+        let addr = coord.local_addr();
+        let handles: Vec<_> = (0..2)
+            .map(|p| std::thread::spawn(move || PartyRunner::new(p, 2, addr).run()))
+            .collect();
+        let charges = vec![
+            RoundCharges {
+                substrate: "mpc",
+                loads: vec![3, 2],
+            },
+            RoundCharges {
+                substrate: "mpc",
+                loads: vec![0, 8],
+            },
+        ];
+        let (_, stats) = coord.run("mpc", 2, &charges, &tel).unwrap();
+        for h in handles {
+            h.join().unwrap().unwrap();
+        }
+        let spans: Vec<_> = tel
+            .drain()
+            .into_iter()
+            .filter(|e| e.name == "net.round")
+            .collect();
+        assert_eq!(spans.len(), 2);
+        let sent: u64 = spans
+            .iter()
+            .map(|s| s.args.iter().find(|(k, _)| *k == "bytes_sent").unwrap().1)
+            .sum();
+        let recv: u64 = spans
+            .iter()
+            .map(|s| s.args.iter().find(|(k, _)| *k == "bytes_recv").unwrap().1)
+            .sum();
+        assert!(sent as usize >= stats.data_payload_bytes);
+        assert!(recv > 0);
+    }
+
+    #[test]
+    fn coordinator_rejects_party_count_mismatch() {
+        let coord = Coordinator::bind(NetConfig::new(2)).unwrap();
+        let addr = coord.local_addr();
+        // Party 0 thinks the run has 3 parties; party 1 is honest.
+        let h0 = std::thread::spawn(move || PartyRunner::new(0, 3, addr).run());
+        let h1 = std::thread::spawn(move || {
+            let mut r = PartyRunner::new(1, 2, addr);
+            r.io_timeout_ms = 2_000;
+            r.run()
+        });
+        let err = coord
+            .run(
+                "mpc",
+                2,
+                &[RoundCharges {
+                    substrate: "mpc",
+                    loads: vec![1, 1],
+                }],
+                &Telemetry::disabled(),
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("party count mismatch"), "{err}");
+        let _ = h0.join().unwrap();
+        let _ = h1.join().unwrap();
+    }
+
+    #[test]
+    fn accept_deadline_bounds_missing_parties() {
+        let mut cfg = NetConfig::new(2);
+        cfg.accept_timeout_ms = 200;
+        let coord = Coordinator::bind(cfg).unwrap();
+        let addr = coord.local_addr();
+        // Only party 0 shows up.
+        let h = std::thread::spawn(move || {
+            let mut r = PartyRunner::new(0, 2, addr);
+            r.io_timeout_ms = 2_000;
+            r.run()
+        });
+        let start = Instant::now();
+        let err = coord
+            .run("mpc", 2, &[], &Telemetry::disabled())
+            .unwrap_err();
+        assert!(start.elapsed() < Duration::from_secs(5), "hung on accept");
+        let s = err.to_string();
+        assert!(s.contains("party 1") && s.contains("handshake"), "{s}");
+        let _ = h.join().unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_frame() -> impl Strategy<Value = Frame> {
+        (
+            1u8..7,
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            proptest::collection::vec(any::<u8>(), 0..512),
+        )
+            .prop_map(|(kind, round, sender, receiver, payload)| Frame {
+                kind: FrameKind::from_u8(kind).unwrap(),
+                round,
+                sender,
+                receiver,
+                payload,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn frame_roundtrips(frame in arb_frame()) {
+            let bytes = encode_frame(&frame);
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            prop_assert_eq!(dec.next_frame().unwrap(), Some(frame));
+            prop_assert_eq!(dec.next_frame().unwrap(), None);
+        }
+
+        #[test]
+        fn frame_stream_survives_arbitrary_chunking(
+            frames in proptest::collection::vec(arb_frame(), 1..6),
+            chunks in proptest::collection::vec(1usize..64, 1..64)
+        ) {
+            let mut stream = Vec::new();
+            for f in &frames {
+                stream.extend_from_slice(&encode_frame(f));
+            }
+            let mut dec = FrameDecoder::new();
+            let mut out = Vec::new();
+            let mut off = 0usize;
+            let mut chunk_iter = chunks.into_iter().cycle();
+            while off < stream.len() {
+                let take = chunk_iter.next().unwrap().min(stream.len() - off);
+                dec.push(&stream[off..off + take]);
+                off += take;
+                while let Some(f) = dec.next_frame().unwrap() {
+                    out.push(f);
+                }
+            }
+            prop_assert_eq!(out, frames);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
+
+        #[test]
+        fn corrupting_any_payload_byte_is_detected(
+            payload in proptest::collection::vec(any::<u8>(), 1..128),
+            idx in any::<usize>(),
+            flip in 1u8..255
+        ) {
+            let frame = Frame {
+                kind: FrameKind::Data, round: 1, sender: 0, receiver: 0, payload,
+            };
+            let mut bytes = encode_frame(&frame);
+            let i = HEADER_LEN + idx % frame.payload.len();
+            bytes[i] ^= flip;
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let err = dec.next_frame().unwrap_err().to_string();
+            prop_assert!(err.contains("checksum"));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! The PR's headline pin: a distributed run over real TCP parties
+//! produces **byte-identical** canonical RunReports to the in-process
+//! simulator, for the full metered MPC slice on {2, 4, 8} parties —
+//! and the ledger's `total_words` equals the payload bytes that
+//! actually crossed the wire, validating the simulator's accounting
+//! against measured traffic for the first time.
+//!
+//! Thread-hosted parties cover the matrix; real `mmvc party` child
+//! processes (spawned from the built binary) pin the multi-process
+//! configuration the CLI ships. All harnesses bind port 0, so any
+//! number of these tests run concurrently without colliding.
+
+use mmvc::core::distributed::{run_distributed, DistOptions};
+use mmvc::core::run::{run, AlgorithmKind, RunReport, RunSpec};
+use mmvc::serve::canonical_report_body;
+
+/// The metered MPC algorithms — the slice that can be distributed.
+const DISTRIBUTABLE: [AlgorithmKind; 3] = [
+    AlgorithmKind::GreedyMis,
+    AlgorithmKind::MpcMatching,
+    AlgorithmKind::Filtering,
+];
+
+fn small_spec(kind: AlgorithmKind) -> RunSpec {
+    let mut spec = RunSpec::new(kind, "gnp-sparse");
+    spec.n = Some(96);
+    spec.seed = 7;
+    spec.overrides.space_factor = Some(32.0);
+    spec
+}
+
+fn canonical(report: &RunReport) -> Vec<u8> {
+    canonical_report_body(report.clone())
+}
+
+/// The tentpole: every distributable kind, on 2, 4 and 8 parties,
+/// reports byte-for-byte what the simulator reports — rounds,
+/// max_load_words, total_words, the full per-round trace, and the
+/// witnesses all travel through the canonical serialization.
+#[test]
+fn distributed_reports_are_byte_identical_across_party_counts() {
+    for kind in DISTRIBUTABLE {
+        let spec = small_spec(kind);
+        let baseline = canonical(&run(&spec).unwrap());
+        for parties in [2usize, 4, 8] {
+            let out = run_distributed(&spec, &DistOptions::threads(parties)).unwrap();
+            assert_eq!(
+                canonical(&out.report),
+                baseline,
+                "{kind}/{parties} parties: distributed report must be byte-identical"
+            );
+            assert_eq!(
+                canonical(&out.sim_report),
+                baseline,
+                "{kind}/{parties} parties: the charge recorder must be a pure observer"
+            );
+            // The wire cross-check: what the ledger charged is what was
+            // actually framed as Data payload bytes (1 word ≡ 1 byte).
+            assert_eq!(
+                out.wire.data_payload_bytes, out.report.substrate.total_words,
+                "{kind}/{parties} parties: ledger words must equal wire payload bytes"
+            );
+            assert!(
+                out.wire.data_payload_bytes > 0,
+                "{kind}/{parties} parties: a metered run must move real traffic"
+            );
+            assert!(
+                out.wire.bytes_sent > out.wire.data_payload_bytes,
+                "{kind}/{parties} parties: framing overhead must be accounted"
+            );
+        }
+    }
+}
+
+/// Same pin through real OS processes: `mmvc party` children spawned
+/// from the built binary, one per party.
+#[test]
+fn process_parties_match_the_simulator() {
+    let exe = env!("CARGO_BIN_EXE_mmvc");
+    for kind in [AlgorithmKind::GreedyMis, AlgorithmKind::MpcMatching] {
+        let spec = small_spec(kind);
+        let baseline = canonical(&run(&spec).unwrap());
+        let out = run_distributed(&spec, &DistOptions::processes(4, exe)).unwrap();
+        assert_eq!(
+            canonical(&out.report),
+            baseline,
+            "{kind}: process-hosted parties must reproduce the simulator bytes"
+        );
+        assert_eq!(
+            out.wire.data_payload_bytes,
+            out.report.substrate.total_words
+        );
+    }
+}
+
+/// Distributed accounting is executor-invariant too: the charge script
+/// recorded under a threaded executor replays to the same bytes as the
+/// sequential one (the engine's determinism contract extends over the
+/// wire).
+#[test]
+fn distributed_parity_is_executor_invariant() {
+    use mmvc::substrate::ExecutorConfig;
+    let mut seq = small_spec(AlgorithmKind::GreedyMis);
+    seq.executor = ExecutorConfig::sequential();
+    let mut thr = small_spec(AlgorithmKind::GreedyMis);
+    thr.executor = ExecutorConfig::with_threads(4);
+
+    let a = run_distributed(&seq, &DistOptions::threads(2)).unwrap();
+    let b = run_distributed(&thr, &DistOptions::threads(2)).unwrap();
+    assert_eq!(canonical(&a.report), canonical(&b.report));
+    assert_eq!(a.wire.data_payload_bytes, b.wire.data_payload_bytes);
+}
+
+/// The port-collision satellite: harnesses bind port 0 and pass the
+/// OS-assigned address to their parties, so two (here: four) full
+/// harnesses running concurrently on one host never interfere — the
+/// failure class the serve tests dodge ad hoc is fixed structurally.
+#[test]
+fn concurrent_harnesses_do_not_interfere() {
+    let specs: Vec<(AlgorithmKind, usize)> = vec![
+        (AlgorithmKind::GreedyMis, 2),
+        (AlgorithmKind::GreedyMis, 4),
+        (AlgorithmKind::MpcMatching, 2),
+        (AlgorithmKind::Filtering, 3),
+    ];
+    let handles: Vec<_> = specs
+        .into_iter()
+        .map(|(kind, parties)| {
+            std::thread::spawn(move || {
+                let spec = small_spec(kind);
+                let baseline = canonical(&run(&spec).unwrap());
+                let out = run_distributed(&spec, &DistOptions::threads(parties)).unwrap();
+                assert_eq!(canonical(&out.report), baseline, "{kind}/{parties}");
+                assert_eq!(
+                    out.wire.data_payload_bytes,
+                    out.report.substrate.total_words
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("concurrent harness panicked");
+    }
+}
+
+/// `mmvc net-run` end to end: its `--canonical` stdout equals `mmvc
+/// run --canonical` for the same spec — the CLI pair the quickstart
+/// documents is pinned to the same contract as the library entry.
+#[test]
+fn cli_net_run_matches_cli_run() {
+    let exe = env!("CARGO_BIN_EXE_mmvc");
+    let run_out = std::process::Command::new(exe)
+        .args([
+            "run",
+            "greedy-mis",
+            "gnp-sparse",
+            "--n",
+            "96",
+            "--seed",
+            "7",
+            "--canonical",
+        ])
+        .output()
+        .expect("mmvc run");
+    assert!(run_out.status.success());
+
+    let net_out = std::process::Command::new(exe)
+        .args([
+            "net-run",
+            "greedy-mis",
+            "gnp-sparse",
+            "--n",
+            "96",
+            "--seed",
+            "7",
+            "--parties",
+            "4",
+            "--processes",
+            "--canonical",
+        ])
+        .output()
+        .expect("mmvc net-run");
+    assert!(
+        net_out.status.success(),
+        "net-run failed: {}",
+        String::from_utf8_lossy(&net_out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&net_out.stdout),
+        String::from_utf8_lossy(&run_out.stdout),
+        "net-run --canonical must emit the same bytes as run --canonical"
+    );
+    assert!(
+        String::from_utf8_lossy(&net_out.stderr).contains("parity"),
+        "net-run reports its parity self-check"
+    );
+}
+
+/// Unmetered kinds are refused up front with a clear diagnostic rather
+/// than replaying an empty script.
+#[test]
+fn unmetered_kinds_are_refused() {
+    for kind in [
+        AlgorithmKind::LubyMis,
+        AlgorithmKind::CliqueMis,
+        AlgorithmKind::Central,
+    ] {
+        let spec = small_spec(kind);
+        let err = run_distributed(&spec, &DistOptions::threads(2)).unwrap_err();
+        assert!(
+            err.to_string().contains("not a metered MPC algorithm"),
+            "{kind}: {err}"
+        );
+    }
+}
